@@ -1,0 +1,194 @@
+(* erpc_sim: parameterized command-line runner for individual experiments.
+
+   `bench/main.exe` regenerates the paper's tables and figures with fixed
+   parameters; this tool exposes the same experiments with the knobs open
+   (cluster, degree, credits, loss rate, congestion-control algorithm, ...)
+   for exploration. *)
+
+open Cmdliner
+
+let cluster_conv =
+  let parse = function
+    | "cx3" -> Ok `Cx3
+    | "cx4" -> Ok `Cx4
+    | "cx5" -> Ok `Cx5
+    | "cx5-ib100" -> Ok `Cx5_ib100
+    | s -> Error (`Msg (Printf.sprintf "unknown cluster %S (cx3|cx4|cx5|cx5-ib100)" s))
+  in
+  let print fmt c =
+    Format.pp_print_string fmt
+      (match c with `Cx3 -> "cx3" | `Cx4 -> "cx4" | `Cx5 -> "cx5" | `Cx5_ib100 -> "cx5-ib100")
+  in
+  Arg.conv (parse, print)
+
+let build_cluster ?nodes = function
+  | `Cx3 -> Transport.Cluster.cx3 ?nodes ()
+  | `Cx4 -> Transport.Cluster.cx4 ?nodes ()
+  | `Cx5 -> Transport.Cluster.cx5 ?nodes ()
+  | `Cx5_ib100 -> Transport.Cluster.cx5_ib100 ()
+
+let cluster_arg default =
+  Arg.(value & opt cluster_conv default & info [ "cluster" ] ~docv:"NAME" ~doc:"Cluster profile.")
+
+let nodes_arg =
+  Arg.(value & opt (some int) None & info [ "nodes" ] ~docv:"N" ~doc:"Override node count.")
+
+(* latency *)
+let latency_cmd =
+  let run cluster nodes samples =
+    let c = build_cluster ?nodes cluster in
+    let r = Experiments.Exp_latency.measure ~samples c in
+    Printf.printf "%s: RDMA read %.1f us, eRPC %.1f us (p99 %.1f us)\n" r.cluster r.rdma_read_us
+      r.erpc_us r.erpc_p99_us
+  in
+  let samples =
+    Arg.(value & opt int 2_000 & info [ "samples" ] ~docv:"N" ~doc:"RPCs to measure.")
+  in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Table 2: median 32 B RPC vs RDMA-read latency")
+    Term.(const run $ cluster_arg `Cx5 $ nodes_arg $ samples)
+
+(* rate *)
+let rate_cmd =
+  let run cluster nodes batch window fasst =
+    let c = build_cluster ?nodes cluster in
+    let r =
+      if fasst then Experiments.Exp_small_rate.run_fasst ~cluster:c ~batch ()
+      else Experiments.Exp_small_rate.run ~cluster:c ~window ~batch ()
+    in
+    Printf.printf "%s B=%d: %.2f Mrps/thread (%d RPCs, %d retransmits)\n" c.name batch
+      r.per_thread_mrps r.total_rpcs r.retransmits
+  in
+  let batch = Arg.(value & opt int 3 & info [ "batch" ] ~docv:"B" ~doc:"Requests per batch.") in
+  let window =
+    Arg.(value & opt int 60 & info [ "window" ] ~docv:"N" ~doc:"Requests in flight per thread.")
+  in
+  let fasst =
+    Arg.(value & flag & info [ "fasst" ] ~doc:"Run the FaSST-like specialized baseline.")
+  in
+  Cmd.v
+    (Cmd.info "rate" ~doc:"Figure 4: single-core small-RPC rate")
+    Term.(const run $ cluster_arg `Cx4 $ nodes_arg $ batch $ window $ fasst)
+
+(* bandwidth *)
+let bandwidth_cmd =
+  let run req_size credits loss requests =
+    let p = Experiments.Exp_bandwidth.erpc_goodput ~credits ~requests ~loss ~req_size () in
+    Printf.printf "%d-byte requests: %.1f Gbps (%d retransmissions)\n" req_size p.goodput_gbps
+      p.retransmits
+  in
+  let req_size =
+    Arg.(value & opt int (8 * 1024 * 1024) & info [ "size" ] ~docv:"BYTES" ~doc:"Request size.")
+  in
+  let credits =
+    Arg.(value & opt int 32 & info [ "credits" ] ~docv:"C" ~doc:"Session credits.")
+  in
+  let loss =
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Injected packet-loss rate.")
+  in
+  let requests =
+    Arg.(value & opt int 8 & info [ "requests" ] ~docv:"N" ~doc:"Requests to measure.")
+  in
+  Cmd.v
+    (Cmd.info "bandwidth" ~doc:"Figure 6 / Table 4: large-RPC goodput over 100 Gbps")
+    Term.(const run $ req_size $ credits $ loss $ requests)
+
+(* incast *)
+let incast_cmd =
+  let run degree credits cc dcqcn measure_ms =
+    let algo = if dcqcn then Erpc.Config.Dcqcn else Erpc.Config.Timely in
+    let r = Experiments.Exp_incast.run ~credits ~algo ~degree ~cc ~measure_ms () in
+    Printf.printf "%d-way incast (cc=%b%s): %.1f Gbps, RTT p50=%.0f us p99=%.0f us\n" r.degree
+      r.cc
+      (if dcqcn then ", DCQCN" else "")
+      r.total_gbps r.rtt_p50_us r.rtt_p99_us
+  in
+  let degree = Arg.(value & opt int 20 & info [ "degree" ] ~docv:"N" ~doc:"Incast degree.") in
+  let credits =
+    Arg.(value & opt int 32 & info [ "credits" ] ~docv:"C" ~doc:"Session credits.")
+  in
+  let cc =
+    Arg.(value & opt bool true & info [ "cc" ] ~docv:"BOOL" ~doc:"Enable congestion control.")
+  in
+  let dcqcn = Arg.(value & flag & info [ "dcqcn" ] ~doc:"Use DCQCN instead of Timely.") in
+  let measure =
+    Arg.(value & opt float 30.0 & info [ "measure-ms" ] ~docv:"MS" ~doc:"Measured window.")
+  in
+  Cmd.v
+    (Cmd.info "incast" ~doc:"Table 5: incast congestion control")
+    Term.(const run $ degree $ credits $ cc $ dcqcn $ measure)
+
+(* scalability *)
+let scalability_cmd =
+  let run nodes threads =
+    let r = Experiments.Exp_scalability.run ?nodes ~threads () in
+    Printf.printf
+      "T=%d: %.1f Mrps/node; latency p50=%.1f p99=%.1f p99.9=%.1f p99.99=%.1f us; retx/s=%.0f\n"
+      r.threads_per_node r.per_node_mrps r.lat_p50_us r.lat_p99_us r.lat_p999_us r.lat_p9999_us
+      r.retransmits_per_node_per_sec
+  in
+  let threads =
+    Arg.(value & opt int 1 & info [ "threads" ] ~docv:"T" ~doc:"Threads per node.")
+  in
+  Cmd.v
+    (Cmd.info "scalability" ~doc:"Figure 5: 100-node scalability")
+    Term.(const run $ nodes_arg $ threads)
+
+(* raft *)
+let raft_cmd =
+  let run samples =
+    let r = Experiments.Exp_raft.run ~samples () in
+    Printf.printf "replicated PUT: client p50=%.1f p99=%.1f us; leader commit p50=%.1f p99=%.1f us\n"
+      r.client_p50_us r.client_p99_us r.leader_p50_us r.leader_p99_us
+  in
+  let samples = Arg.(value & opt int 3_000 & info [ "samples" ] ~docv:"N" ~doc:"PUTs.") in
+  Cmd.v
+    (Cmd.info "raft" ~doc:"Table 6: 3-way replicated PUT latency (Raft over eRPC)")
+    Term.(const run $ samples)
+
+(* masstree *)
+let masstree_cmd =
+  let run workers =
+    let r = Experiments.Exp_masstree.run ~workers () in
+    Printf.printf "Masstree: %.1f M GET/s, GET p50=%.1f us p99=%.1f us, SCAN p99=%.1f us\n"
+      r.gets_per_sec_m r.get_p50_us r.get_p99_us r.scan_p99_us
+  in
+  let workers =
+    Arg.(value & opt bool true & info [ "workers" ] ~docv:"BOOL" ~doc:"Run scans in workers.")
+  in
+  Cmd.v
+    (Cmd.info "masstree" ~doc:"§7.2: Masstree over eRPC")
+    Term.(const run $ workers)
+
+(* rdma-scalability *)
+let rdma_cmd =
+  let run connections =
+    let r = Rdma.Read_rate.run ~connections () in
+    Printf.printf "%d connections: %.1f M reads/s (miss ratio %.2f)\n" r.connections r.rate_mops
+      r.miss_ratio
+  in
+  let conns =
+    Arg.(value & opt int 5_000 & info [ "connections" ] ~docv:"N" ~doc:"Connections per NIC.")
+  in
+  Cmd.v
+    (Cmd.info "rdma-scalability" ~doc:"Figure 1: RDMA read rate vs connection count")
+    Term.(const run $ conns)
+
+let () =
+  let info =
+    Cmd.info "erpc_sim" ~version:"1.0"
+      ~doc:"Run eRPC-reproduction experiments with open parameters"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            latency_cmd;
+            rate_cmd;
+            bandwidth_cmd;
+            incast_cmd;
+            scalability_cmd;
+            raft_cmd;
+            masstree_cmd;
+            rdma_cmd;
+          ]))

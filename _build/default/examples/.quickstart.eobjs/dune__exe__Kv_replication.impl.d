@@ -1,0 +1,1 @@
+examples/kv_replication.ml: Array Erpc Experiments Mica Printf Raft Sim Stats Transport Workload

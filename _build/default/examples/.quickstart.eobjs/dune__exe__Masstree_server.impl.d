@@ -1,0 +1,1 @@
+examples/masstree_server.ml: Erpc List Masstree Printf Sim Stats String Transport Workload

@@ -1,0 +1,1 @@
+examples/masstree_server.mli:

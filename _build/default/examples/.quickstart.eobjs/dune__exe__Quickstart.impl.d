@@ -1,0 +1,1 @@
+examples/quickstart.ml: Erpc Printf Sim String Transport

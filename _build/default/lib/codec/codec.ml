@@ -1,0 +1,241 @@
+exception Decode_error of string
+
+(* A codec is a size function plus writers/readers over a bytes buffer.
+   Writers return the next offset; readers return (value, next offset). *)
+type 'a t = {
+  size : 'a -> int;
+  write : bytes -> int -> 'a -> int;
+  read : bytes -> int -> 'a * int;
+}
+
+let fail msg = raise (Decode_error msg)
+
+let need b off n what =
+  if off < 0 || off + n > Bytes.length b then
+    fail (Printf.sprintf "truncated %s at offset %d (need %d, have %d)" what off n
+            (Bytes.length b - off))
+
+let u8 =
+  {
+    size = (fun _ -> 1);
+    write =
+      (fun b off v ->
+        if v < 0 || v > 0xFF then invalid_arg "Codec.u8: out of range";
+        Bytes.set_uint8 b off v;
+        off + 1);
+    read =
+      (fun b off ->
+        need b off 1 "u8";
+        (Bytes.get_uint8 b off, off + 1));
+  }
+
+let u16 =
+  {
+    size = (fun _ -> 2);
+    write =
+      (fun b off v ->
+        if v < 0 || v > 0xFFFF then invalid_arg "Codec.u16: out of range";
+        Bytes.set_uint16_le b off v;
+        off + 2);
+    read =
+      (fun b off ->
+        need b off 2 "u16";
+        (Bytes.get_uint16_le b off, off + 2));
+  }
+
+let u32 =
+  {
+    size = (fun _ -> 4);
+    write =
+      (fun b off v ->
+        if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.u32: out of range";
+        Bytes.set_int32_le b off (Int32.of_int v);
+        off + 4);
+    read =
+      (fun b off ->
+        need b off 4 "u32";
+        (Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF, off + 4));
+  }
+
+let u64 =
+  {
+    size = (fun _ -> 8);
+    write =
+      (fun b off v ->
+        Bytes.set_int64_le b off (Int64.of_int v);
+        off + 8);
+    read =
+      (fun b off ->
+        need b off 8 "u64";
+        (Int64.to_int (Bytes.get_int64_le b off), off + 8));
+  }
+
+let bool =
+  {
+    size = (fun _ -> 1);
+    write =
+      (fun b off v ->
+        Bytes.set_uint8 b off (if v then 1 else 0);
+        off + 1);
+    read =
+      (fun b off ->
+        need b off 1 "bool";
+        (match Bytes.get_uint8 b off with
+        | 0 -> (false, off + 1)
+        | 1 -> (true, off + 1)
+        | n -> fail (Printf.sprintf "invalid bool byte %d" n)));
+  }
+
+let fixed_string n =
+  {
+    size = (fun _ -> n);
+    write =
+      (fun b off s ->
+        if String.length s <> n then
+          invalid_arg (Printf.sprintf "Codec.fixed_string: expected %d bytes, got %d" n
+                         (String.length s));
+        Bytes.blit_string s 0 b off n;
+        off + n);
+    read =
+      (fun b off ->
+        need b off n "fixed_string";
+        (Bytes.sub_string b off n, off + n));
+  }
+
+let string =
+  {
+    size = (fun s -> 4 + String.length s);
+    write =
+      (fun b off s ->
+        let off = u32.write b off (String.length s) in
+        Bytes.blit_string s 0 b off (String.length s);
+        off + String.length s);
+    read =
+      (fun b off ->
+        let n, off = u32.read b off in
+        need b off n "string body";
+        (Bytes.sub_string b off n, off + n));
+  }
+
+let pair a b =
+  {
+    size = (fun (x, y) -> a.size x + b.size y);
+    write =
+      (fun buf off (x, y) ->
+        let off = a.write buf off x in
+        b.write buf off y);
+    read =
+      (fun buf off ->
+        let x, off = a.read buf off in
+        let y, off = b.read buf off in
+        ((x, y), off));
+  }
+
+let triple a b c =
+  {
+    size = (fun (x, y, z) -> a.size x + b.size y + c.size z);
+    write =
+      (fun buf off (x, y, z) ->
+        let off = a.write buf off x in
+        let off = b.write buf off y in
+        c.write buf off z);
+    read =
+      (fun buf off ->
+        let x, off = a.read buf off in
+        let y, off = b.read buf off in
+        let z, off = c.read buf off in
+        ((x, y, z), off));
+  }
+
+let list elt =
+  {
+    size = (fun xs -> 4 + List.fold_left (fun acc x -> acc + elt.size x) 0 xs);
+    write =
+      (fun buf off xs ->
+        let off = u32.write buf off (List.length xs) in
+        List.fold_left (fun off x -> elt.write buf off x) off xs);
+    read =
+      (fun buf off ->
+        let n, off = u32.read buf off in
+        let rec go acc off i =
+          if i = 0 then (List.rev acc, off)
+          else
+            let x, off = elt.read buf off in
+            go (x :: acc) off (i - 1)
+        in
+        go [] off n);
+  }
+
+let option elt =
+  {
+    size = (fun v -> match v with None -> 1 | Some x -> 1 + elt.size x);
+    write =
+      (fun buf off v ->
+        match v with
+        | None -> bool.write buf off false
+        | Some x ->
+            let off = bool.write buf off true in
+            elt.write buf off x);
+    read =
+      (fun buf off ->
+        let present, off = bool.read buf off in
+        if present then
+          let x, off = elt.read buf off in
+          (Some x, off)
+        else (None, off));
+  }
+
+let array elt =
+  let as_list = list elt in
+  {
+    size = (fun a -> as_list.size (Array.to_list a));
+    write = (fun buf off a -> as_list.write buf off (Array.to_list a));
+    read =
+      (fun buf off ->
+        let xs, off = as_list.read buf off in
+        (Array.of_list xs, off));
+  }
+
+let map ~into ~from c =
+  {
+    size = (fun v -> c.size (from v));
+    write = (fun buf off v -> c.write buf off (from v));
+    read =
+      (fun buf off ->
+        let x, off = c.read buf off in
+        (into x, off));
+  }
+
+let size c v = c.size v
+
+let to_bytes c v =
+  let b = Bytes.create (c.size v) in
+  let final = c.write b 0 v in
+  assert (final = Bytes.length b);
+  b
+
+let of_bytes c b =
+  let v, _ = c.read b 0 in
+  v
+
+let write c msgbuf v =
+  let n = c.size v in
+  Erpc.Msgbuf.resize msgbuf n;
+  (* Encode into the msgbuf's storage directly. *)
+  let b = Erpc.Msgbuf.unsafe_bytes msgbuf in
+  let off0 = Erpc.Msgbuf.unsafe_offset msgbuf in
+  if Erpc.Msgbuf.owner msgbuf = Erpc.Msgbuf.Owned_by_erpc && not (Erpc.Msgbuf.is_view msgbuf)
+  then invalid_arg "Codec.write: msgbuf is in flight";
+  ignore (c.write b off0 v)
+
+let read c msgbuf =
+  let n = Erpc.Msgbuf.size msgbuf in
+  (* Reads must not run past the message even if the backing buffer is
+     larger. *)
+  let data = Bytes.of_string (Erpc.Msgbuf.read_string msgbuf ~off:0 ~len:n) in
+  of_bytes c data
+
+let alloc_and_write c v =
+  let m = Erpc.Msgbuf.alloc ~max_size:(c.size v) in
+  write c m v;
+  m

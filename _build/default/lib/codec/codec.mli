@@ -1,0 +1,65 @@
+(** Typed marshalling on top of eRPC msgbufs.
+
+    The paper deliberately keeps eRPC's API at the level of opaque
+    DMA-capable buffers: "a library that provides marshalling and
+    unmarshalling can be used as a layer on top of eRPC" (§3.1). This is
+    that layer: composable codecs with exact wire sizes, writing directly
+    into msgbufs (no intermediate buffer, preserving the zero-copy story).
+
+    Encoding is little-endian and length-prefixed for variable-size data.
+    [read] validates bounds and raises [Decode_error] on malformed or
+    truncated input. *)
+
+exception Decode_error of string
+
+type 'a t
+
+(** {2 Primitives} *)
+
+val u8 : int t
+val u16 : int t
+val u32 : int t
+val u64 : int t
+val bool : bool t
+
+(** Fixed-width byte string (no length prefix). *)
+val fixed_string : int -> string t
+
+(** Length-prefixed (u32) variable string. *)
+val string : string t
+
+(** {2 Combinators} *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+(** u32-count-prefixed list. *)
+val list : 'a t -> 'a list t
+
+val option : 'a t -> 'a option t
+val array : 'a t -> 'a array t
+
+(** [map ~into ~from c] builds a codec for a richer type from codec [c]. *)
+val map : into:('a -> 'b) -> from:('b -> 'a) -> 'a t -> 'b t
+
+(** {2 Sizes} *)
+
+(** Exact encoded size of a value. *)
+val size : 'a t -> 'a -> int
+
+(** {2 Msgbuf I/O} *)
+
+(** [write c msgbuf v] resizes [msgbuf] to the encoded size and writes [v]
+    at offset 0. Raises if the buffer is too small or in flight. *)
+val write : 'a t -> Erpc.Msgbuf.t -> 'a -> unit
+
+(** [read c msgbuf] decodes a value from offset 0. *)
+val read : 'a t -> Erpc.Msgbuf.t -> 'a
+
+(** [alloc_and_write c v] allocates an exactly-sized msgbuf holding [v]. *)
+val alloc_and_write : 'a t -> 'a -> Erpc.Msgbuf.t
+
+(** {2 Raw I/O (for tests and non-msgbuf uses)} *)
+
+val to_bytes : 'a t -> 'a -> bytes
+val of_bytes : 'a t -> bytes -> 'a

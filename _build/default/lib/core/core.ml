@@ -1,0 +1,16 @@
+(* The paper's primary contribution lives in [lib/erpc]; this module is a
+   stable alias so the conventional [Core] entry point resolves to it. *)
+
+module Fabric = Erpc.Fabric
+module Nexus = Erpc.Nexus
+module Rpc = Erpc.Rpc
+module Msgbuf = Erpc.Msgbuf
+module Req_handle = Erpc.Req_handle
+module Session = Erpc.Session
+module Config = Erpc.Config
+module Pkthdr = Erpc.Pkthdr
+module Timely = Erpc.Timely
+module Dcqcn = Erpc.Dcqcn
+module Cc = Erpc.Cc
+module Wheel = Erpc.Wheel
+module Err = Erpc.Err

@@ -1,0 +1,18 @@
+(** Entry point to the reproduction's primary contribution: the eRPC
+    library (paper §3-§5). Aliases the [Erpc] library's public modules —
+    see {!Erpc.Rpc} for the endpoint API and the repository README for a
+    quickstart. *)
+
+module Fabric = Erpc.Fabric
+module Nexus = Erpc.Nexus
+module Rpc = Erpc.Rpc
+module Msgbuf = Erpc.Msgbuf
+module Req_handle = Erpc.Req_handle
+module Session = Erpc.Session
+module Config = Erpc.Config
+module Pkthdr = Erpc.Pkthdr
+module Timely = Erpc.Timely
+module Dcqcn = Erpc.Dcqcn
+module Cc = Erpc.Cc
+module Wheel = Erpc.Wheel
+module Err = Erpc.Err

@@ -1,0 +1,1 @@
+lib/erpc/cc.ml: Config Dcqcn Timely

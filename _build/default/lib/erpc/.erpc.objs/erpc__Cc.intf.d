@@ -1,0 +1,1 @@
+lib/erpc/cc.mli: Config Dcqcn Sim Timely

@@ -1,0 +1,1 @@
+lib/erpc/config.ml: Transport

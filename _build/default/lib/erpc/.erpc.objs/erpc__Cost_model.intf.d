@@ -1,0 +1,1 @@
+lib/erpc/cost_model.mli: Transport

@@ -1,0 +1,1 @@
+lib/erpc/dcqcn.ml: Config Float Sim

@@ -1,0 +1,1 @@
+lib/erpc/dcqcn.mli: Config Sim

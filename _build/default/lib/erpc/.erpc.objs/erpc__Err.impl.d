@@ -1,0 +1,1 @@
+lib/erpc/err.ml: Format

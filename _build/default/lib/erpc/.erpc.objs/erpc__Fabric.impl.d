@@ -1,0 +1,1 @@
+lib/erpc/fabric.ml: Config Cost_model Hashtbl List Netsim Printf Sim Sm Transport

@@ -1,0 +1,1 @@
+lib/erpc/fabric.mli: Config Cost_model Netsim Sim Sm Transport

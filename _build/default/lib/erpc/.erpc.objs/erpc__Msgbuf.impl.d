@@ -1,0 +1,1 @@
+lib/erpc/msgbuf.ml: Bytes Int32 Int64 Printf String

@@ -1,0 +1,1 @@
+lib/erpc/nexus.ml: Array Fabric Hashtbl Netsim Printf Queue Req_handle Sim Wire

@@ -1,0 +1,1 @@
+lib/erpc/nexus.mli: Fabric Netsim Req_handle Sim

@@ -1,0 +1,1 @@
+lib/erpc/pkthdr.ml: Format

@@ -1,0 +1,1 @@
+lib/erpc/req_handle.mli: Msgbuf

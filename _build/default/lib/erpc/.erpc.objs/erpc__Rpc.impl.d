@@ -1,0 +1,1 @@
+lib/erpc/rpc.ml: Array Bytes Cc Config Cost_model Err Fabric List Msgbuf Netsim Nexus Nic Pkthdr Printf Queue Req_handle Session Sim Sm Stdlib Wheel Wire

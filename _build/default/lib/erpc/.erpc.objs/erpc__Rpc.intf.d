@@ -1,0 +1,1 @@
+lib/erpc/rpc.mli: Config Err Msgbuf Nexus Nic Session Sim

@@ -1,0 +1,1 @@
+lib/erpc/session.ml: Array Cc Err Msgbuf Queue Sim

@@ -1,0 +1,1 @@
+lib/erpc/session.mli: Cc Err Msgbuf Queue Sim

@@ -1,0 +1,1 @@
+lib/erpc/sm.ml: Format

@@ -1,0 +1,1 @@
+lib/erpc/timely.ml: Config Float

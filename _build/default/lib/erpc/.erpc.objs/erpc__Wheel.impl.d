@@ -1,0 +1,1 @@
+lib/erpc/wheel.ml: Array Queue

@@ -1,0 +1,1 @@
+lib/erpc/wire.ml: Bytes Netsim Pkthdr

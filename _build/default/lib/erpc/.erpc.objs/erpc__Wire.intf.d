@@ -1,0 +1,1 @@
+lib/erpc/wire.mli: Netsim Pkthdr

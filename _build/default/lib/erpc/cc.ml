@@ -1,0 +1,33 @@
+type t = Timely_cc of Timely.t | Dcqcn_cc of Dcqcn.t
+
+let create ?phase (cc : Config.cc) ~link_gbps =
+  match cc.algo with
+  | Config.Timely -> Timely_cc (Timely.create ?phase cc ~link_gbps)
+  | Config.Dcqcn -> Dcqcn_cc (Dcqcn.create cc ~link_gbps)
+
+let rate_bps = function
+  | Timely_cc t -> Timely.rate_bps t
+  | Dcqcn_cc d -> Dcqcn.rate_bps d
+
+let uncongested = function
+  | Timely_cc t -> Timely.uncongested t
+  | Dcqcn_cc d -> Dcqcn.uncongested d
+
+let on_sample t ~rtt_ns ~marked ~now_ns =
+  match t with
+  | Timely_cc tl -> Timely.update tl ~sample_rtt_ns:rtt_ns
+  | Dcqcn_cc d -> Dcqcn.on_ack d ~marked ~now_ns
+
+let pacing_delay_ns t ~bytes =
+  match t with
+  | Timely_cc tl -> Timely.pacing_delay_ns tl ~bytes
+  | Dcqcn_cc d -> Dcqcn.pacing_delay_ns d ~bytes
+
+let bypassable t ~rtt_ns ~marked ~t_low_ns =
+  match t with
+  | Timely_cc tl -> Timely.uncongested tl && rtt_ns < t_low_ns
+  | Dcqcn_cc d -> Dcqcn.uncongested d && not marked
+
+let updates = function
+  | Timely_cc t -> Timely.updates t
+  | Dcqcn_cc d -> Dcqcn.cuts d

@@ -1,0 +1,118 @@
+type opts = {
+  batched_timestamps : bool;
+  timely_bypass : bool;
+  rate_limiter_bypass : bool;
+  multi_packet_rq : bool;
+  preallocated_responses : bool;
+  zero_copy_rx : bool;
+  congestion_control : bool;
+  cumulative_crs : bool;
+}
+
+let all_opts_on =
+  {
+    batched_timestamps = true;
+    timely_bypass = true;
+    rate_limiter_bypass = true;
+    multi_packet_rq = true;
+    preallocated_responses = true;
+    zero_copy_rx = true;
+    congestion_control = true;
+    cumulative_crs = false;
+  }
+
+type cc_algo = Timely | Dcqcn
+
+type cc = {
+  algo : cc_algo;
+  t_low_ns : int;
+  t_high_ns : int;
+  min_rtt_ns : int;
+  ewma_alpha : float;
+  beta : float;
+  add_rate_bps : float;
+  min_rate_bps : float;
+  hai_thresh : int;
+  samples_per_update : int;
+  dcqcn_g : float;
+  dcqcn_rai_bps : float;
+  dcqcn_alpha_timer_ns : int;
+  dcqcn_increase_timer_ns : int;
+  dcqcn_cnp_interval_ns : int;
+  dcqcn_fast_recovery : int;
+}
+
+let default_cc ~min_rtt_ns =
+  {
+    algo = Timely;
+    t_low_ns = 50_000;
+    t_high_ns = 1_000_000;
+    min_rtt_ns;
+    ewma_alpha = 0.46;
+    beta = 0.26;
+    add_rate_bps = 50e6;
+    min_rate_bps = 30e6;
+    hai_thresh = 5;
+    samples_per_update = 8;
+    (* DCQCN parameters from Zhu et al. (SIGCOMM '15). *)
+    dcqcn_g = 1. /. 16.;
+    dcqcn_rai_bps = 100e6;
+    dcqcn_alpha_timer_ns = 55_000;
+    dcqcn_increase_timer_ns = 55_000;
+    dcqcn_cnp_interval_ns = 50_000;
+    dcqcn_fast_recovery = 5;
+  }
+
+type t = {
+  mtu : int;
+  max_msg_size : int;
+  wire_overhead : int;
+  session_credits : int;
+  req_window : int;
+  rx_batch : int;
+  tx_batch : int;
+  rto_ns : int;
+  cr_stride : int;
+  wheel_slot_ns : int;
+  wheel_num_slots : int;
+  sm_latency_ns : int;
+  sm_failure_timeout_ns : int;
+  opts : opts;
+  cc : cc;
+}
+
+let of_cluster ?credits (cluster : Transport.Cluster.t) =
+  let credits =
+    match credits with Some c -> c | None -> Transport.Cluster.default_credits cluster
+  in
+  (* Base RTT estimate: small-packet round trip between two hosts. Timely
+     only needs the order of magnitude to normalize gradients. *)
+  let min_rtt_ns =
+    (* Base network RTT between hosts under different ToRs (the worst-case
+       uncongested path): NIC crossings, cables, and up to three switch
+       hops each way. ~6 us on the CX4 profile, matching the paper. *)
+    let hop =
+      cluster.nic_config.tx_latency_ns + cluster.nic_config.rx_latency_ns
+      + (cluster.nic_config.rx_jitter_ns / 2)
+      + (4 * cluster.net_config.cable_ns)
+      + (2 * cluster.net_config.switch_latency_ns)
+    in
+    2 * hop
+  in
+  {
+    mtu = cluster.mtu;
+    max_msg_size = 8 * 1024 * 1024;
+    wire_overhead = cluster.wire_overhead;
+    session_credits = credits;
+    req_window = 8;
+    rx_batch = 32;
+    tx_batch = 32;
+    rto_ns = 5_000_000;
+    cr_stride = 4;
+    wheel_slot_ns = 1_000;
+    wheel_num_slots = 16_384;
+    sm_latency_ns = 50_000;
+    sm_failure_timeout_ns = 5_000_000;
+    opts = all_opts_on;
+    cc = default_cc ~min_rtt_ns;
+  }

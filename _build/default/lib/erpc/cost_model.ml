@@ -1,0 +1,52 @@
+type t = {
+  scale : float;
+  loop_overhead : int;
+  rx_pkt : int;
+  tx_data_pkt : int;
+  tx_ctrl_pkt : int;
+  rdtsc : int;
+  timely_update : int;
+  wheel_insert : int;
+  wheel_poll_pkt : int;
+  dyn_alloc : int;
+  memcpy_fixed : int;
+  memcpy_per_256b : int;
+  handler_dispatch : int;
+  continuation : int;
+  worker_handoff : int;
+  enqueue_request : int;
+  credit_logic : int;
+  cc_check : int;
+}
+
+let default =
+  {
+    scale = 1.0;
+    loop_overhead = 20;
+    rx_pkt = 28;
+    tx_data_pkt = 30;
+    tx_ctrl_pkt = 22;
+    rdtsc = 8;
+    timely_update = 15;
+    wheel_insert = 7;
+    wheel_poll_pkt = 4;
+    dyn_alloc = 35;
+    memcpy_fixed = 11;
+    memcpy_per_256b = 27;
+    handler_dispatch = 16;
+    continuation = 14;
+    worker_handoff = 200;
+    enqueue_request = 20;
+    credit_logic = 4;
+    cc_check = 6;
+  }
+
+let scaled t ns = int_of_float (ceil (t.scale *. float_of_int ns))
+
+(* Small copies are cache-resident and cost only the fixed term; chunks
+   beyond the first 256 B pay memory bandwidth. *)
+let memcpy_cost t bytes =
+  if bytes <= 0 then 0
+  else scaled t (t.memcpy_fixed + (t.memcpy_per_256b * (((bytes + 255) / 256) - 1)))
+
+let for_cluster (cluster : Transport.Cluster.t) = { default with scale = cluster.cpu_scale }

@@ -1,0 +1,48 @@
+(** Modeled CPU costs of eRPC's datapath, in nanoseconds.
+
+    The simulation charges these to the owning thread's {!Sim.Cpu}
+    timeline; a dispatch thread therefore saturates at the reciprocal of
+    its per-RPC cost, which is what makes single-core message-rate
+    experiments (Fig 4, Table 3) meaningful. Each common-case optimization
+    in {!Config.opts} adds or removes specific terms, so the factor
+    analysis is emergent rather than hard-coded.
+
+    Values are calibrated (see bench/table3) so the CX4 baseline lands at
+    the paper's 4.96 Mrps per thread; other clusters scale all costs by
+    their [cpu_scale]. *)
+
+type t = {
+  scale : float;  (** cluster CPU-speed multiplier *)
+  loop_overhead : int;  (** per event-loop activation *)
+  rx_pkt : int;  (** poll + header parse + sslot bookkeeping per packet *)
+  tx_data_pkt : int;  (** build + post one data packet descriptor *)
+  tx_ctrl_pkt : int;  (** build + post a 16 B CR/RFR *)
+  rdtsc : int;  (** one timestamp read (8 ns on the paper's hardware) *)
+  timely_update : int;  (** rate computation from one RTT sample *)
+  wheel_insert : int;  (** rate-limiter enqueue *)
+  wheel_poll_pkt : int;  (** rate-limiter dequeue + transmit handoff *)
+  dyn_alloc : int;  (** dynamic msgbuf allocation *)
+  memcpy_fixed : int;
+  memcpy_per_256b : int;  (** copy cost per 256 B chunk beyond the first *)
+  handler_dispatch : int;  (** invoke a dispatch-mode request handler *)
+  continuation : int;  (** invoke a client continuation *)
+  worker_handoff : int;  (** one direction of dispatch<->worker queueing *)
+  enqueue_request : int;  (** client-side request admission *)
+  credit_logic : int;  (** per-packet credit/flow-control bookkeeping *)
+  cc_check : int;
+      (** per-packet congestion-control bookkeeping that remains even when
+          the bypass optimizations hit (uncongested/bypass predicates);
+          disabling CC entirely removes it — the paper's 9% total CC
+          overhead (§6.2) *)
+}
+
+val default : t
+
+(** Apply the cluster scale to a cost. *)
+val scaled : t -> int -> int
+
+(** Cost of copying [bytes] bytes. *)
+val memcpy_cost : t -> int -> int
+
+(** Profile for a cluster: [default] with the profile's [cpu_scale]. *)
+val for_cluster : Transport.Cluster.t -> t

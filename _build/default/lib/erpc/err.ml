@@ -1,0 +1,7 @@
+type t = Server_failure | Session_error of string
+
+let to_string = function
+  | Server_failure -> "server failure"
+  | Session_error s -> "session error: " ^ s
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

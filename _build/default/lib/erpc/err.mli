@@ -1,0 +1,8 @@
+(** Errors delivered to client continuations and session callbacks. *)
+
+type t =
+  | Server_failure  (** remote node declared failed (Appendix B) *)
+  | Session_error of string  (** connect refused / session torn down *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type t = {
+  engine : Sim.Engine.t;
+  cluster : Transport.Cluster.t;
+  net : Netsim.Network.t;
+  cfg : Config.t;
+  cost : Cost_model.t;
+  sm_sinks : (int * int, Sm.msg -> unit) Hashtbl.t;
+  dead_hosts : (int, unit) Hashtbl.t;
+  mutable failure_watchers : (int -> unit) list;
+  mutable kill_watchers : (int -> unit) list;
+}
+
+let create ?(seed = 42L) ?config ?cost cluster =
+  let engine = Sim.Engine.create ~seed () in
+  let net = Transport.Cluster.build engine cluster in
+  let cfg = match config with Some c -> c | None -> Config.of_cluster cluster in
+  let cost = match cost with Some c -> c | None -> Cost_model.for_cluster cluster in
+  {
+    engine;
+    cluster;
+    net;
+    cfg;
+    cost;
+    sm_sinks = Hashtbl.create 64;
+    dead_hosts = Hashtbl.create 8;
+    failure_watchers = [];
+    kill_watchers = [];
+  }
+
+let engine t = t.engine
+let cluster t = t.cluster
+let net t = t.net
+let config t = t.cfg
+let cost t = t.cost
+
+let register_sm t ~host ~rpc_id sink =
+  if Hashtbl.mem t.sm_sinks (host, rpc_id) then
+    invalid_arg (Printf.sprintf "Fabric: duplicate Rpc id %d on host %d" rpc_id host);
+  Hashtbl.replace t.sm_sinks (host, rpc_id) sink
+
+let host_dead t host = Hashtbl.mem t.dead_hosts host
+
+let send_sm t ~dst_host ~dst_rpc msg =
+  Sim.Engine.schedule_after t.engine t.cfg.sm_latency_ns (fun () ->
+      if not (host_dead t dst_host) then
+        match Hashtbl.find_opt t.sm_sinks (dst_host, dst_rpc) with
+        | Some sink -> sink msg
+        | None -> ())
+
+let on_host_failure t f = t.failure_watchers <- f :: t.failure_watchers
+let on_host_killed t f = t.kill_watchers <- f :: t.kill_watchers
+
+let kill_host t host =
+  if not (host_dead t host) then begin
+    Hashtbl.replace t.dead_hosts host ();
+    List.iter (fun f -> f host) t.kill_watchers;
+    Sim.Engine.schedule_after t.engine t.cfg.sm_failure_timeout_ns (fun () ->
+        List.iter (fun f -> f host) t.failure_watchers)
+  end

@@ -1,0 +1,41 @@
+(** The simulated deployment: one engine, one cluster profile, one network,
+    shared eRPC configuration, plus the out-of-band session-management
+    plane and failure injection.
+
+    Experiments create a fabric, then one {!Nexus} per host and {!Rpc}s per
+    thread. Killing a host silences it immediately; every other host learns
+    of the failure after the management-plane detection timeout, upon which
+    Rpcs fail their pending requests with {!Err.Server_failure} (paper
+    Appendix B). *)
+
+type t
+
+val create :
+  ?seed:int64 -> ?config:Config.t -> ?cost:Cost_model.t -> Transport.Cluster.t -> t
+
+val engine : t -> Sim.Engine.t
+val cluster : t -> Transport.Cluster.t
+val net : t -> Netsim.Network.t
+val config : t -> Config.t
+val cost : t -> Cost_model.t
+
+(** {2 Session-management plane} *)
+
+val register_sm : t -> host:int -> rpc_id:int -> (Sm.msg -> unit) -> unit
+
+(** Deliver an SM message after the configured SM latency. Messages to dead
+    hosts vanish. *)
+val send_sm : t -> dst_host:int -> dst_rpc:int -> Sm.msg -> unit
+
+(** {2 Failure injection} *)
+
+(** [on_host_failure t f] registers [f], called with the failed host id
+    once the failure is detected (after [sm_failure_timeout_ns]). *)
+val on_host_failure : t -> (int -> unit) -> unit
+
+(** [on_host_killed t f] registers [f], called synchronously when a host is
+    killed — used by the victim itself to stop executing. *)
+val on_host_killed : t -> (int -> unit) -> unit
+
+val kill_host : t -> int -> unit
+val host_dead : t -> int -> bool

@@ -1,0 +1,99 @@
+type handler_mode = Dispatch | Worker
+type handler = Req_handle.t -> unit
+
+type worker = {
+  cpu : Sim.Cpu.t;
+  jobs : (Sim.Cpu.t -> unit) Queue.t;
+  mutable running : bool;
+  mutable inflight : int;  (* submitted jobs whose charged work has not finished *)
+}
+
+type t = {
+  fabric : Fabric.t;
+  host : int;
+  handlers : (int, handler_mode * handler) Hashtbl.t;
+  workers : worker array;
+  rx_routes : (int, Netsim.Packet.t -> unit) Hashtbl.t;
+  mutable dead : bool;
+}
+
+let create fabric ~host ?(num_workers = 1) () =
+  let engine = Fabric.engine fabric in
+  let t =
+    {
+      fabric;
+      host;
+      handlers = Hashtbl.create 16;
+      workers =
+        Array.init num_workers (fun i ->
+            {
+              cpu = Sim.Cpu.create engine ~name:(Printf.sprintf "h%d-worker%d" host i);
+              jobs = Queue.create ();
+              running = false;
+              inflight = 0;
+            });
+      rx_routes = Hashtbl.create 8;
+      dead = false;
+    }
+  in
+  Netsim.Network.attach (Fabric.net fabric) ~host ~rx:(fun pkt ->
+      if not t.dead then
+        match pkt.Netsim.Packet.body with
+        | Wire.Pkt { dst_rpc; _ } -> (
+            match Hashtbl.find_opt t.rx_routes dst_rpc with
+            | Some rx -> rx pkt
+            | None -> ())
+        | _ -> ());
+  Fabric.on_host_killed fabric (fun h -> if h = host then t.dead <- true);
+  t
+
+let fabric t = t.fabric
+let host t = t.host
+let dead t = t.dead
+
+let register_handler t ~req_type ~mode handler =
+  if Hashtbl.mem t.handlers req_type then
+    invalid_arg (Printf.sprintf "Nexus.register_handler: req_type %d already registered" req_type);
+  Hashtbl.replace t.handlers req_type (mode, handler)
+
+let handler t req_type = Hashtbl.find_opt t.handlers req_type
+
+let register_rx t ~rpc_id ~rx =
+  if Hashtbl.mem t.rx_routes rpc_id then
+    invalid_arg (Printf.sprintf "Nexus.register_rx: Rpc id %d already exists on host %d" rpc_id t.host);
+  Hashtbl.replace t.rx_routes rpc_id rx
+
+let rec drain_worker t w =
+  match Queue.take_opt w.jobs with
+  | None -> w.running <- false
+  | Some job ->
+      let engine = Fabric.engine t.fabric in
+      let start = Sim.Cpu.start_slice w.cpu in
+      Sim.Engine.schedule engine start (fun () ->
+          if not t.dead then job w.cpu;
+          (* The next job may begin once this one's charged work ends. *)
+          Sim.Engine.schedule engine (Sim.Cpu.next_free w.cpu) (fun () ->
+              w.inflight <- w.inflight - 1;
+              drain_worker t w))
+
+let submit_worker t job =
+  if Array.length t.workers = 0 then invalid_arg "Nexus.submit_worker: no worker threads";
+  let best = ref t.workers.(0) in
+  Array.iter
+    (fun w ->
+      let better =
+        w.inflight < !best.inflight
+        || (w.inflight = !best.inflight && Sim.Cpu.next_free w.cpu < Sim.Cpu.next_free !best.cpu)
+      in
+      if better then best := w)
+    t.workers;
+  let w = !best in
+  w.inflight <- w.inflight + 1;
+  Queue.add job w.jobs;
+  if not w.running then begin
+    w.running <- true;
+    drain_worker t w
+  end
+
+let num_workers t = Array.length t.workers
+let worker_cpu t i = t.workers.(i).cpu

@@ -1,0 +1,30 @@
+type pkt_type = Req | Cr | Rfr | Resp
+
+type t = {
+  req_type : int;
+  msg_size : int;
+  dest_session : int;
+  pkt_type : pkt_type;
+  pkt_num : int;
+  req_num : int;
+  ecn_echo : bool;
+}
+
+let size = 16
+
+let pkt_type_to_string = function
+  | Req -> "REQ"
+  | Cr -> "CR"
+  | Rfr -> "RFR"
+  | Resp -> "RESP"
+
+let pp fmt t =
+  Format.fprintf fmt "[%s rt=%d sess=%d req#%d pkt#%d sz=%d]" (pkt_type_to_string t.pkt_type)
+    t.req_type t.dest_session t.req_num t.pkt_num t.msg_size
+
+let data_bytes t ~mtu =
+  match t.pkt_type with
+  | Cr | Rfr -> 0
+  | Req | Resp ->
+      let offset = t.pkt_num * mtu in
+      if offset >= t.msg_size then 0 else min mtu (t.msg_size - offset)

@@ -1,0 +1,39 @@
+(** eRPC packet headers (paper §4.2.1, §5.1).
+
+    Every packet carries a 16 B header with the request handler type, total
+    message size, destination session, packet type and sequencing state.
+    Four packet types exist: request data, response data, credit return
+    (CR), and request-for-response (RFR). CRs and RFRs are header-only 16 B
+    packets. *)
+
+type pkt_type =
+  | Req  (** request data packet *)
+  | Cr  (** credit return: acks request packet [pkt_num] *)
+  | Rfr  (** request-for-response: asks for response packet [pkt_num] *)
+  | Resp  (** response data packet *)
+
+type t = {
+  req_type : int;  (** handler type registered at the server *)
+  msg_size : int;  (** total message bytes in this packet's direction *)
+  dest_session : int;  (** session number at the receiving endpoint *)
+  pkt_type : pkt_type;
+  pkt_num : int;
+      (** Req/Resp: index of this data packet within the message;
+          Cr: index of the request packet being acknowledged;
+          Rfr: index of the response packet being requested. *)
+  req_num : int;  (** per-slot request sequence number (at-most-once) *)
+  ecn_echo : bool;
+      (** server->client: the acknowledged client packet carried an ECN
+          mark (DCQCN's congestion notification, reflected by the
+          receiver) *)
+}
+
+(** Size of the eRPC header on the wire. *)
+val size : int
+
+val pkt_type_to_string : pkt_type -> string
+val pp : Format.formatter -> t -> unit
+
+(** Payload bytes carried by a data packet: [pkt_num]-th MTU-sized chunk of
+    an [msg_size]-byte message. Zero for CR/RFR. *)
+val data_bytes : t -> mtu:int -> int

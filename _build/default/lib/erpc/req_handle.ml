@@ -1,0 +1,31 @@
+type t = {
+  req_type : int;
+  req : Msgbuf.t;
+  mutable resp : Msgbuf.t option;
+  mutable responded : bool;
+  mutable charge_fn : int -> unit;
+  mutable init_resp_fn : int -> Msgbuf.t;
+  mutable enqueue_fn : t -> Msgbuf.t -> unit;
+}
+
+let get_request t = t.req
+
+let charge t ns = t.charge_fn ns
+
+let init_response t ~size = t.init_resp_fn size
+
+let enqueue_response t resp =
+  if t.responded then invalid_arg "Req_handle.enqueue_response: already responded";
+  t.responded <- true;
+  t.enqueue_fn t resp
+
+let make ~req_type ~req =
+  {
+    req_type;
+    req;
+    resp = None;
+    responded = false;
+    charge_fn = (fun _ -> ());
+    init_resp_fn = (fun size -> Msgbuf.alloc ~max_size:size);
+    enqueue_fn = (fun _ _ -> invalid_arg "Req_handle: enqueue_fn not installed");
+  }

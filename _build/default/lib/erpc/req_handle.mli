@@ -1,0 +1,34 @@
+(** Server-side handle passed to request handlers (paper §3.1).
+
+    A handler reads the request, obtains a response buffer with
+    [init_response] (eRPC transparently uses the slot's preallocated
+    MTU-sized msgbuf when the response fits, §4.3), models its compute time
+    with [charge], and calls [enqueue_response] — immediately, or later for
+    nested RPCs. The closures are installed by the owning {!Rpc} when the
+    handle is created. *)
+
+type t = {
+  req_type : int;
+  req : Msgbuf.t;
+  mutable resp : Msgbuf.t option;
+  mutable responded : bool;
+  mutable charge_fn : int -> unit;
+  mutable init_resp_fn : int -> Msgbuf.t;
+  mutable enqueue_fn : t -> Msgbuf.t -> unit;
+}
+
+val get_request : t -> Msgbuf.t
+
+(** Model [ns] of handler CPU work on the thread running the handler. *)
+val charge : t -> int -> unit
+
+(** Obtain a response buffer of [size] bytes. *)
+val init_response : t -> size:int -> Msgbuf.t
+
+(** Complete the RPC. May be called at most once, from a dispatch-thread
+    context (worker handlers route through the background queue
+    automatically). *)
+val enqueue_response : t -> Msgbuf.t -> unit
+
+(** Internal constructor used by {!Rpc}. *)
+val make : req_type:int -> req:Msgbuf.t -> t

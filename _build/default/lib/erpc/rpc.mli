@@ -1,0 +1,85 @@
+(** An Rpc endpoint: one user thread's RPC interface (paper §3.1).
+
+    Owns a dispatch-thread CPU timeline, NIC TX/RX queues, sessions, the
+    Timely/Carousel congestion-control machinery and the client-driven wire
+    protocol with go-back-N loss recovery. The "event loop" the paper's
+    user threads run is driven by the simulation: any arriving work wakes
+    the loop, which then runs activations back-to-back (charging modeled
+    CPU) until idle — equivalent to busy polling, without simulating empty
+    polls.
+
+    Guarantees reproduced from the paper:
+    - RPCs execute at most once (per-slot request numbers; duplicate and
+      reordered packets are dropped);
+    - msgbuf ownership: a request/response msgbuf returns to the
+      application exactly when its continuation runs, and never while a
+      reference might sit in the NIC DMA queue (TX flush on retransmission)
+      or the rate limiter (responses dropped while a retransmitted packet
+      is wheeled, Appendix C);
+    - sessions are limited so that per-session credits can never overflow
+      the receive queue: [sessions * credits <= rq_size]. *)
+
+type t
+
+val create : Nexus.t -> rpc_id:int -> t
+
+val id : t -> int
+val host : t -> int
+val nexus : t -> Nexus.t
+val cpu : t -> Sim.Cpu.t
+val config : t -> Config.t
+
+(** {2 Sessions} *)
+
+(** Start connecting to a remote Rpc. Raises if the session-credit budget
+    [rq_size / credits] is exhausted (paper §4.3.1). Requests may be
+    enqueued immediately; they are held until the handshake completes. *)
+val create_session :
+  t ->
+  remote_host:int ->
+  remote_rpc_id:int ->
+  ?on_connect:((unit, Err.t) result -> unit) ->
+  unit ->
+  Session.session
+
+val num_sessions : t -> int
+
+(** Tear down a connected client session (frees its credit budget on both
+    endpoints). Raises if any request is still outstanding. The session
+    reaches [Destroyed] once the server acknowledges. *)
+val destroy_session : t -> Session.session -> unit
+
+(** {2 Client API} *)
+
+(** Asynchronously issue an RPC on a session. [req]'s current size is the
+    request size; [resp] must be able to hold the response. Both msgbufs
+    pass to eRPC ownership until [cont] is invoked. *)
+val enqueue_request :
+  t ->
+  Session.session ->
+  req_type:int ->
+  req:Msgbuf.t ->
+  resp:Msgbuf.t ->
+  cont:((unit, Err.t) result -> unit) ->
+  unit
+
+(** {2 Statistics} *)
+
+val stat_rx_pkts : t -> int
+val stat_tx_pkts : t -> int
+val stat_retransmits : t -> int
+
+(** Client RPCs completed. *)
+val stat_completed : t -> int
+
+(** Server requests handled. *)
+val stat_handled : t -> int
+
+val stat_timely_updates : t -> int
+val stat_wheel_inserts : t -> int
+
+(** Install a probe invoked with every per-packet RTT sample (ns) measured
+    at this client — the paper's proxy for switch queue length (§6.5). *)
+val set_rtt_probe : t -> (int -> unit) -> unit
+
+val nic : t -> Nic.t

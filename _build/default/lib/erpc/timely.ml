@@ -1,0 +1,69 @@
+type t = {
+  cc : Config.cc;
+  max_rate_bps : float;
+  mutable rate_bps : float;
+  mutable prev_rtt : float;
+  mutable avg_rtt_diff : float;
+  mutable neg_gradient_count : int;
+  mutable updates : int;
+  mutable samples_since_update : int;
+}
+
+let create ?(phase = 0) cc ~link_gbps =
+  let max_rate = link_gbps *. 1e9 in
+  {
+    cc;
+    max_rate_bps = max_rate;
+    rate_bps = max_rate;
+    prev_rtt = float_of_int cc.min_rtt_ns;
+    avg_rtt_diff = 0.;
+    neg_gradient_count = 0;
+    updates = 0;
+    (* Stagger sessions' update cadence so the fleet does not apply
+       multiplicative decrease in lockstep. *)
+    samples_since_update = phase mod max 1 cc.samples_per_update;
+  }
+
+let rate_bps t = t.rate_bps
+let uncongested t = t.rate_bps >= t.max_rate_bps
+let updates t = t.updates
+
+let clamp t r = Float.min t.max_rate_bps (Float.max t.cc.min_rate_bps r)
+
+let rec update t ~sample_rtt_ns =
+  t.samples_since_update <- t.samples_since_update + 1;
+  if t.samples_since_update >= t.cc.samples_per_update then begin
+    t.samples_since_update <- 0;
+    run_update t ~sample_rtt_ns
+  end
+
+and run_update t ~sample_rtt_ns =
+  t.updates <- t.updates + 1;
+  let sample = float_of_int sample_rtt_ns in
+  let rtt_diff = sample -. t.prev_rtt in
+  t.prev_rtt <- sample;
+  if rtt_diff <= 0. then t.neg_gradient_count <- t.neg_gradient_count + 1
+  else t.neg_gradient_count <- 0;
+  t.avg_rtt_diff <-
+    ((1. -. t.cc.ewma_alpha) *. t.avg_rtt_diff) +. (t.cc.ewma_alpha *. rtt_diff);
+  let normalized_gradient = t.avg_rtt_diff /. float_of_int t.cc.min_rtt_ns in
+  let new_rate =
+    if sample_rtt_ns < t.cc.t_low_ns then t.rate_bps +. t.cc.add_rate_bps
+    else if sample_rtt_ns > t.cc.t_high_ns then
+      t.rate_bps *. (1. -. (t.cc.beta *. (1. -. (float_of_int t.cc.t_high_ns /. sample))))
+    else if normalized_gradient <= 0. then begin
+      (* Hyperactive increase after [hai_thresh] consecutive decreases in
+         RTT: recover bandwidth quickly once the queue drains. *)
+      let n = if t.neg_gradient_count >= t.cc.hai_thresh then 5. else 1. in
+      t.rate_bps +. (n *. t.cc.add_rate_bps)
+    end
+    else
+      (* One update cuts at most half, as in eRPC's Timely implementation. *)
+      t.rate_bps *. Float.max 0.5 (1. -. (t.cc.beta *. normalized_gradient))
+  in
+  t.rate_bps <- clamp t new_rate
+
+let pacing_delay_ns t ~bytes =
+  int_of_float (ceil (float_of_int (bytes * 8) /. t.rate_bps *. 1e9))
+
+let set_rate_bps t r = t.rate_bps <- clamp t r

@@ -1,0 +1,15 @@
+type Netsim.Packet.body += Pkt of { dst_rpc : int; hdr : Pkthdr.t; data : bytes }
+
+let make ~src_host ~dst_host ~dst_rpc ~wire_overhead ~flow ~hdr ?payload () =
+  let data =
+    match payload with
+    | None -> Bytes.empty
+    | Some (src, off, len) -> Bytes.sub src off len
+  in
+  let size_bytes = Bytes.length data + wire_overhead in
+  Netsim.Packet.make ~src:src_host ~dst:dst_host ~size_bytes ~flow_hash:flow
+    (Pkt { dst_rpc; hdr; data })
+
+let flow_hash ~src_host ~dst_host ~sn =
+  let h = (src_host * 1_000_003) + (dst_host * 7_919) + (sn * 131) in
+  h land max_int

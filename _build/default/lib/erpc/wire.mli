@@ -1,0 +1,26 @@
+(** eRPC's on-wire packet format over the datagram network.
+
+    [dst_rpc] plays the role of the UDP destination port used for NIC flow
+    steering to the right Rpc's receive queue. Data packets carry a copy of
+    the payload chunk (the "DMA read" happens at packet construction);
+    control packets (CR/RFR) carry none. *)
+
+type Netsim.Packet.body +=
+  | Pkt of { dst_rpc : int; hdr : Pkthdr.t; data : bytes }
+
+(** Build a wire packet. [payload], when given, is copied out of
+    [(bytes, off, len)]. The wire size is the payload length plus
+    [wire_overhead]. *)
+val make :
+  src_host:int ->
+  dst_host:int ->
+  dst_rpc:int ->
+  wire_overhead:int ->
+  flow:int ->
+  hdr:Pkthdr.t ->
+  ?payload:bytes * int * int ->
+  unit ->
+  Netsim.Packet.t
+
+(** Flow-hash for ECMP: all packets of a session take one path. *)
+val flow_hash : src_host:int -> dst_host:int -> sn:int -> int

@@ -1,0 +1,1 @@
+lib/experiments/exp_bandwidth.ml: Array Erpc Harness List Netsim Rdma Sim Transport

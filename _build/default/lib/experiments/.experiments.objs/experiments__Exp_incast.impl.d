@@ -1,0 +1,1 @@
+lib/experiments/exp_incast.ml: Array Erpc Harness List Netsim Sim Stats Transport

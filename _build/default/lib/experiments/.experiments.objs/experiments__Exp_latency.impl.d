@@ -1,0 +1,1 @@
+lib/experiments/exp_latency.ml: Array Erpc Harness Rdma Sim Stats Transport

@@ -1,0 +1,1 @@
+lib/experiments/exp_masstree.ml: Array Erpc Fun Harness List Masstree Sim Stats String Transport Workload

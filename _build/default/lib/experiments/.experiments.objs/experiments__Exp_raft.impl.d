@@ -1,0 +1,1 @@
+lib/experiments/exp_raft.ml: Array Erpc Harness Raft_kv Sim Stats String Transport Workload

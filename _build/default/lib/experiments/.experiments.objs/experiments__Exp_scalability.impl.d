@@ -1,0 +1,1 @@
+lib/experiments/exp_scalability.ml: Array Erpc Harness List Sim Stats Transport

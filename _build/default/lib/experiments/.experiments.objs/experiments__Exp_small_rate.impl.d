@@ -1,0 +1,1 @@
+lib/experiments/exp_small_rate.ml: Array Erpc Fun Harness List Sim Transport

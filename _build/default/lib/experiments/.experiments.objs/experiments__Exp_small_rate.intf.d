@@ -1,0 +1,1 @@
+lib/experiments/exp_small_rate.mli: Erpc Transport

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Array Erpc Fun List Sim Stats Transport

@@ -1,0 +1,1 @@
+lib/experiments/raft_kv.ml: Array Bytes Erpc Harness Hashtbl Lazy List Mica Raft Sim Stats String

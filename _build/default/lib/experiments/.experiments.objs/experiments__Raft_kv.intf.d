@@ -1,0 +1,1 @@
+lib/experiments/raft_kv.mli: Erpc Harness Mica Raft Stats

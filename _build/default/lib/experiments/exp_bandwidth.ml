@@ -1,0 +1,94 @@
+type point = {
+  req_size : int;
+  goodput_gbps : float;
+  retransmits : int;
+}
+
+let erpc_goodput ?(credits = 32) ?(requests = 8) ?(loss = 0.) ?seed ~req_size () =
+  let cluster = Transport.Cluster.cx5_ib100 () in
+  let config = Erpc.Config.of_cluster ~credits cluster in
+  let d =
+    Harness.deploy ?seed ~config cluster ~threads_per_host:1
+      ~register:(Harness.register_echo ~resp_size:32)
+  in
+  Netsim.Network.set_loss_prob (Erpc.Fabric.net d.fabric) loss;
+  let client = d.rpcs.(0).(0) in
+  let sess = Harness.connect d client ~remote_host:1 ~remote_rpc_id:0 in
+  let engine = Erpc.Fabric.engine d.fabric in
+  let req = Erpc.Msgbuf.alloc ~max_size:req_size in
+  let resp = Erpc.Msgbuf.alloc ~max_size:(max 32 req_size) in
+  let remaining = ref (requests + 1) (* one warmup *) in
+  let measured_from = ref Sim.Time.zero in
+  let finished_at = ref Sim.Time.zero in
+  let rec issue () =
+    if !remaining > 0 then begin
+      (* The measured window starts when the first post-warmup request is
+         issued. *)
+      if !remaining = requests then measured_from := Sim.Engine.now engine;
+      decr remaining;
+      Erpc.Rpc.enqueue_request client sess ~req_type:Harness.echo_req_type ~req ~resp
+        ~cont:(fun _ ->
+          finished_at := Sim.Engine.now engine;
+          issue ())
+    end
+  in
+  issue ();
+  (* 8 MB at worst-case Table 4 loss rates can take seconds of simulated
+     time per request. *)
+  let deadline = ref 2000 in
+  while !remaining > 0 && !deadline > 0 do
+    Harness.run_ms d 10.0;
+    decr deadline
+  done;
+  let elapsed = Sim.Time.sub !finished_at !measured_from in
+  let bits = float_of_int (req_size * 8 * requests) in
+  {
+    req_size;
+    goodput_gbps = (if elapsed <= 0 then 0. else bits /. float_of_int elapsed);
+    retransmits = Erpc.Rpc.stat_retransmits client;
+  }
+
+let rdma_write_goodput ?(requests = 8) ~req_size () =
+  let cluster = Transport.Cluster.cx5_ib100 () in
+  let engine = Sim.Engine.create () in
+  let net = Transport.Cluster.build engine cluster in
+  let cfg = Rdma.Qp.default_config cluster in
+  let ep0 = Rdma.Qp.create engine net ~host:0 cfg in
+  let _ep1 = Rdma.Qp.create engine net ~host:1 cfg in
+  let remaining = ref (requests + 1) in
+  let measured_from = ref Sim.Time.zero in
+  let finished_at = ref Sim.Time.zero in
+  let rec issue () =
+    if !remaining > 0 then begin
+      if !remaining = requests then measured_from := Sim.Engine.now engine;
+      decr remaining;
+      Rdma.Qp.post_write ep0 ~dst:1 ~len:req_size ~completion:(fun () ->
+          finished_at := Sim.Engine.now engine;
+          issue ())
+    end
+  in
+  issue ();
+  Sim.Engine.run engine;
+  let elapsed = Sim.Time.sub !finished_at !measured_from in
+  let bits = float_of_int (req_size * 8 * requests) in
+  {
+    req_size;
+    goodput_gbps = (if elapsed <= 0 then 0. else bits /. float_of_int elapsed);
+    retransmits = 0;
+  }
+
+let fig6 ?requests () =
+  let sizes =
+    [ 512; 2048; 8192; 32768; 131072; 524288; 2097152; 8388608 ]
+  in
+  List.map
+    (fun req_size ->
+      ( req_size,
+        erpc_goodput ?requests ~req_size (),
+        rdma_write_goodput ?requests ~req_size () ))
+    sizes
+
+let table4 ?(requests = 40) () =
+  List.map
+    (fun loss -> (loss, erpc_goodput ~requests ~loss ~req_size:(8 * 1024 * 1024) ()))
+    [ 1e-7; 1e-6; 1e-5; 1e-4; 1e-3 ]

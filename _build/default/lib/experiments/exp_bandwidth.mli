@@ -1,0 +1,28 @@
+(** Figure 6 (large-RPC goodput vs request size, eRPC vs RDMA write over
+    100 Gbps) and Table 4 (8 MB request throughput under injected packet
+    loss).
+
+    Setup mirrors §6.4: one client thread sends R-byte requests to one
+    server thread and keeps a single request outstanding; the server
+    replies with 32 B; 32 credits per session. *)
+
+type point = {
+  req_size : int;
+  goodput_gbps : float;
+  retransmits : int;
+}
+
+(** eRPC goodput for one request size. [requests] round trips are timed
+    after one warmup request. *)
+val erpc_goodput :
+  ?credits:int -> ?requests:int -> ?loss:float -> ?seed:int64 -> req_size:int -> unit -> point
+
+(** RDMA-write goodput for one request size (one outstanding write). *)
+val rdma_write_goodput : ?requests:int -> req_size:int -> unit -> point
+
+(** The Fig 6 sweep: powers of two from 0.5 kB to 8 MB. Returns
+    (size, eRPC, RDMA) triples. *)
+val fig6 : ?requests:int -> unit -> (int * point * point) list
+
+(** The Table 4 sweep: 8 MB requests at loss rates 1e-7 .. 1e-3. *)
+val table4 : ?requests:int -> unit -> (float * point) list

@@ -1,0 +1,131 @@
+type row = {
+  degree : int;
+  cc : bool;
+  total_gbps : float;
+  rtt_p50_us : float;
+  rtt_p99_us : float;
+}
+
+let victim = 0
+
+let setup ?seed ?(credits = 32) ?(algo = Erpc.Config.Timely) ~degree ~cc () =
+  (* Enough hosts for the victim plus [degree] clients; the CX4 profile
+     spreads them over 5 ToRs, so most flows cross the spine and converge
+     on the victim's ToR downlink. *)
+  let nodes = max 16 (degree + 1) in
+  let cluster = Transport.Cluster.cx4 ~nodes () in
+  (* DCQCN needs ECN-marking switches (the extension the paper could not
+     run, §5.2.1). *)
+  let cluster =
+    if algo = Erpc.Config.Dcqcn then
+      {
+        cluster with
+        net_config =
+          {
+            cluster.net_config with
+            ecn =
+              Some
+                { Netsim.Port.kmin_bytes = 50_000; kmax_bytes = 300_000; pmax = 0.01 };
+          };
+      }
+    else cluster
+  in
+  let config =
+    let base = Erpc.Config.of_cluster ~credits cluster in
+    {
+      base with
+      cc = { base.cc with algo };
+      opts = { base.opts with congestion_control = cc };
+    }
+  in
+  let d =
+    Harness.deploy ?seed ~config cluster ~threads_per_host:1
+      ~register:(fun nx ->
+        Harness.register_echo ~resp_size:32 nx;
+        (* Full-size echo used by the background latency-sensitive RPCs. *)
+        Harness.register_echo ~req_type:2 nx)
+  in
+  d
+
+let run ?seed ?credits ?algo ?(warmup_ms = 20.0) ?(measure_ms = 40.0) ~degree ~cc () =
+  let d = setup ?seed ?credits ?algo ~degree ~cc () in
+  let engine = Erpc.Fabric.engine d.fabric in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let rtt_hist = Stats.Hist.create () in
+  let drivers =
+    List.init degree (fun i ->
+        let client = d.rpcs.(i + 1).(0) in
+        let sess = Harness.connect d client ~remote_host:victim ~remote_rpc_id:0 in
+        Harness.make_driver ~req_size:(8 * 1024 * 1024) ~resp_size:32 ~rng:(Sim.Rng.split rng)
+          ~rpc:client ~sessions:[| sess |] ~window:1 ())
+  in
+  List.iter Harness.start_driver drivers;
+  Harness.run_ms d warmup_ms;
+  (* Collect client-side per-packet RTTs only during the measured window. *)
+  List.iteri
+    (fun i _ -> Erpc.Rpc.set_rtt_probe d.rpcs.(i + 1).(0) (Stats.Hist.record rtt_hist))
+    drivers;
+  let port = Netsim.Network.tor_downlink_port (Erpc.Fabric.net d.fabric) ~host:victim in
+  let bytes0 = Netsim.Port.tx_bytes port in
+  Harness.run_ms d measure_ms;
+  let bytes1 = Netsim.Port.tx_bytes port in
+  {
+    degree;
+    cc;
+    total_gbps = float_of_int ((bytes1 - bytes0) * 8) /. (measure_ms *. 1e6);
+    rtt_p50_us = float_of_int (Stats.Hist.median rtt_hist) /. 1e3;
+    rtt_p99_us = float_of_int (Stats.Hist.percentile rtt_hist 99.) /. 1e3;
+  }
+
+let table5 ?measure_ms () =
+  List.concat_map
+    (fun degree ->
+      [ run ?measure_ms ~degree ~cc:true (); run ?measure_ms ~degree ~cc:false () ])
+    [ 20; 50; 100 ]
+
+type bg_result = {
+  bg_degree : int;
+  bg_p50_us : float;
+  bg_p99_us : float;
+}
+
+let with_background ?seed ?(measure_ms = 40.0) ~degree () =
+  let d = setup ?seed ~degree ~cc:true () in
+  let engine = Erpc.Fabric.engine d.fabric in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let incast_drivers =
+    List.init degree (fun i ->
+        let client = d.rpcs.(i + 1).(0) in
+        let sess = Harness.connect d client ~remote_host:victim ~remote_rpc_id:0 in
+        Harness.make_driver ~req_size:(8 * 1024 * 1024) ~resp_size:32 ~rng:(Sim.Rng.split rng)
+          ~rpc:client ~sessions:[| sess |] ~window:1 ())
+  in
+  (* Latency-sensitive pairs: non-victim nodes (1,2), (3,4), ... exchange
+     64 kB request/response RPCs, one outstanding. *)
+  let lat_hist = Stats.Hist.create () in
+  let n = Array.length d.rpcs in
+  let bg_drivers =
+    let rec pairs i acc =
+      if i + 1 >= n then acc
+      else
+        let client = d.rpcs.(i).(0) in
+        let sess = Harness.connect d client ~remote_host:(i + 1) ~remote_rpc_id:0 in
+        let drv =
+          Harness.make_driver ~latencies:lat_hist ~req_size:(64 * 1024)
+            ~resp_size:(64 * 1024) ~req_type:2 ~rng:(Sim.Rng.split rng) ~rpc:client
+            ~sessions:[| sess |] ~window:1 ()
+        in
+        pairs (i + 2) (drv :: acc)
+    in
+    pairs 1 []
+  in
+  List.iter Harness.start_driver incast_drivers;
+  List.iter Harness.start_driver bg_drivers;
+  Harness.run_ms d 20.0;
+  Stats.Hist.clear lat_hist;
+  Harness.run_ms d measure_ms;
+  {
+    bg_degree = degree;
+    bg_p50_us = float_of_int (Stats.Hist.median lat_hist) /. 1e3;
+    bg_p99_us = float_of_int (Stats.Hist.percentile lat_hist 99.) /. 1e3;
+  }

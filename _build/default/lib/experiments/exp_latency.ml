@@ -1,0 +1,70 @@
+type row = {
+  cluster : string;
+  rdma_read_us : float;
+  erpc_us : float;
+  erpc_p99_us : float;
+}
+
+let measure_erpc ?(samples = 2_000) cluster =
+  let d = Harness.deploy cluster ~threads_per_host:1 ~register:Harness.register_echo in
+  let client = d.rpcs.(0).(0) in
+  let sess = Harness.connect d client ~remote_host:1 ~remote_rpc_id:0 in
+  let hist = Stats.Hist.create () in
+  let engine = Erpc.Fabric.engine d.fabric in
+  let req = Erpc.Msgbuf.alloc ~max_size:32 in
+  let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+  (* One outstanding RPC at a time: pure latency. *)
+  let remaining = ref samples in
+  let rec issue () =
+    if !remaining > 0 then begin
+      decr remaining;
+      let t0 = Sim.Engine.now engine in
+      Erpc.Rpc.enqueue_request client sess ~req_type:Harness.echo_req_type ~req ~resp
+        ~cont:(fun _ ->
+          Stats.Hist.record hist (Sim.Time.sub (Sim.Engine.now engine) t0);
+          issue ())
+    end
+  in
+  issue ();
+  while !remaining > 0 && Stats.Hist.count hist < samples do
+    Harness.run_ms d 1.0
+  done;
+  hist
+
+let measure_rdma ?(samples = 2_000) (cluster : Transport.Cluster.t) =
+  let engine = Sim.Engine.create () in
+  let net = Transport.Cluster.build engine cluster in
+  let cfg = Rdma.Qp.default_config cluster in
+  let ep0 = Rdma.Qp.create engine net ~host:0 cfg in
+  let _ep1 = Rdma.Qp.create engine net ~host:1 cfg in
+  let hist = Stats.Hist.create () in
+  let remaining = ref samples in
+  let rec issue () =
+    if !remaining > 0 then begin
+      decr remaining;
+      let t0 = Sim.Engine.now engine in
+      Rdma.Qp.post_read ep0 ~dst:1 ~len:32 ~completion:(fun () ->
+          Stats.Hist.record hist (Sim.Time.sub (Sim.Engine.now engine) t0);
+          issue ())
+    end
+  in
+  issue ();
+  Sim.Engine.run engine;
+  hist
+
+let measure ?samples cluster =
+  let erpc_hist = measure_erpc ?samples cluster in
+  let rdma_hist = measure_rdma ?samples cluster in
+  {
+    cluster = cluster.name;
+    rdma_read_us = float_of_int (Stats.Hist.median rdma_hist) /. 1e3;
+    erpc_us = float_of_int (Stats.Hist.median erpc_hist) /. 1e3;
+    erpc_p99_us = float_of_int (Stats.Hist.percentile erpc_hist 99.) /. 1e3;
+  }
+
+let run ?samples () =
+  [
+    measure ?samples (Transport.Cluster.cx3 ~nodes:2 ());
+    measure ?samples (Transport.Cluster.cx4 ~nodes:10 ());
+    measure ?samples (Transport.Cluster.cx5 ~nodes:2 ());
+  ]

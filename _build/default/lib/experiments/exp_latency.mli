@@ -1,0 +1,15 @@
+(** Table 2: median latency of 32 B eRPC RPCs vs 32 B RDMA reads between
+    two nodes under the same ToR switch, per cluster. *)
+
+type row = {
+  cluster : string;
+  rdma_read_us : float;
+  erpc_us : float;
+  erpc_p99_us : float;
+}
+
+(** Measure one cluster profile. *)
+val measure : ?samples:int -> Transport.Cluster.t -> row
+
+(** The paper's three clusters. *)
+val run : ?samples:int -> unit -> row list

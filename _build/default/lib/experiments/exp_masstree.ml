@@ -1,0 +1,167 @@
+type result = {
+  gets_per_sec_m : float;
+  get_p50_us : float;
+  get_p99_us : float;
+  scan_p99_us : float;
+}
+
+let get_req_type = 30
+let scan_req_type = 31
+let num_keys = 1_000_000
+let key_width = 8
+let scan_len = 128
+
+let server_host = 0
+let num_dispatch = 14
+let num_workers = 2
+let num_client_nodes = 8
+let client_threads_per_node = 8
+
+let populate () =
+  let tree = Masstree.Tree.create () in
+  (* Insert in a shuffled order so the tree shape is not worst-case. *)
+  let rng = Sim.Rng.create 99L in
+  let keys = Array.init num_keys Fun.id in
+  for i = num_keys - 1 downto 1 do
+    let j = Sim.Rng.int rng (i + 1) in
+    let tmp = keys.(i) in
+    keys.(i) <- keys.(j);
+    keys.(j) <- tmp
+  done;
+  Array.iter
+    (fun k ->
+      Masstree.Tree.insert tree
+        ~key:(Workload.Keygen.encode ~width:key_width k)
+        ~value:(Workload.Keygen.encode ~width:key_width k))
+    keys;
+  tree
+
+let register_handlers nx tree ~workers =
+  let depth = Masstree.Tree.depth tree in
+  Erpc.Nexus.register_handler nx ~req_type:get_req_type ~mode:Erpc.Nexus.Dispatch (fun h ->
+      let key =
+        Erpc.Msgbuf.read_string (Erpc.Req_handle.get_request h) ~off:0 ~len:key_width
+      in
+      Erpc.Req_handle.charge h (Masstree.Tree.lookup_cost_ns ~depth);
+      let value =
+        match Masstree.Tree.get tree ~key with Some v -> v | None -> String.make key_width '\000'
+      in
+      let resp = Erpc.Req_handle.init_response h ~size:key_width in
+      Erpc.Msgbuf.write_string resp ~off:0 value;
+      Erpc.Req_handle.enqueue_response h resp);
+  let scan_mode = if workers then Erpc.Nexus.Worker else Erpc.Nexus.Dispatch in
+  Erpc.Nexus.register_handler nx ~req_type:scan_req_type ~mode:scan_mode (fun h ->
+      let key =
+        Erpc.Msgbuf.read_string (Erpc.Req_handle.get_request h) ~off:0 ~len:key_width
+      in
+      Erpc.Req_handle.charge h (Masstree.Tree.scan_cost_ns ~depth ~n:scan_len);
+      let sum =
+        List.fold_left
+          (fun acc (_, v) -> acc + int_of_string v)
+          0
+          (Masstree.Tree.scan tree ~start:key ~n:scan_len)
+      in
+      let resp = Erpc.Req_handle.init_response h ~size:8 in
+      Erpc.Msgbuf.set_u64 resp ~off:0 sum;
+      Erpc.Req_handle.enqueue_response h resp)
+
+type client = {
+  rpc : Erpc.Rpc.t;
+  sess : Erpc.Session.session;
+  rng : Sim.Rng.t;
+  get_hist : Stats.Hist.t;
+  scan_hist : Stats.Hist.t;
+  engine : Sim.Engine.t;
+  bufs : (Erpc.Msgbuf.t * Erpc.Msgbuf.t) array;
+}
+
+let rec client_issue c slot =
+  let req, resp = c.bufs.(slot) in
+  let key = Workload.Keygen.encode ~width:key_width (Sim.Rng.int c.rng num_keys) in
+  Erpc.Msgbuf.write_string req ~off:0 key;
+  let is_scan = Sim.Rng.int c.rng 100 = 0 in
+  let req_type = if is_scan then scan_req_type else get_req_type in
+  let hist = if is_scan then c.scan_hist else c.get_hist in
+  let t0 = Sim.Engine.now c.engine in
+  Erpc.Rpc.enqueue_request c.rpc c.sess ~req_type ~req ~resp ~cont:(fun _ ->
+      Stats.Hist.record hist (Sim.Time.sub (Sim.Engine.now c.engine) t0);
+      client_issue c slot)
+
+let run ?seed ?(workers = true) ?(warmup_ms = 1.0) ?(measure_ms = 3.0) () =
+  let nodes = 1 + num_client_nodes in
+  let cluster = Transport.Cluster.cx3 ~nodes () in
+  let d =
+    Harness.deploy ?seed ~workers_per_host:num_workers cluster ~threads_per_host:num_dispatch
+  in
+  let tree = populate () in
+  register_handlers d.nexuses.(server_host) tree ~workers;
+  let engine = Erpc.Fabric.engine d.fabric in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let get_hist = Stats.Hist.create () in
+  let scan_hist = Stats.Hist.create () in
+  let clients =
+    List.init (num_client_nodes * client_threads_per_node) (fun i ->
+        let host = 1 + (i / client_threads_per_node) in
+        let thr = i mod client_threads_per_node in
+        let rpc = d.rpcs.(host).(thr) in
+        let sess =
+          Harness.connect d rpc ~remote_host:server_host ~remote_rpc_id:(i mod num_dispatch)
+        in
+        {
+          rpc;
+          sess;
+          rng = Sim.Rng.split rng;
+          get_hist;
+          scan_hist;
+          engine;
+          bufs =
+            Array.init 2 (fun _ ->
+                (Erpc.Msgbuf.alloc ~max_size:key_width, Erpc.Msgbuf.alloc ~max_size:8));
+        })
+  in
+  (* Two outstanding requests per client (§7.2). *)
+  List.iter
+    (fun c ->
+      client_issue c 0;
+      client_issue c 1)
+    clients;
+  Harness.run_ms d warmup_ms;
+  Stats.Hist.clear get_hist;
+  Stats.Hist.clear scan_hist;
+  Harness.run_ms d measure_ms;
+  {
+    gets_per_sec_m = float_of_int (Stats.Hist.count get_hist) /. (measure_ms *. 1e3);
+    get_p50_us = float_of_int (Stats.Hist.median get_hist) /. 1e3;
+    get_p99_us = float_of_int (Stats.Hist.percentile get_hist 99.) /. 1e3;
+    scan_p99_us =
+      (if Stats.Hist.count scan_hist = 0 then 0.
+       else float_of_int (Stats.Hist.percentile scan_hist 99.) /. 1e3);
+  }
+
+let low_load_median_us ?seed () =
+  let cluster = Transport.Cluster.cx3 ~nodes:2 () in
+  let d = Harness.deploy ?seed ~workers_per_host:num_workers cluster ~threads_per_host:1 in
+  let tree = populate () in
+  register_handlers d.nexuses.(server_host) tree ~workers:true;
+  let engine = Erpc.Fabric.engine d.fabric in
+  let client = d.rpcs.(1).(0) in
+  let sess = Harness.connect d client ~remote_host:server_host ~remote_rpc_id:0 in
+  let hist = Stats.Hist.create () in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let req = Erpc.Msgbuf.alloc ~max_size:key_width in
+  let resp = Erpc.Msgbuf.alloc ~max_size:8 in
+  let remaining = ref 2_000 in
+  let rec issue () =
+    if !remaining > 0 then begin
+      decr remaining;
+      Erpc.Msgbuf.write_string req ~off:0
+        (Workload.Keygen.encode ~width:key_width (Sim.Rng.int rng num_keys));
+      let t0 = Sim.Engine.now engine in
+      Erpc.Rpc.enqueue_request client sess ~req_type:get_req_type ~req ~resp ~cont:(fun _ ->
+          Stats.Hist.record hist (Sim.Time.sub (Sim.Engine.now engine) t0);
+          issue ())
+    end
+  in
+  issue ();
+  Harness.run_ms d 50.0;
+  float_of_int (Stats.Hist.median hist) /. 1e3

@@ -1,0 +1,18 @@
+(** Table 6: latency of replicated PUTs on a 3-way Raft group over eRPC
+    (paper §7.1), vs the published numbers of NetChain (P4 switches) and
+    ZabFPGA (FPGA consensus), which the paper also quotes rather than
+    reruns.
+
+    Setup: CX5-like cluster; replicas on three hosts, one client host;
+    16 B keys, 64 B values, keys uniform over one million; one outstanding
+    PUT. *)
+
+type result = {
+  client_p50_us : float;  (** measured at client, like NetChain's *)
+  client_p99_us : float;
+  leader_p50_us : float;  (** leader commit latency, like ZabFPGA's *)
+  leader_p99_us : float;
+  puts : int;
+}
+
+val run : ?seed:int64 -> ?samples:int -> unit -> result

@@ -1,0 +1,102 @@
+type result = {
+  per_thread_mrps : float;
+  total_rpcs : int;
+  retransmits : int;
+}
+
+let run ?seed ?config ?cost ?(window = 60) ?(warmup_ms = 1.0) ?(measure_ms = 4.0)
+    ?(per_batch_cost_ns = 0) ~(cluster : Transport.Cluster.t) ~batch () =
+  let d =
+    Harness.deploy ?seed ?config ?cost cluster ~threads_per_host:1
+      ~register:(Harness.register_echo ~resp_size:32)
+  in
+  let n = cluster.num_hosts in
+  let engine = Erpc.Fabric.engine d.fabric in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  (* All-to-all sessions: thread i -> every other thread. *)
+  let sessions =
+    Array.init n (fun src ->
+        Array.init (n - 1) (fun j ->
+            let dst = if j < src then j else j + 1 in
+            Erpc.Rpc.create_session d.rpcs.(src).(0) ~remote_host:dst ~remote_rpc_id:0 ()))
+  in
+  Harness.run_ms d 1.0 (* connect handshakes *);
+  Array.iter
+    (Array.iter (fun (s : Erpc.Session.session) ->
+         if s.state <> Erpc.Session.Connected then failwith "session not connected"))
+    sessions;
+  let drivers =
+    Array.init n (fun src ->
+        Harness.make_driver ~batch ~per_batch_cost_ns ~rng:(Sim.Rng.split rng)
+          ~rpc:d.rpcs.(src).(0) ~sessions:sessions.(src) ~window ())
+  in
+  Array.iter Harness.start_driver drivers;
+  Harness.run_ms d warmup_ms;
+  let before = Harness.total_completed d in
+  Harness.run_ms d measure_ms;
+  let after = Harness.total_completed d in
+  let total = after - before in
+  let retransmits =
+    Array.fold_left
+      (fun acc per_host -> acc + Erpc.Rpc.stat_retransmits per_host.(0))
+      0 d.rpcs
+  in
+  {
+    per_thread_mrps = float_of_int total /. float_of_int n /. (measure_ms *. 1e6) *. 1e3;
+    total_rpcs = total;
+    retransmits;
+  }
+
+(* FaSST is specialized: no congestion control, no large-message or
+   generality machinery. We model that as eRPC with CC off and a leaner
+   datapath cost profile (measured FaSST costs are lower per packet since
+   there is no header generality, no msgbuf layering, no CC hooks). *)
+let fasst_cost (cluster : Transport.Cluster.t) =
+  {
+    (Erpc.Cost_model.for_cluster cluster) with
+    rx_pkt = 24;
+    tx_data_pkt = 22;
+    enqueue_request = 10;
+    handler_dispatch = 10;
+    continuation = 8;
+    memcpy_fixed = 6;
+    credit_logic = 2;
+  }
+
+let run_fasst ?seed ?window ?warmup_ms ?measure_ms ~(cluster : Transport.Cluster.t) ~batch () =
+  let config =
+    let base = Erpc.Config.of_cluster cluster in
+    { base with opts = { base.opts with congestion_control = false } }
+  in
+  (* FaSST rings one doorbell per batch of B requests; the fixed cost
+     amortizes with B, which is why its rate grows with batch size. *)
+  run ?seed ~config ~cost:(fasst_cost cluster) ?window ?warmup_ms ?measure_ms
+    ~per_batch_cost_ns:210 ~cluster ~batch ()
+
+let factor_analysis ?seed ?measure_ms () =
+  let cluster = Transport.Cluster.cx4 ~nodes:11 () in
+  let base = Erpc.Config.of_cluster cluster in
+  let open Erpc.Config in
+  (* Cumulative disabling, in Table 3's order. *)
+  let steps =
+    [
+      ("Baseline (with congestion control)", Fun.id);
+      ("Disable batched RTT timestamps", fun o -> { o with batched_timestamps = false });
+      ("Disable Timely bypass", fun o -> { o with timely_bypass = false });
+      ("Disable rate limiter bypass", fun o -> { o with rate_limiter_bypass = false });
+      ("Disable multi-packet RQ", fun o -> { o with multi_packet_rq = false });
+      ("Disable preallocated responses", fun o -> { o with preallocated_responses = false });
+      ("Disable 0-copy request processing", fun o -> { o with zero_copy_rx = false });
+    ]
+  in
+  let _, rows =
+    List.fold_left
+      (fun (opts, acc) (label, f) ->
+        let opts = f opts in
+        let config = { base with opts } in
+        let r = run ?seed ~config ?measure_ms ~cluster ~batch:3 () in
+        (opts, (label, r) :: acc))
+      (base.opts, [])
+      steps
+  in
+  List.rev rows

@@ -1,0 +1,44 @@
+(** Figure 4 (single-core small-RPC rate with B requests per batch) and
+    Table 3 (factor analysis of the common-case optimizations).
+
+    Setup mirrors §6.2: one thread per node; every thread is both client
+    and server; each thread keeps [window] (60) 32 B requests in flight,
+    issued in batches of [batch] to uniformly random remote threads. *)
+
+type result = {
+  per_thread_mrps : float;  (** client request rate per thread *)
+  total_rpcs : int;
+  retransmits : int;
+}
+
+val run :
+  ?seed:int64 ->
+  ?config:Erpc.Config.t ->
+  ?cost:Erpc.Cost_model.t ->
+  ?window:int ->
+  ?warmup_ms:float ->
+  ?measure_ms:float ->
+  ?per_batch_cost_ns:int ->
+  cluster:Transport.Cluster.t ->
+  batch:int ->
+  unit ->
+  result
+
+(** A FaSST-like specialized RPC baseline: same substrate, congestion
+    control off, and a cost model stripped of eRPC's generality (no msgbuf
+    machinery, no CC hooks, no preallocation checks). *)
+val run_fasst :
+  ?seed:int64 ->
+  ?window:int ->
+  ?warmup_ms:float ->
+  ?measure_ms:float ->
+  cluster:Transport.Cluster.t ->
+  batch:int ->
+  unit ->
+  result
+
+(** Table 3 factor analysis on CX4 with B=3: optimizations disabled
+    cumulatively, in the paper's order. Returns (label, result) rows,
+    starting with the baseline. *)
+val factor_analysis :
+  ?seed:int64 -> ?measure_ms:float -> unit -> (string * result) list

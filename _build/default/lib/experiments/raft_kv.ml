@@ -1,0 +1,152 @@
+let raft_req_type = 20
+let put_req_type = 21
+
+let key_size = 16
+let value_size = 64
+
+let encode_put ~key ~value =
+  assert (String.length key = key_size && String.length value = value_size);
+  key ^ value
+
+(* Modeled handler CPU costs (ns). *)
+let raft_receive_cost = 250
+let raft_submit_cost = 220
+let codec_cost = 110
+
+type server = {
+  rpc : Erpc.Rpc.t;
+  engine : Sim.Engine.t;
+  raft : string Raft.Core.t Lazy.t;
+  store : Mica.Store.t;
+  peer_sessions : (int, Erpc.Session.session) Hashtbl.t;
+  mutable pending_reply : string Raft.Core.msg option;
+  pending_commits : (int, Erpc.Req_handle.t * Sim.Time.t) Hashtbl.t;
+  commit_lat : Stats.Hist.t;
+}
+
+let rpc s = s.rpc
+let raft s = Lazy.force s.raft
+let store s = s.store
+let is_leader s = Raft.Core.role (raft s) = Raft.Core.Leader
+let commit_latencies s = s.commit_lat
+
+let msgbuf_of_bytes b =
+  let m = Erpc.Msgbuf.alloc ~max_size:(Bytes.length b) in
+  Erpc.Msgbuf.write_string m ~off:0 (Bytes.to_string b);
+  m
+
+let send_raft_message s dst msg =
+  match msg with
+  | Raft.Core.Request_vote_resp _ | Raft.Core.Append_entries_resp _ ->
+      (* Replies ride back as the eRPC response of the request being
+         handled right now. *)
+      s.pending_reply <- Some msg
+  | Raft.Core.Request_vote _ | Raft.Core.Append_entries _ -> (
+      match Hashtbl.find_opt s.peer_sessions dst with
+      | None -> ()
+      | Some sess ->
+          let req = msgbuf_of_bytes (Raft.Codec.encode msg) in
+          let resp = Erpc.Msgbuf.alloc ~max_size:64 in
+          Erpc.Rpc.enqueue_request s.rpc sess ~req_type:raft_req_type ~req ~resp
+            ~cont:(fun r ->
+              match r with
+              | Ok () ->
+                  let data =
+                    Bytes.of_string
+                      (Erpc.Msgbuf.read_string resp ~off:0 ~len:(Erpc.Msgbuf.size resp))
+                  in
+                  Raft.Core.receive (raft s) (Raft.Codec.decode data)
+              | Error _ -> () (* peer failed; Raft re-drives via timeouts *)))
+
+let apply_committed s index cmd =
+  let key = String.sub cmd 0 key_size in
+  let value = String.sub cmd key_size value_size in
+  Mica.Store.put s.store ~key ~value;
+  match Hashtbl.find_opt s.pending_commits index with
+  | None -> ()
+  | Some (h, submitted) ->
+      Hashtbl.remove s.pending_commits index;
+      Stats.Hist.record s.commit_lat (Sim.Time.sub (Sim.Engine.now s.engine) submitted);
+      let resp = Erpc.Req_handle.init_response h ~size:4 in
+      Erpc.Msgbuf.set_u32 resp ~off:0 0;
+      Erpc.Req_handle.enqueue_response h resp
+
+let periodic_tick_ns = 500_000
+
+let create (d : Harness.deployment) ~host ~replica_id ~replicas =
+  let engine = Erpc.Fabric.engine d.fabric in
+  let nx = d.nexuses.(host) in
+  let rpc = d.rpcs.(host).(0) in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let rec s =
+    {
+      rpc;
+      engine;
+      raft =
+        lazy
+          (Raft.Core.create ~id:replica_id
+             ~peers:(Array.of_list (List.init (Array.length replicas - 1) (fun i ->
+                  if i < replica_id then i else i + 1)))
+             Raft.Core.default_config
+             ~send:(fun dst msg -> send_raft_message s dst msg)
+             ~apply:(fun index cmd -> apply_committed s index cmd)
+             ~random:(fun n -> Sim.Rng.int rng n));
+      store = Mica.Store.create ();
+      pending_reply = None;
+      peer_sessions = Hashtbl.create 8;
+      pending_commits = Hashtbl.create 64;
+      commit_lat = Stats.Hist.create ();
+    }
+  in
+  (* Sessions to the other replicas, keyed by replica id. *)
+  Array.iteri
+    (fun peer_id peer_host ->
+      if peer_id <> replica_id then
+        Hashtbl.replace s.peer_sessions peer_id
+          (Erpc.Rpc.create_session rpc ~remote_host:peer_host ~remote_rpc_id:0 ()))
+    replicas;
+  (* Raft message handler: decode, feed the core, send back whatever reply
+     the core produced. *)
+  Erpc.Nexus.register_handler nx ~req_type:raft_req_type ~mode:Erpc.Nexus.Dispatch (fun h ->
+      let req = Erpc.Req_handle.get_request h in
+      let data =
+        Bytes.of_string (Erpc.Msgbuf.read_string req ~off:0 ~len:(Erpc.Msgbuf.size req))
+      in
+      Erpc.Req_handle.charge h (codec_cost + raft_receive_cost);
+      s.pending_reply <- None;
+      Raft.Core.receive (raft s) (Raft.Codec.decode data);
+      match s.pending_reply with
+      | None ->
+          (* The core always answers AE/RV; answer with an empty status if
+             it ever does not, so the client slot is not leaked. *)
+          let resp = Erpc.Req_handle.init_response h ~size:4 in
+          Erpc.Msgbuf.set_u32 resp ~off:0 1;
+          Erpc.Req_handle.enqueue_response h resp
+      | Some reply ->
+          s.pending_reply <- None;
+          let encoded = Raft.Codec.encode reply in
+          let resp = Erpc.Req_handle.init_response h ~size:(Bytes.length encoded) in
+          Erpc.Msgbuf.write_string resp ~off:0 (Bytes.to_string encoded);
+          Erpc.Req_handle.enqueue_response h resp);
+  (* Client PUTs: submit to Raft; respond on commit (a nested-RPC style
+     handler that enqueues its response later). *)
+  Erpc.Nexus.register_handler nx ~req_type:put_req_type ~mode:Erpc.Nexus.Dispatch (fun h ->
+      let req = Erpc.Req_handle.get_request h in
+      let cmd = Erpc.Msgbuf.read_string req ~off:0 ~len:(key_size + value_size) in
+      Erpc.Req_handle.charge h (raft_submit_cost + Mica.Store.insert_cost_ns);
+      match Raft.Core.submit (raft s) cmd with
+      | Ok index ->
+          Hashtbl.replace s.pending_commits index (h, Sim.Engine.now engine)
+      | Error (`Not_leader _) ->
+          let resp = Erpc.Req_handle.init_response h ~size:4 in
+          Erpc.Msgbuf.set_u32 resp ~off:0 2;
+          Erpc.Req_handle.enqueue_response h resp);
+  (* Drive Raft time (LibRaft's raft_periodic). *)
+  let rec tick () =
+    if not (Erpc.Nexus.dead nx) then begin
+      Raft.Core.periodic (raft s) ~elapsed_ns:periodic_tick_ns;
+      Sim.Engine.schedule_after engine periodic_tick_ns tick
+    end
+  in
+  Sim.Engine.schedule_after engine periodic_tick_ns tick;
+  s

@@ -1,0 +1,41 @@
+(** Replicated in-memory key-value store: Raft over eRPC (paper §7.1).
+
+    Mirrors the paper's port of LibRaft: the Raft core is used as-is; this
+    module only supplies the callbacks LibRaft requires — message send and
+    receive, implemented as eRPC requests whose responses carry the Raft
+    reply. Committed commands apply to a MICA-style store. Clients send
+    PUT RPCs to the leader, which responds after the entry commits on a
+    majority.
+
+    Request types used on the wire:
+    - [raft_req_type]: an encoded Raft message; the response is the
+      encoded Raft reply (Append_entries_resp / Request_vote_resp);
+    - [put_req_type]: 16 B key + 64 B value; 4 B status response. *)
+
+val raft_req_type : int
+val put_req_type : int
+
+type server
+
+(** [create ~deployment ~host ~replica_id ~replicas] builds a replica on
+    [host]; [replicas] maps replica ids to hosts. Handlers are registered
+    on the host's Nexus; sessions to peers are created immediately. *)
+val create :
+  Harness.deployment -> host:int -> replica_id:int -> replicas:int array -> server
+
+val rpc : server -> Erpc.Rpc.t
+val raft : server -> string Raft.Core.t
+val store : server -> Mica.Store.t
+
+(** True once this replica believes it is the leader. *)
+val is_leader : server -> bool
+
+(** Commit latency (ns) measured at this replica while leading: from
+    client-PUT submission to majority commit. *)
+val commit_latencies : server -> Stats.Hist.t
+
+(** Encode a PUT command for [put_req_type] requests. *)
+val encode_put : key:string -> value:string -> string
+
+val key_size : int
+val value_size : int

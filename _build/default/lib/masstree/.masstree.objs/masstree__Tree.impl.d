@@ -1,0 +1,1 @@
+lib/masstree/tree.ml: Array List String

@@ -1,0 +1,1 @@
+lib/mica/store.ml: Array Char String

@@ -1,0 +1,1 @@
+lib/mica/store.mli:

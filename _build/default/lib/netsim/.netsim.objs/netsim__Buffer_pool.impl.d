@@ -1,0 +1,1 @@
+lib/netsim/buffer_pool.ml:

@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Array Fun Lazy List Packet Port Printf Sim Switch

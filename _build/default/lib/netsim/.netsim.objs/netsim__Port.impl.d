@@ -1,0 +1,1 @@
+lib/netsim/port.ml: Buffer_pool Packet Queue Sim

@@ -1,0 +1,1 @@
+lib/netsim/port.mli: Buffer_pool Packet Sim

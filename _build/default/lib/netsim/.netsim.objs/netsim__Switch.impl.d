@@ -1,0 +1,1 @@
+lib/netsim/switch.ml: Array Buffer_pool Hashtbl Packet Port Printf Sim

@@ -1,0 +1,33 @@
+type t = {
+  capacity : int;
+  alpha : float;
+  mutable used : int;
+  mutable max_used : int;
+}
+
+let create ~capacity_bytes ~alpha =
+  assert (capacity_bytes > 0 && alpha > 0.);
+  { capacity = capacity_bytes; alpha; used = 0; max_used = 0 }
+
+let capacity t = t.capacity
+let used t = t.used
+let free t = t.capacity - t.used
+let alpha t = t.alpha
+
+let admit ?(force = false) t ~port_queued_bytes ~size =
+  let threshold = t.alpha *. float_of_int (free t) in
+  if
+    force
+    || (float_of_int (port_queued_bytes + size) <= threshold && t.used + size <= t.capacity)
+  then begin
+    t.used <- t.used + size;
+    if t.used > t.max_used then t.max_used <- t.used;
+    true
+  end
+  else false
+
+let release t size =
+  assert (t.used >= size);
+  t.used <- t.used - size
+
+let max_used t = t.max_used

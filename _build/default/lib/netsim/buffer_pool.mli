@@ -1,0 +1,29 @@
+(** Shared dynamic switch buffer pool with dynamic-threshold admission.
+
+    Models the shared SRAM buffer of shallow-buffered datacenter switches
+    (e.g. 12 MB on Mellanox Spectrum): all ports draw from one pool, and a
+    port may queue at most [alpha * remaining_free] bytes — the classic
+    dynamic threshold (DT) algorithm. Because the pool is far larger than
+    the network's BDP, BDP-limited flows essentially never overflow it,
+    which is the key observation behind eRPC's loss-free common case. *)
+
+type t
+
+val create : capacity_bytes:int -> alpha:float -> t
+
+val capacity : t -> int
+val used : t -> int
+val free : t -> int
+val alpha : t -> float
+
+(** [admit t ~port_queued_bytes ~size] applies DT admission: accept iff the
+    port's post-enqueue occupancy stays below [alpha * free] and the pool
+    has room. On success the bytes are reserved. [force] (lossless fabrics:
+    PFC has already paused the sender rather than dropping) always
+    admits. *)
+val admit : ?force:bool -> t -> port_queued_bytes:int -> size:int -> bool
+
+val release : t -> int -> unit
+
+(** High-water mark of pool occupancy. *)
+val max_used : t -> int

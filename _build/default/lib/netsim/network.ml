@@ -1,0 +1,206 @@
+type topology =
+  | Single_switch of { hosts : int }
+  | Two_tier of {
+      tors : int;
+      hosts_per_tor : int;
+      spines : int;
+      uplinks_per_tor : int;
+      uplink_gbps : float;
+    }
+
+type config = {
+  topology : topology;
+  link_gbps : float;
+  cable_ns : int;
+  switch_latency_ns : int;
+  switch_buffer_bytes : int;
+  buffer_alpha : float;
+  ecn : Port.ecn_config option;  (* ECN marking at switch egress ports *)
+  lossless : bool;  (* PFC-style lossless fabric (InfiniBand) *)
+}
+
+let default_config =
+  {
+    topology = Single_switch { hosts = 2 };
+    link_gbps = 25.0;
+    cable_ns = 100;
+    switch_latency_ns = 300;
+    switch_buffer_bytes = 12 * 1024 * 1024;
+    buffer_alpha = 8.0;
+    ecn = None;
+    lossless = false;
+  }
+
+type host = {
+  mutable rx : Packet.t -> unit;
+  tx_port : Port.t;
+  tor : Switch.t;
+  tor_downlink : int;  (* port index on [tor] facing this host *)
+  tor_index : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  cfg : config;
+  hosts : host array;
+  switch_list : Switch.t list;
+  rng : Sim.Rng.t;
+  mutable loss_prob : float;
+  mutable injected_losses : int;
+}
+
+let deliver t host_id pkt =
+  let h = t.hosts.(host_id) in
+  if t.loss_prob > 0. && Sim.Rng.bool_with_prob t.rng t.loss_prob then
+    t.injected_losses <- t.injected_losses + 1
+  else h.rx pkt
+
+let unattached_rx _pkt = invalid_arg "Network: packet delivered to unattached host"
+
+(* Builds one ToR with [host_ids] below it. Returns the per-host record
+   list. Downlink egress ports deliver to hosts; host TX ports feed the
+   ToR's ingress. *)
+let build_tor t_ref engine cfg ~name ~tor_index ~host_ids switch =
+  List.map
+    (fun host_id ->
+      let downlink =
+        Port.create engine
+          ~name:(Printf.sprintf "%s->h%d" name host_id)
+          ~rate_gbps:cfg.link_gbps ~extra_delay_ns:cfg.cable_ns
+          ~pool:(Switch.pool switch) ?ecn:cfg.ecn ~lossless:cfg.lossless
+          ~sink:(fun pkt -> deliver (Lazy.force t_ref) host_id pkt)
+          ()
+      in
+      let downlink_idx = Switch.add_port switch downlink in
+      Switch.set_route switch ~dst:host_id ~ports:[| downlink_idx |];
+      let tx_port =
+        Port.create engine
+          ~name:(Printf.sprintf "h%d->%s" host_id name)
+          ~rate_gbps:cfg.link_gbps ~extra_delay_ns:cfg.cable_ns
+          ~sink:(fun pkt -> Switch.receive switch pkt)
+          ()
+      in
+      (host_id, { rx = unattached_rx; tx_port; tor = switch; tor_downlink = downlink_idx; tor_index }))
+    host_ids
+
+let create engine cfg =
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let rec t =
+    lazy
+      (let hosts, switch_list =
+         match cfg.topology with
+         | Single_switch { hosts = n } ->
+             let sw =
+               Switch.create engine ~name:"sw0" ~latency_ns:cfg.switch_latency_ns
+                 ~buffer_bytes:cfg.switch_buffer_bytes ~alpha:cfg.buffer_alpha
+             in
+             let host_ids = List.init n Fun.id in
+             let assoc = build_tor t engine cfg ~name:"sw0" ~tor_index:0 ~host_ids sw in
+             let arr = Array.make n (snd (List.hd assoc)) in
+             List.iter (fun (id, h) -> arr.(id) <- h) assoc;
+             (arr, [ sw ])
+         | Two_tier { tors; hosts_per_tor; spines; uplinks_per_tor; uplink_gbps } ->
+             let n = tors * hosts_per_tor in
+             let spine_switches =
+               Array.init spines (fun s ->
+                   Switch.create engine
+                     ~name:(Printf.sprintf "spine%d" s)
+                     ~latency_ns:cfg.switch_latency_ns ~buffer_bytes:cfg.switch_buffer_bytes
+                     ~alpha:cfg.buffer_alpha)
+             in
+             let tor_switches =
+               Array.init tors (fun i ->
+                   Switch.create engine
+                     ~name:(Printf.sprintf "tor%d" i)
+                     ~latency_ns:cfg.switch_latency_ns ~buffer_bytes:cfg.switch_buffer_bytes
+                     ~alpha:cfg.buffer_alpha)
+             in
+             let assoc = ref [] in
+             Array.iteri
+               (fun i tor ->
+                 let host_ids = List.init hosts_per_tor (fun j -> (i * hosts_per_tor) + j) in
+                 assoc := build_tor t engine cfg ~name:(Printf.sprintf "tor%d" i) ~tor_index:i ~host_ids tor @ !assoc;
+                 (* Uplinks: [uplinks_per_tor] ports, spread round-robin
+                    across spines; ECMP hashes flows over all of them. Each
+                    uplink is mirrored by a spine-side downlink of the same
+                    rate, so the fabric is symmetric. *)
+                 let spine_downlinks = Array.map (fun _ -> ref []) spine_switches in
+                 let uplink_ports =
+                   Array.init uplinks_per_tor (fun u ->
+                       let si = u mod spines in
+                       let spine = spine_switches.(si) in
+                       let p =
+                         Port.create engine
+                           ~name:(Printf.sprintf "tor%d-up%d" i u)
+                           ~rate_gbps:uplink_gbps ~extra_delay_ns:cfg.cable_ns
+                           ~pool:(Switch.pool tor) ?ecn:cfg.ecn ~lossless:cfg.lossless
+                           ~sink:(fun pkt -> Switch.receive spine pkt)
+                           ()
+                       in
+                       let down =
+                         Port.create engine
+                           ~name:(Printf.sprintf "%s->tor%d.%d" (Switch.name spine) i u)
+                           ~rate_gbps:uplink_gbps ~extra_delay_ns:cfg.cable_ns
+                           ~pool:(Switch.pool spine) ?ecn:cfg.ecn ~lossless:cfg.lossless
+                           ~sink:(fun pkt -> Switch.receive tor pkt)
+                           ()
+                       in
+                       spine_downlinks.(si) := Switch.add_port spine down :: !(spine_downlinks.(si));
+                       Switch.add_port tor p)
+                 in
+                 (* Remote hosts route over the uplinks. *)
+                 for dst = 0 to n - 1 do
+                   if dst / hosts_per_tor <> i then
+                     Switch.set_route tor ~dst ~ports:uplink_ports
+                 done;
+                 Array.iteri
+                   (fun si spine ->
+                     match !(spine_downlinks.(si)) with
+                     | [] -> ()
+                     | ports ->
+                         let ports = Array.of_list ports in
+                         List.iter
+                           (fun host_id -> Switch.set_route spine ~dst:host_id ~ports)
+                           (List.init hosts_per_tor (fun j -> (i * hosts_per_tor) + j)))
+                   spine_switches)
+               tor_switches;
+             let arr = Array.make n (snd (List.hd !assoc)) in
+             List.iter (fun (id, h) -> arr.(id) <- h) !assoc;
+             (arr, Array.to_list tor_switches @ Array.to_list spine_switches)
+       in
+       {
+         engine;
+         cfg;
+         hosts;
+         switch_list;
+         rng;
+         loss_prob = 0.;
+         injected_losses = 0;
+       })
+  in
+  Lazy.force t
+
+let num_hosts t = Array.length t.hosts
+let config t = t.cfg
+
+let attach t ~host ~rx = t.hosts.(host).rx <- rx
+
+let send t pkt =
+  pkt.Packet.sent_at <- Sim.Engine.now t.engine;
+  ignore (Port.send t.hosts.(pkt.Packet.src).tx_port pkt)
+
+let set_loss_prob t p = t.loss_prob <- p
+let injected_losses t = t.injected_losses
+
+let tor_downlink_port t ~host =
+  let h = t.hosts.(host) in
+  Switch.port h.tor h.tor_downlink
+
+let host_tx_port t ~host = t.hosts.(host).tx_port
+
+let switches t = t.switch_list
+
+let fabric_drops t =
+  List.fold_left (fun acc sw -> acc + Switch.dropped_packets sw) 0 t.switch_list
+
+let same_tor t a b = t.hosts.(a).tor_index = t.hosts.(b).tor_index

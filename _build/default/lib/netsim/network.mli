@@ -1,0 +1,75 @@
+(** Whole-network fabric: topology construction, host attachment, loss
+    injection.
+
+    Supported topologies:
+    - [Single_switch]: all hosts under one ToR (CX3/CX5-style testbeds);
+    - [Two_tier]: ToRs + spines with ECMP and configurable oversubscription
+      (the paper's 100-node CX4 CloudLab cluster: 5 ToRs with 25 GbE
+      downlinks and 100 GbE uplinks, 2:1 oversubscribed).
+
+    Hosts are identified by dense integer ids. Each host registers an RX
+    callback; [send] injects a packet at the source host's NIC TX port.
+    Bernoulli packet loss (for Table 4) is applied at final delivery. *)
+
+type topology =
+  | Single_switch of { hosts : int }
+  | Two_tier of {
+      tors : int;
+      hosts_per_tor : int;
+      spines : int;
+      uplinks_per_tor : int;
+      uplink_gbps : float;
+    }
+
+type config = {
+  topology : topology;
+  link_gbps : float;  (** host-to-ToR link rate *)
+  cable_ns : int;  (** per-hop propagation delay *)
+  switch_latency_ns : int;  (** cut-through port-to-port latency *)
+  switch_buffer_bytes : int;
+  buffer_alpha : float;  (** dynamic-threshold alpha *)
+  ecn : Port.ecn_config option;
+      (** when set, switch egress ports ECN-mark packets (the paper's
+          clusters lacked this; our simulated switches support it, which is
+          what enables the DCQCN extension) *)
+  lossless : bool;
+      (** PFC-style lossless fabric: congested switch ports pause (modeled
+          as forced buffer admission) instead of dropping — the InfiniBand
+          CX3 cluster *)
+}
+
+val default_config : config
+
+type t
+
+val create : Sim.Engine.t -> config -> t
+
+val num_hosts : t -> int
+val config : t -> config
+
+(** [attach t ~host ~rx] registers the receive callback for [host].
+    Packets surviving loss injection are delivered to [rx]. *)
+val attach : t -> host:int -> rx:(Packet.t -> unit) -> unit
+
+(** Inject a packet at [pkt.src]'s NIC TX port. *)
+val send : t -> Packet.t -> unit
+
+(** Delivery-time Bernoulli loss probability (default 0). *)
+val set_loss_prob : t -> float -> unit
+
+val injected_losses : t -> int
+
+(** The ToR egress port facing [host] — where incast queueing happens. *)
+val tor_downlink_port : t -> host:int -> Port.t
+
+(** The host's own NIC TX port. *)
+val host_tx_port : t -> host:int -> Port.t
+
+(** All switches, for drop/buffer statistics. *)
+val switches : t -> Switch.t list
+
+(** Total packets dropped in the fabric by buffer admission. *)
+val fabric_drops : t -> int
+
+(** True if the two hosts sit under the same ToR. *)
+val same_tor : t -> int -> int -> bool

@@ -1,0 +1,16 @@
+type body = ..
+type body += Empty
+
+type t = {
+  src : int;
+  dst : int;
+  size_bytes : int;
+  flow_hash : int;
+  body : body;
+  mutable sent_at : Sim.Time.t;
+  mutable ecn : bool;
+}
+
+let make ~src ~dst ~size_bytes ~flow_hash body =
+  assert (size_bytes > 0);
+  { src; dst; size_bytes; flow_hash; body; sent_at = Sim.Time.zero; ecn = false }

@@ -1,0 +1,20 @@
+(** Network packets.
+
+    The body is an extensible variant so higher layers (eRPC, RDMA) attach
+    their own typed contents without the network caring; [size_bytes] is the
+    on-wire size used for serialization and buffering. *)
+
+type body = ..
+type body += Empty
+
+type t = {
+  src : int;  (** source host id *)
+  dst : int;  (** destination host id *)
+  size_bytes : int;  (** on-wire size including all headers *)
+  flow_hash : int;  (** ECMP key: packets of a flow take the same path *)
+  body : body;
+  mutable sent_at : Sim.Time.t;  (** stamped by the network on first hop *)
+  mutable ecn : bool;  (** congestion-experienced mark (RED/ECN at switches) *)
+}
+
+val make : src:int -> dst:int -> size_bytes:int -> flow_hash:int -> body -> t

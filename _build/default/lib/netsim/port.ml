@@ -1,0 +1,128 @@
+type ecn_config = { kmin_bytes : int; kmax_bytes : int; pmax : float }
+
+type t = {
+  engine : Sim.Engine.t;
+  name : string;
+  rate_gbps : float;
+  extra_delay_ns : int;
+  pool : Buffer_pool.t option;
+  ecn : ecn_config option;
+  lossless : bool;
+  rng : Sim.Rng.t;
+  sink : Packet.t -> unit;
+  queue : Packet.t Queue.t;
+  mutable queued_bytes : int;
+  mutable draining : bool;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable dropped_packets : int;
+  mutable dropped_bytes : int;
+  mutable pause_events : int;
+  mutable max_queued_bytes : int;
+}
+
+let create engine ~name ~rate_gbps ~extra_delay_ns ?pool ?ecn ?(lossless = false) ~sink () =
+  {
+    engine;
+    name;
+    rate_gbps;
+    extra_delay_ns;
+    pool;
+    ecn;
+    lossless;
+    rng = Sim.Rng.split (Sim.Engine.rng engine);
+    sink;
+    queue = Queue.create ();
+    queued_bytes = 0;
+    draining = false;
+    tx_packets = 0;
+    tx_bytes = 0;
+    dropped_packets = 0;
+    dropped_bytes = 0;
+    pause_events = 0;
+    max_queued_bytes = 0;
+  }
+
+let serialization t pkt = Sim.Time.of_bytes_at_gbps pkt.Packet.size_bytes t.rate_gbps
+
+let rec drain t =
+  match Queue.take_opt t.queue with
+  | None -> t.draining <- false
+  | Some pkt ->
+      let ser = serialization t pkt in
+      Sim.Engine.schedule_after t.engine ser (fun () ->
+          t.queued_bytes <- t.queued_bytes - pkt.Packet.size_bytes;
+          (match t.pool with Some pool -> Buffer_pool.release pool pkt.Packet.size_bytes | None -> ());
+          t.tx_packets <- t.tx_packets + 1;
+          t.tx_bytes <- t.tx_bytes + pkt.Packet.size_bytes;
+          Sim.Engine.schedule_after t.engine t.extra_delay_ns (fun () -> t.sink pkt);
+          drain t)
+
+let send t pkt =
+  let size = pkt.Packet.size_bytes in
+  let admitted =
+    match t.pool with
+    | None -> true
+    | Some pool ->
+        let ok = Buffer_pool.admit pool ~port_queued_bytes:t.queued_bytes ~size in
+        if (not ok) && t.lossless then begin
+          (* PFC: a lossless fabric pauses the sender instead of dropping;
+             modeled as forced admission with the pause counted. Pause
+             propagation (HOL blocking, deadlocks) is out of scope. *)
+          t.pause_events <- t.pause_events + 1;
+          Buffer_pool.admit ~force:true pool ~port_queued_bytes:t.queued_bytes ~size
+        end
+        else ok
+  in
+  if admitted then begin
+    (* RED-style ECN marking on the instantaneous queue (DCQCN's switch
+       side). *)
+    (match t.ecn with
+    | Some { kmin_bytes; kmax_bytes; pmax } ->
+        if t.queued_bytes > kmin_bytes then begin
+          let p =
+            if t.queued_bytes >= kmax_bytes then 1.0
+            else
+              pmax
+              *. (float_of_int (t.queued_bytes - kmin_bytes)
+                 /. float_of_int (max 1 (kmax_bytes - kmin_bytes)))
+          in
+          if Sim.Rng.bool_with_prob t.rng p then pkt.Packet.ecn <- true
+        end
+    | None -> ());
+    Queue.add pkt t.queue;
+    t.queued_bytes <- t.queued_bytes + size;
+    if t.queued_bytes > t.max_queued_bytes then t.max_queued_bytes <- t.queued_bytes;
+    if not t.draining then begin
+      t.draining <- true;
+      drain t
+    end;
+    true
+  end
+  else begin
+    t.dropped_packets <- t.dropped_packets + 1;
+    t.dropped_bytes <- t.dropped_bytes + size;
+    false
+  end
+
+let name t = t.name
+let queued_bytes t = t.queued_bytes
+let queued_packets t = Queue.length t.queue
+
+let queue_delay t =
+  Sim.Time.of_bytes_at_gbps t.queued_bytes t.rate_gbps
+
+let rate_gbps t = t.rate_gbps
+let tx_packets t = t.tx_packets
+let tx_bytes t = t.tx_bytes
+let dropped_packets t = t.dropped_packets
+let dropped_bytes t = t.dropped_bytes
+let pause_events t = t.pause_events
+let max_queued_bytes t = t.max_queued_bytes
+
+let reset_stats t =
+  t.tx_packets <- 0;
+  t.tx_bytes <- 0;
+  t.dropped_packets <- 0;
+  t.dropped_bytes <- 0;
+  t.max_queued_bytes <- t.queued_bytes

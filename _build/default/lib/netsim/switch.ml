@@ -1,0 +1,63 @@
+type t = {
+  engine : Sim.Engine.t;
+  name : string;
+  latency_ns : int;
+  pool : Buffer_pool.t;
+  mutable ports : Port.t array;
+  mutable num_ports : int;
+  routes : (int, int array) Hashtbl.t;
+}
+
+let create engine ~name ~latency_ns ~buffer_bytes ~alpha =
+  {
+    engine;
+    name;
+    latency_ns;
+    pool = Buffer_pool.create ~capacity_bytes:buffer_bytes ~alpha;
+    ports = [||];
+    num_ports = 0;
+    routes = Hashtbl.create 64;
+  }
+
+let name t = t.name
+let pool t = t.pool
+
+let add_port t port =
+  if t.num_ports >= Array.length t.ports then begin
+    let cap = max 8 (2 * Array.length t.ports) in
+    let ports = Array.make cap port in
+    Array.blit t.ports 0 ports 0 t.num_ports;
+    t.ports <- ports
+  end;
+  t.ports.(t.num_ports) <- port;
+  t.num_ports <- t.num_ports + 1;
+  t.num_ports - 1
+
+let port t i =
+  assert (i >= 0 && i < t.num_ports);
+  t.ports.(i)
+
+let num_ports t = t.num_ports
+
+let set_route t ~dst ~ports = Hashtbl.replace t.routes dst ports
+
+let receive t pkt =
+  match Hashtbl.find_opt t.routes pkt.Packet.dst with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Switch %s: no route for host %d" t.name pkt.Packet.dst)
+  | Some candidates ->
+      let n = Array.length candidates in
+      let idx = if n = 1 then 0 else pkt.Packet.flow_hash mod n in
+      let egress = t.ports.(candidates.(idx)) in
+      Sim.Engine.schedule_after t.engine t.latency_ns (fun () ->
+          ignore (Port.send egress pkt))
+
+let dropped_packets t =
+  let total = ref 0 in
+  for i = 0 to t.num_ports - 1 do
+    total := !total + Port.dropped_packets t.ports.(i)
+  done;
+  !total
+
+let max_buffer_used t = Buffer_pool.max_used t.pool

@@ -1,0 +1,127 @@
+type config = {
+  tx_latency_ns : int;
+  rx_latency_ns : int;
+  rx_jitter_ns : int;
+  tx_flush_ns : int;
+  rq_size : int;
+  multi_packet_rq : bool;
+  multi_packet_rq_stride : int;
+  rq_replenish_unit_ns : int;
+}
+
+let default_config =
+  {
+    tx_latency_ns = 300;
+    rx_latency_ns = 250;
+    rx_jitter_ns = 0;
+    tx_flush_ns = 2_000;
+    rq_size = 4096;
+    multi_packet_rq = true;
+    multi_packet_rq_stride = 512;
+    rq_replenish_unit_ns = 7;
+  }
+
+type t = {
+  engine : Sim.Engine.t;
+  net : Netsim.Network.t;
+  host : int;
+  cfg : config;
+  rng : Sim.Rng.t;
+  mutable rx_last_delivery : Sim.Time.t;
+  mutable tx_pending : int;
+  mutable tx_last_done : Sim.Time.t;
+  rx_ring : Netsim.Packet.t Queue.t;
+  mutable rx_notify : unit -> unit;
+  mutable rq_available : int;
+  mutable replenish_partial : int;
+  mutable rx_packets : int;
+  mutable tx_packets : int;
+  mutable rx_dropped_no_desc : int;
+}
+
+let on_network_rx t pkt =
+  (* DMA write + CQE after rx_latency_ns (plus bounded jitter from PCIe and
+     DMA-batching variability); drop if no descriptor. Delivery stays FIFO:
+     jitter may delay, never reorder. *)
+  let jitter = if t.cfg.rx_jitter_ns > 0 then Sim.Rng.int t.rng (t.cfg.rx_jitter_ns + 1) else 0 in
+  let now = Sim.Engine.now t.engine in
+  let at = max (now + t.cfg.rx_latency_ns + jitter) t.rx_last_delivery in
+  t.rx_last_delivery <- at;
+  Sim.Engine.schedule t.engine at (fun () ->
+      if t.rq_available <= 0 then t.rx_dropped_no_desc <- t.rx_dropped_no_desc + 1
+      else begin
+        t.rq_available <- t.rq_available - 1;
+        t.rx_packets <- t.rx_packets + 1;
+        let was_empty = Queue.is_empty t.rx_ring in
+        Queue.add pkt t.rx_ring;
+        if was_empty then t.rx_notify ()
+      end)
+
+let create engine net ~host cfg =
+  {
+    engine;
+    net;
+    host;
+    cfg;
+    rng = Sim.Rng.split (Sim.Engine.rng engine);
+    rx_last_delivery = Sim.Time.zero;
+    tx_pending = 0;
+    tx_last_done = Sim.Time.zero;
+    rx_ring = Queue.create ();
+    rx_notify = (fun () -> ());
+    rq_available = cfg.rq_size;
+    replenish_partial = 0;
+    rx_packets = 0;
+    tx_packets = 0;
+    rx_dropped_no_desc = 0;
+  }
+
+let receive t pkt = on_network_rx t pkt
+
+let host t = t.host
+let config t = t.cfg
+
+let post_send t pkt =
+  t.tx_pending <- t.tx_pending + 1;
+  t.tx_packets <- t.tx_packets + 1;
+  let done_at = Sim.Time.add (Sim.Engine.now t.engine) t.cfg.tx_latency_ns in
+  if done_at > t.tx_last_done then t.tx_last_done <- done_at;
+  Sim.Engine.schedule_after t.engine t.cfg.tx_latency_ns (fun () ->
+      t.tx_pending <- t.tx_pending - 1;
+      Netsim.Network.send t.net pkt)
+
+let tx_pending t = t.tx_pending
+
+let flush_time_ns t =
+  let now = Sim.Engine.now t.engine in
+  let wait = if t.tx_pending > 0 then max 0 (Sim.Time.sub t.tx_last_done now) else 0 in
+  wait + t.cfg.tx_flush_ns
+
+let poll_rx t ~max =
+  let rec take acc n =
+    if n = 0 then List.rev acc
+    else
+      match Queue.take_opt t.rx_ring with
+      | None -> List.rev acc
+      | Some pkt -> take (pkt :: acc) (n - 1)
+  in
+  take [] max
+
+let rx_ring_depth t = Queue.length t.rx_ring
+let set_rx_notify t f = t.rx_notify <- f
+
+let replenish_rq t n =
+  assert (n >= 0);
+  t.rq_available <- min t.cfg.rq_size (t.rq_available + n);
+  if t.cfg.multi_packet_rq then begin
+    let total = t.replenish_partial + n in
+    let posts = total / t.cfg.multi_packet_rq_stride in
+    t.replenish_partial <- total mod t.cfg.multi_packet_rq_stride;
+    posts * t.cfg.rq_replenish_unit_ns
+  end
+  else n * t.cfg.rq_replenish_unit_ns
+
+let rq_available t = t.rq_available
+let rx_packets t = t.rx_packets
+let tx_packets t = t.tx_packets
+let rx_dropped_no_desc t = t.rx_dropped_no_desc

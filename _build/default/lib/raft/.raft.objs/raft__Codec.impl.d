@@ -1,0 +1,1 @@
+lib/raft/codec.ml: Bytes Char Core Int32 List Log String

@@ -1,0 +1,1 @@
+lib/raft/codec.mli: Core

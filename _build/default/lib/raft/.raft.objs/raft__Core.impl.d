@@ -1,0 +1,1 @@
+lib/raft/core.ml: Array List Log

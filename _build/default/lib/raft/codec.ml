@@ -1,0 +1,113 @@
+(* Layout: 1-byte tag, then little-endian u32/u8 fields. Entries are
+   (u32 term, u32 length, bytes). *)
+
+let tag_request_vote = 0
+let tag_request_vote_resp = 1
+let tag_append_entries = 2
+let tag_append_entries_resp = 3
+
+let u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+
+let encoded_size (msg : string Core.msg) =
+  match msg with
+  | Core.Request_vote _ -> 1 + 16
+  | Core.Request_vote_resp _ -> 1 + 9
+  | Core.Append_entries { entries; _ } ->
+      1 + 20
+      + List.fold_left (fun acc (e : string Log.entry) -> acc + 8 + String.length e.cmd) 0 entries
+  | Core.Append_entries_resp _ -> 1 + 13
+
+let encode (msg : string Core.msg) =
+  let b = Bytes.create (encoded_size msg) in
+  (match msg with
+  | Core.Request_vote { term; candidate_id; last_log_index; last_log_term } ->
+      Bytes.set b 0 (Char.chr tag_request_vote);
+      u32 b 1 term;
+      u32 b 5 candidate_id;
+      u32 b 9 last_log_index;
+      u32 b 13 last_log_term
+  | Core.Request_vote_resp { term; vote_granted; from } ->
+      Bytes.set b 0 (Char.chr tag_request_vote_resp);
+      u32 b 1 term;
+      Bytes.set b 5 (if vote_granted then '\001' else '\000');
+      u32 b 6 from
+  | Core.Append_entries { term; leader_id; prev_log_index; prev_log_term; entries; leader_commit }
+    ->
+      Bytes.set b 0 (Char.chr tag_append_entries);
+      u32 b 1 term;
+      u32 b 5 leader_id;
+      u32 b 9 prev_log_index;
+      u32 b 13 prev_log_term;
+      u32 b 17 leader_commit;
+      (* entries *)
+      let off = ref 21 in
+      let count_off = !off - 4 in
+      ignore count_off;
+      (* count stored below: recompute layout *)
+      List.iter
+        (fun (e : string Log.entry) ->
+          u32 b !off e.term;
+          u32 b (!off + 4) (String.length e.cmd);
+          Bytes.blit_string e.cmd 0 b (!off + 8) (String.length e.cmd);
+          off := !off + 8 + String.length e.cmd)
+        entries
+  | Core.Append_entries_resp { term; success; from; match_index } ->
+      Bytes.set b 0 (Char.chr tag_append_entries_resp);
+      u32 b 1 term;
+      Bytes.set b 5 (if success then '\001' else '\000');
+      u32 b 6 from;
+      u32 b 10 match_index);
+  b
+
+let decode b : string Core.msg =
+  if Bytes.length b < 1 then invalid_arg "Raft.Codec.decode: empty buffer";
+  let tag = Char.code (Bytes.get b 0) in
+  if tag = tag_request_vote then begin
+    if Bytes.length b < 17 then invalid_arg "Raft.Codec.decode: truncated Request_vote";
+    Core.Request_vote
+      {
+        term = get_u32 b 1;
+        candidate_id = get_u32 b 5;
+        last_log_index = get_u32 b 9;
+        last_log_term = get_u32 b 13;
+      }
+  end
+  else if tag = tag_request_vote_resp then begin
+    if Bytes.length b < 10 then invalid_arg "Raft.Codec.decode: truncated Request_vote_resp";
+    Core.Request_vote_resp
+      { term = get_u32 b 1; vote_granted = Bytes.get b 5 = '\001'; from = get_u32 b 6 }
+  end
+  else if tag = tag_append_entries then begin
+    if Bytes.length b < 21 then invalid_arg "Raft.Codec.decode: truncated Append_entries";
+    let entries = ref [] in
+    let off = ref 21 in
+    while !off < Bytes.length b do
+      if !off + 8 > Bytes.length b then invalid_arg "Raft.Codec.decode: truncated entry";
+      let term = get_u32 b !off in
+      let len = get_u32 b (!off + 4) in
+      if !off + 8 + len > Bytes.length b then invalid_arg "Raft.Codec.decode: truncated entry";
+      entries := { Log.term; cmd = Bytes.sub_string b (!off + 8) len } :: !entries;
+      off := !off + 8 + len
+    done;
+    Core.Append_entries
+      {
+        term = get_u32 b 1;
+        leader_id = get_u32 b 5;
+        prev_log_index = get_u32 b 9;
+        prev_log_term = get_u32 b 13;
+        leader_commit = get_u32 b 17;
+        entries = List.rev !entries;
+      }
+  end
+  else if tag = tag_append_entries_resp then begin
+    if Bytes.length b < 14 then invalid_arg "Raft.Codec.decode: truncated Append_entries_resp";
+    Core.Append_entries_resp
+      {
+        term = get_u32 b 1;
+        success = Bytes.get b 5 = '\001';
+        from = get_u32 b 6;
+        match_index = get_u32 b 10;
+      }
+  end
+  else invalid_arg "Raft.Codec.decode: unknown tag"

@@ -1,0 +1,13 @@
+(** Compact binary wire codec for {!Core.msg} with [string] commands.
+
+    The integration layer (Raft-over-eRPC, §7.1) copies these bytes into
+    msgbufs; the Raft core itself never sees the encoding, mirroring how
+    LibRaft delegates all marshalling to its user callbacks. *)
+
+val encode : string Core.msg -> bytes
+
+(** Raises [Invalid_argument] on malformed input. *)
+val decode : bytes -> string Core.msg
+
+(** Encoded size, for sizing buffers without encoding twice. *)
+val encoded_size : string Core.msg -> int

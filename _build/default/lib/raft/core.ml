@@ -1,0 +1,292 @@
+type role = Follower | Candidate | Leader
+
+type 'cmd msg =
+  | Request_vote of {
+      term : int;
+      candidate_id : int;
+      last_log_index : int;
+      last_log_term : int;
+    }
+  | Request_vote_resp of { term : int; vote_granted : bool; from : int }
+  | Append_entries of {
+      term : int;
+      leader_id : int;
+      prev_log_index : int;
+      prev_log_term : int;
+      entries : 'cmd Log.entry list;
+      leader_commit : int;
+    }
+  | Append_entries_resp of { term : int; success : bool; from : int; match_index : int }
+
+type config = {
+  election_timeout_min_ns : int;
+  election_timeout_max_ns : int;
+  heartbeat_ns : int;
+  max_entries_per_msg : int;
+}
+
+let default_config =
+  {
+    election_timeout_min_ns = 10_000_000;
+    election_timeout_max_ns = 20_000_000;
+    heartbeat_ns = 2_000_000;
+    max_entries_per_msg = 64;
+  }
+
+type 'cmd t = {
+  id : int;
+  peers : int array;
+  cfg : config;
+  send : int -> 'cmd msg -> unit;
+  apply : int -> 'cmd -> unit;
+  random : int -> int;
+  log : 'cmd Log.t;
+  mutable role : role;
+  mutable term : int;
+  mutable voted_for : int option;
+  mutable leader : int option;
+  mutable commit_index : int;
+  mutable last_applied : int;
+  mutable election_elapsed : int;
+  mutable election_deadline : int;
+  mutable heartbeat_elapsed : int;
+  mutable votes : int;
+  (* Leader replication state, indexed like [peers]. *)
+  mutable next_index : int array;
+  mutable match_index : int array;
+}
+
+let fresh_election_deadline t =
+  t.cfg.election_timeout_min_ns
+  + t.random (max 1 (t.cfg.election_timeout_max_ns - t.cfg.election_timeout_min_ns))
+
+let create ~id ~peers cfg ~send ~apply ~random =
+  let t =
+    {
+      id;
+      peers;
+      cfg;
+      send;
+      apply;
+      random;
+      log = Log.create ();
+      role = Follower;
+      term = 0;
+      voted_for = None;
+      leader = None;
+      commit_index = 0;
+      last_applied = 0;
+      election_elapsed = 0;
+      election_deadline = 0;
+      heartbeat_elapsed = 0;
+      votes = 0;
+      next_index = Array.make (Array.length peers) 1;
+      match_index = Array.make (Array.length peers) 0;
+    }
+  in
+  t.election_deadline <- fresh_election_deadline t;
+  t
+
+let id t = t.id
+let role t = t.role
+let term t = t.term
+let commit_index t = t.commit_index
+let last_applied t = t.last_applied
+let leader_hint t = t.leader
+let log t = t.log
+
+let apply_committed t =
+  while t.last_applied < t.commit_index do
+    t.last_applied <- t.last_applied + 1;
+    t.apply t.last_applied (Log.get t.log t.last_applied).cmd
+  done
+
+let become_follower t term =
+  t.role <- Follower;
+  if term > t.term then begin
+    t.term <- term;
+    t.voted_for <- None
+  end;
+  t.election_elapsed <- 0;
+  t.election_deadline <- fresh_election_deadline t
+
+let peer_slot t peer =
+  let rec go i = if t.peers.(i) = peer then i else go (i + 1) in
+  go 0
+
+let send_append_entries t ~peer =
+  let slot = peer_slot t peer in
+  let next = t.next_index.(slot) in
+  let prev = next - 1 in
+  let entries = Log.entries_from t.log ~from:next ~max:t.cfg.max_entries_per_msg in
+  t.send peer
+    (Append_entries
+       {
+         term = t.term;
+         leader_id = t.id;
+         prev_log_index = prev;
+         prev_log_term = Log.term_at t.log prev;
+         entries;
+         leader_commit = t.commit_index;
+       })
+
+let broadcast_append_entries t = Array.iter (fun p -> send_append_entries t ~peer:p) t.peers
+
+let become_leader t =
+  t.role <- Leader;
+  t.leader <- Some t.id;
+  t.heartbeat_elapsed <- 0;
+  let last = Log.last_index t.log in
+  Array.iteri
+    (fun i _ ->
+      t.next_index.(i) <- last + 1;
+      t.match_index.(i) <- 0)
+    t.peers;
+  broadcast_append_entries t
+
+let start_election t =
+  t.role <- Candidate;
+  t.term <- t.term + 1;
+  t.voted_for <- Some t.id;
+  t.votes <- 1;
+  t.leader <- None;
+  t.election_elapsed <- 0;
+  t.election_deadline <- fresh_election_deadline t;
+  let last_log_index = Log.last_index t.log in
+  let last_log_term = Log.last_term t.log in
+  Array.iter
+    (fun p ->
+      t.send p (Request_vote { term = t.term; candidate_id = t.id; last_log_index; last_log_term }))
+    t.peers;
+  (* Single-node group: immediately a leader. *)
+  if Array.length t.peers = 0 then become_leader t
+
+(* Median match index across the cluster = highest index replicated on a
+   majority. Only entries of the current term commit directly (§5.4.2). *)
+let try_advance_commit t =
+  let n = Array.length t.peers + 1 in
+  let matches = Array.make n (Log.last_index t.log) in
+  Array.blit t.match_index 0 matches 1 (Array.length t.peers);
+  Array.sort compare matches;
+  let majority_match = matches.(n - ((n / 2) + 1)) in
+  if
+    majority_match > t.commit_index
+    && Log.term_at t.log majority_match = t.term
+  then begin
+    t.commit_index <- majority_match;
+    apply_committed t
+  end
+
+let handle_request_vote t ~term ~candidate_id ~last_log_index ~last_log_term =
+  if term > t.term then become_follower t term;
+  let up_to_date =
+    last_log_term > Log.last_term t.log
+    || (last_log_term = Log.last_term t.log && last_log_index >= Log.last_index t.log)
+  in
+  let grant =
+    term >= t.term && up_to_date
+    && (match t.voted_for with None -> true | Some v -> v = candidate_id)
+  in
+  if grant then begin
+    t.voted_for <- Some candidate_id;
+    t.election_elapsed <- 0
+  end;
+  t.send candidate_id (Request_vote_resp { term = t.term; vote_granted = grant; from = t.id })
+
+let handle_vote_resp t ~term ~vote_granted ~from:_ =
+  if term > t.term then become_follower t term
+  else if t.role = Candidate && term = t.term && vote_granted then begin
+    t.votes <- t.votes + 1;
+    let majority = ((Array.length t.peers + 1) / 2) + 1 in
+    if t.votes >= majority then become_leader t
+  end
+
+let handle_append_entries t ~term ~leader_id ~prev_log_index ~prev_log_term ~entries
+    ~leader_commit =
+  if term < t.term then
+    t.send leader_id
+      (Append_entries_resp { term = t.term; success = false; from = t.id; match_index = 0 })
+  else begin
+    become_follower t term;
+    t.leader <- Some leader_id;
+    let log_ok =
+      prev_log_index <= Log.last_index t.log
+      && Log.term_at t.log prev_log_index = prev_log_term
+    in
+    if not log_ok then
+      t.send leader_id
+        (Append_entries_resp { term = t.term; success = false; from = t.id; match_index = 0 })
+    else begin
+      (* Append entries, resolving conflicts by truncation. *)
+      let idx = ref prev_log_index in
+      List.iter
+        (fun (entry : _ Log.entry) ->
+          incr idx;
+          if !idx <= Log.last_index t.log then begin
+            if Log.term_at t.log !idx <> entry.term then begin
+              Log.truncate_from t.log !idx;
+              ignore (Log.append t.log entry)
+            end
+          end
+          else ignore (Log.append t.log entry))
+        entries;
+      let match_index = !idx in
+      if leader_commit > t.commit_index then begin
+        t.commit_index <- min leader_commit match_index;
+        apply_committed t
+      end;
+      t.send leader_id
+        (Append_entries_resp { term = t.term; success = true; from = t.id; match_index })
+    end
+  end
+
+let handle_append_resp t ~term ~success ~from ~match_index =
+  if term > t.term then become_follower t term
+  else if t.role = Leader && term = t.term then begin
+    let slot = peer_slot t from in
+    if success then begin
+      if match_index > t.match_index.(slot) then t.match_index.(slot) <- match_index;
+      t.next_index.(slot) <- max t.next_index.(slot) (match_index + 1);
+      try_advance_commit t;
+      (* Keep streaming if the follower is still behind. *)
+      if t.next_index.(slot) <= Log.last_index t.log then send_append_entries t ~peer:from
+    end
+    else begin
+      (* Log mismatch: back off and retry. *)
+      t.next_index.(slot) <- max 1 (t.next_index.(slot) - 1);
+      send_append_entries t ~peer:from
+    end
+  end
+
+let receive t msg =
+  match msg with
+  | Request_vote { term; candidate_id; last_log_index; last_log_term } ->
+      handle_request_vote t ~term ~candidate_id ~last_log_index ~last_log_term
+  | Request_vote_resp { term; vote_granted; from } -> handle_vote_resp t ~term ~vote_granted ~from
+  | Append_entries { term; leader_id; prev_log_index; prev_log_term; entries; leader_commit } ->
+      handle_append_entries t ~term ~leader_id ~prev_log_index ~prev_log_term ~entries
+        ~leader_commit
+  | Append_entries_resp { term; success; from; match_index } ->
+      handle_append_resp t ~term ~success ~from ~match_index
+
+let periodic t ~elapsed_ns =
+  match t.role with
+  | Leader ->
+      t.heartbeat_elapsed <- t.heartbeat_elapsed + elapsed_ns;
+      if t.heartbeat_elapsed >= t.cfg.heartbeat_ns then begin
+        t.heartbeat_elapsed <- 0;
+        broadcast_append_entries t
+      end
+  | Follower | Candidate ->
+      t.election_elapsed <- t.election_elapsed + elapsed_ns;
+      if t.election_elapsed >= t.election_deadline then start_election t
+
+let submit t cmd =
+  match t.role with
+  | Leader ->
+      let index = Log.append t.log { term = t.term; cmd } in
+      broadcast_append_entries t;
+      (* Single-node group commits immediately. *)
+      try_advance_commit t;
+      Ok index
+  | Follower | Candidate -> Error (`Not_leader t.leader)

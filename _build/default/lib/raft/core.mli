@@ -1,0 +1,78 @@
+(** Raft consensus core (Ongaro & Ousterhout, ATC '14), modeled on the C
+    LibRaft the paper ports to eRPC (§7.1): the protocol is a pure state
+    machine whose only requirement is that "the user provide callbacks for
+    sending and handling RPCs". Time advances only through [periodic], and
+    randomness comes from a caller-supplied source — there are no
+    dependencies on the simulator, so integrations (our eRPC one included)
+    need no changes to this module.
+
+    Scope: leader election, log replication and commitment, and follower
+    log repair. Log compaction/snapshots and membership changes are out of
+    scope, as in the paper's evaluation. *)
+
+type role = Follower | Candidate | Leader
+
+type 'cmd msg =
+  | Request_vote of {
+      term : int;
+      candidate_id : int;
+      last_log_index : int;
+      last_log_term : int;
+    }
+  | Request_vote_resp of { term : int; vote_granted : bool; from : int }
+  | Append_entries of {
+      term : int;
+      leader_id : int;
+      prev_log_index : int;
+      prev_log_term : int;
+      entries : 'cmd Log.entry list;
+      leader_commit : int;
+    }
+  | Append_entries_resp of { term : int; success : bool; from : int; match_index : int }
+
+type config = {
+  election_timeout_min_ns : int;
+  election_timeout_max_ns : int;
+  heartbeat_ns : int;
+  max_entries_per_msg : int;
+}
+
+val default_config : config
+
+type 'cmd t
+
+(** [create ~id ~peers cfg ~send ~apply ~random] — [send dst msg] transmits
+    a message (the integration layer serializes it however it likes);
+    [apply index cmd] is invoked exactly once per committed entry, in index
+    order; [random n] returns a uniform int in [0, n) for election
+    jitter. *)
+val create :
+  id:int ->
+  peers:int array ->
+  config ->
+  send:(int -> 'cmd msg -> unit) ->
+  apply:(int -> 'cmd -> unit) ->
+  random:(int -> int) ->
+  'cmd t
+
+val id : 'cmd t -> int
+val role : 'cmd t -> role
+val term : 'cmd t -> int
+val commit_index : 'cmd t -> int
+val last_applied : 'cmd t -> int
+
+(** Current leader as known locally, if any. *)
+val leader_hint : 'cmd t -> int option
+
+val log : 'cmd t -> 'cmd Log.t
+
+(** Feed an incoming message. *)
+val receive : 'cmd t -> 'cmd msg -> unit
+
+(** Advance protocol time: election timeouts and heartbeats. Call
+    regularly (LibRaft's [raft_periodic]). *)
+val periodic : 'cmd t -> elapsed_ns:int -> unit
+
+(** Submit a command. On the leader, appends and replicates immediately,
+    returning the entry's log index. *)
+val submit : 'cmd t -> 'cmd -> (int, [ `Not_leader of int option ]) result

@@ -1,0 +1,28 @@
+(** Raft replicated log: 1-indexed entries of (term, command).
+
+    Index 0 is the empty prefix with term 0. *)
+
+type 'cmd entry = { term : int; cmd : 'cmd }
+type 'cmd t
+
+val create : unit -> 'cmd t
+
+(** Index of the last entry (0 when empty). *)
+val last_index : 'cmd t -> int
+
+val last_term : 'cmd t -> int
+
+(** Term of the entry at [index]; 0 for index 0. Raises [Invalid_argument]
+    beyond the log end. *)
+val term_at : 'cmd t -> int -> int
+
+val get : 'cmd t -> int -> 'cmd entry
+
+(** Append one entry; returns its index. *)
+val append : 'cmd t -> 'cmd entry -> int
+
+(** Remove entries with index >= [from] (conflict resolution). *)
+val truncate_from : 'cmd t -> int -> unit
+
+(** Up to [max] entries starting at [from] (inclusive). *)
+val entries_from : 'cmd t -> from:int -> max:int -> 'cmd entry list

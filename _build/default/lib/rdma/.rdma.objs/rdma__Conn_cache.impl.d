@@ -1,0 +1,1 @@
+lib/rdma/conn_cache.ml: Hashtbl

@@ -1,0 +1,1 @@
+lib/rdma/qp.ml: Hashtbl Netsim Sim Transport

@@ -1,0 +1,1 @@
+lib/rdma/read_rate.ml: Conn_cache Sim

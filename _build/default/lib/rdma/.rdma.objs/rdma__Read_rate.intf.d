@@ -1,0 +1,1 @@
+lib/rdma/read_rate.mli: Conn_cache

@@ -1,0 +1,34 @@
+(** Verbs-like RDMA operations over the simulated fabric — the baseline
+    eRPC is compared against (Table 2 latency, Fig 6 bandwidth).
+
+    One {!endpoint} per host. RDMA reads and writes execute without remote
+    CPU involvement: the remote NIC serves them after a fixed processing
+    delay. Large operations stream MTU-sized packets at line rate. Reliable
+    Connection semantics are approximated: writes complete at the requester
+    after the remote NIC acks the last packet; reads complete when all
+    response data has arrived. *)
+
+type config = {
+  post_ns : int;  (** CPU cost to post a work request + doorbell *)
+  poll_ns : int;  (** CPU cost to poll the completion *)
+  remote_read_ns : int;  (** remote NIC's processing of an inbound READ *)
+  remote_write_ns : int;  (** remote NIC's processing of inbound WRITE data *)
+  nic_tx_ns : int;
+  nic_rx_ns : int;
+  mtu : int;
+  wire_overhead : int;
+}
+
+val default_config : Transport.Cluster.t -> config
+
+type endpoint
+
+val create : Sim.Engine.t -> Netsim.Network.t -> host:int -> config -> endpoint
+
+(** [post_read ep ~dst ~len ~completion] issues a [len]-byte RDMA read;
+    [completion] fires when the data is in local memory. *)
+val post_read : endpoint -> dst:int -> len:int -> completion:(unit -> unit) -> unit
+
+(** [post_write ep ~dst ~len ~completion] issues a [len]-byte RDMA write;
+    [completion] fires when the remote NIC has acked the last packet. *)
+val post_write : endpoint -> dst:int -> len:int -> completion:(unit -> unit) -> unit

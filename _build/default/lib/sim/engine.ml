@@ -1,0 +1,43 @@
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : Time.t;
+  master_rng : Rng.t;
+  mutable executed : int;
+}
+
+let create ?(seed = 42L) () =
+  { queue = Event_queue.create (); clock = Time.zero; master_rng = Rng.create seed; executed = 0 }
+
+let now t = t.clock
+let rng t = t.master_rng
+
+let schedule t at f =
+  if at < t.clock then
+    invalid_arg
+      (Format.asprintf "Engine.schedule: time %a is before now %a" Time.pp at Time.pp t.clock);
+  Event_queue.push t.queue at f
+
+let schedule_after t delta f = schedule t (Time.add t.clock delta) f
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+      t.clock <- at;
+      t.executed <- t.executed + 1;
+      f ();
+      true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some at when at <= horizon -> ignore (step t)
+    | _ -> continue := false
+  done;
+  if t.clock < horizon then t.clock <- horizon
+
+let events_processed t = t.executed
+let pending t = Event_queue.length t.queue

@@ -1,0 +1,40 @@
+(** Discrete-event simulation engine.
+
+    Events are thunks executed in timestamp order (FIFO among equal
+    timestamps). A single engine drives one experiment; all randomness comes
+    from streams split off the engine's master RNG, so a given seed fully
+    determines the run. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+
+(** Current simulated time. *)
+val now : t -> Time.t
+
+(** Master RNG; use [Rng.split] to derive per-component streams. *)
+val rng : t -> Rng.t
+
+(** [schedule t at f] runs [f] at absolute time [at]. [at] must not be in
+    the past. *)
+val schedule : t -> Time.t -> (unit -> unit) -> unit
+
+(** [schedule_after t delta f] runs [f] at [now t + delta]. *)
+val schedule_after : t -> Time.t -> (unit -> unit) -> unit
+
+(** Execute the single earliest event. Returns [false] when no events
+    remain. *)
+val step : t -> bool
+
+(** Run until the event queue is empty. *)
+val run : t -> unit
+
+(** Run events with timestamp <= the given horizon; the clock is advanced to
+    the horizon afterwards. *)
+val run_until : t -> Time.t -> unit
+
+(** Number of events executed so far. *)
+val events_processed : t -> int
+
+(** Number of events pending. *)
+val pending : t -> int

@@ -1,0 +1,17 @@
+(** Priority queue of timestamped events (binary min-heap).
+
+    Ties on the timestamp are broken by insertion order, so the engine is
+    fully deterministic for a given seed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> Time.t -> 'a -> unit
+
+(** Earliest (time, event), or [None] if empty. *)
+val pop : 'a t -> (Time.t * 'a) option
+
+val peek_time : 'a t -> Time.t option
+val clear : 'a t -> unit

@@ -1,0 +1,32 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = create (next t)
+
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (next t) land max_int in
+  v mod bound
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool_with_prob t p = float t < p
+
+let exponential t mean =
+  let u = float t in
+  let u = if u <= 0. then 1e-12 else u in
+  -.mean *. log u

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every simulation component draws from its own [Rng.t] stream, split off
+    a per-experiment master seed, so experiments are reproducible and
+    component behaviour is independent of event interleaving. *)
+
+type t
+
+val create : int64 -> t
+
+(** [split t] derives an independent stream from [t], advancing [t]. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Bernoulli trial with success probability [p]. *)
+val bool_with_prob : t -> float -> bool
+
+(** Exponentially distributed value with the given mean. *)
+val exponential : t -> float -> float

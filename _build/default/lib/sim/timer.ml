@@ -1,0 +1,33 @@
+type t = {
+  engine : Engine.t;
+  callback : unit -> unit;
+  mutable generation : int;
+  mutable armed : bool;
+  mutable deadline : Time.t;
+}
+
+let create engine ~callback =
+  { engine; callback; generation = 0; armed = false; deadline = Time.zero }
+
+let arm t at =
+  t.generation <- t.generation + 1;
+  t.armed <- true;
+  t.deadline <- at;
+  let gen = t.generation in
+  Engine.schedule t.engine at (fun () ->
+      if t.armed && t.generation = gen then begin
+        t.armed <- false;
+        t.callback ()
+      end)
+
+let arm_after t delta = arm t (Time.add (Engine.now t.engine) delta)
+
+let disarm t =
+  t.armed <- false;
+  t.generation <- t.generation + 1
+
+let is_armed t = t.armed
+
+let deadline t =
+  if not t.armed then invalid_arg "Timer.deadline: timer not armed";
+  t.deadline

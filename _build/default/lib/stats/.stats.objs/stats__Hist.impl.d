@@ -1,0 +1,1 @@
+lib/stats/hist.ml: Array Bits Float Format Stdlib

@@ -1,0 +1,6 @@
+let msb v =
+  if v <= 0 then invalid_arg "Bits.msb: requires v > 0";
+  let rec go v acc = if v = 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let clz v = 62 - msb v

@@ -1,0 +1,8 @@
+(** Small bit-twiddling helpers. *)
+
+(** Count of leading zeros of a positive 63-bit OCaml int, counted within
+    63 bits (so [clz 1 = 62]). Raises [Invalid_argument] for [v <= 0]. *)
+val clz : int -> int
+
+(** Position of the most significant set bit ([msb 1 = 0]). *)
+val msb : int -> int

@@ -1,0 +1,1 @@
+lib/transport/cluster.ml: Netsim Nic

@@ -1,0 +1,1 @@
+lib/transport/cluster.mli: Netsim Nic Sim

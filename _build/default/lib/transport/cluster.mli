@@ -1,0 +1,46 @@
+(** Evaluation-cluster profiles (paper Table 1).
+
+    A profile bundles everything that differed across the paper's testbeds:
+    topology, link rate, MTU, per-packet wire overhead, NIC latencies, and a
+    CPU speed scale. The three paper clusters are modeled, plus the 2-node
+    100 Gbps setup used for the large-message experiment (Fig 6).
+
+    Latency calibration: NIC TX/RX latencies and cable delays are chosen so
+    that the model's base RTTs land on the paper's measured values (Table 2:
+    RDMA read 1.7/2.9/2.0 µs on CX3/CX4/CX5). CPU scales are chosen so
+    single-core small-RPC rates land on Fig 4. *)
+
+type t = {
+  name : string;
+  net_config : Netsim.Network.config;
+  nic_config : Nic.config;
+  num_hosts : int;
+  mtu : int;  (** max payload bytes per packet (data + eRPC header) *)
+  wire_overhead : int;  (** transport framing bytes added on the wire *)
+  link_gbps : float;
+  cpu_scale : float;  (** multiplier on all modeled CPU costs *)
+  bdp_bytes : int;  (** network bandwidth-delay product *)
+  rdma_delta_ns : int;
+      (** per-NIC-crossing latency advantage of the hardware RDMA path over
+          eRPC's UD-verbs path; used by {!Rdma.Qp.default_config} *)
+}
+
+(** 11 nodes, InfiniBand 56 Gbps, one switch (Emulab). *)
+val cx3 : ?nodes:int -> unit -> t
+
+(** 100 nodes, lossy Ethernet 25 Gbps, 5 ToRs + spine, 2:1 oversubscribed
+    (CloudLab). The paper's primary cluster. *)
+val cx4 : ?nodes:int -> unit -> t
+
+(** 8 nodes, lossy Ethernet 40 Gbps, one switch. *)
+val cx5 : ?nodes:int -> unit -> t
+
+(** 2 nodes connected by a 100 Gbps InfiniBand switch (Fig 6 setup). *)
+val cx5_ib100 : unit -> t
+
+(** Instantiate the network fabric for a profile. *)
+val build : Sim.Engine.t -> t -> Netsim.Network.t
+
+(** Default session credit count for a profile: BDP/MTU, the paper's flow
+    control rule (§4.3.1). *)
+val default_credits : t -> int

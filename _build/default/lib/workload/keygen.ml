@@ -1,0 +1,36 @@
+type t =
+  | Uniform of int
+  | Zipf of { n : int; alpha : float; zetan : float; eta : float; theta : float }
+
+let uniform ~n =
+  assert (n > 0);
+  Uniform n
+
+let zeta n theta =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let zipf ~n ~theta =
+  assert (n > 0 && theta > 0. && theta < 1.);
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1. /. (1. -. theta) in
+  let eta = (1. -. Float.pow (2. /. float_of_int n) (1. -. theta)) /. (1. -. (zeta2 /. zetan)) in
+  Zipf { n; alpha; zetan; eta; theta }
+
+let next t rng =
+  match t with
+  | Uniform n -> Sim.Rng.int rng n
+  | Zipf { n; alpha; zetan; eta; theta } ->
+      let u = Sim.Rng.float rng in
+      let uz = u *. zetan in
+      if uz < 1. then 0
+      else if uz < 1. +. Float.pow 0.5 theta then 1
+      else
+        let v = float_of_int n *. Float.pow ((eta *. u) -. eta +. 1.) alpha in
+        min (n - 1) (int_of_float v)
+
+let encode ?(width = 16) k = Printf.sprintf "%0*d" width k

@@ -1,0 +1,16 @@
+(** Key generators for KV workloads. *)
+
+type t
+
+(** Uniform over [0, n). *)
+val uniform : n:int -> t
+
+(** YCSB-style Zipfian over [0, n) with skew [theta] (0.99 is the YCSB
+    default). *)
+val zipf : n:int -> theta:float -> t
+
+val next : t -> Sim.Rng.t -> int
+
+(** Fixed-width printable key encoding (16 bytes by default, like the
+    paper's 16 B keys). *)
+val encode : ?width:int -> int -> string

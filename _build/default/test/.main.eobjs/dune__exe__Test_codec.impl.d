@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bytes Codec Erpc List QCheck2 QCheck_alcotest Sim Transport

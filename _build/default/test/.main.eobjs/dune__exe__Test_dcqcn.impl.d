@@ -1,0 +1,1 @@
+test/test_dcqcn.ml: Alcotest Erpc Experiments Netsim Printf Sim

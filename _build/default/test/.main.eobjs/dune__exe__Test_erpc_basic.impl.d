@@ -1,0 +1,1 @@
+test/test_erpc_basic.ml: Alcotest Char Erpc Printf Result Sim String Transport

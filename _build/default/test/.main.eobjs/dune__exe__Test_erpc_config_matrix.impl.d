@@ -1,0 +1,1 @@
+test/test_erpc_config_matrix.ml: Alcotest Char Erpc List Netsim Result Sim String Test_erpc_basic Transport

@@ -1,0 +1,1 @@
+test/test_erpc_edge.ml: Alcotest Erpc Experiments List Result Sim Test_erpc_basic Transport

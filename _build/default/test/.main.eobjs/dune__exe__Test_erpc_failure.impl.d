@@ -1,0 +1,1 @@
+test/test_erpc_failure.ml: Alcotest Array Erpc Result Sim Test_erpc_basic Transport

@@ -1,0 +1,1 @@
+test/test_erpc_loss.ml: Alcotest Char Erpc Netsim Result Sim String Test_erpc_basic Transport

@@ -1,0 +1,1 @@
+test/test_erpc_protocol.ml: Alcotest Char Erpc List QCheck2 QCheck_alcotest Result Sim String Test_erpc_basic Transport

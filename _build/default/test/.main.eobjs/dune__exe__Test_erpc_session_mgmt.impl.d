@@ -1,0 +1,1 @@
+test/test_erpc_session_mgmt.ml: Alcotest Erpc Sim Test_erpc_basic Transport

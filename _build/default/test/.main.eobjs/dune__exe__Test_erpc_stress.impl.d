@@ -1,0 +1,1 @@
+test/test_erpc_stress.ml: Alcotest Array Char Erpc List Netsim QCheck2 QCheck_alcotest Result Sim String Test_erpc_basic Transport

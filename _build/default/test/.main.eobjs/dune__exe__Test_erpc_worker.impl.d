@@ -1,0 +1,1 @@
+test/test_erpc_worker.ml: Alcotest Array Erpc List Printf Sim Transport

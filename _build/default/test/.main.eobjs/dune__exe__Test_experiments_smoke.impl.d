@@ -1,0 +1,1 @@
+test/test_experiments_smoke.ml: Alcotest Experiments Printf Rdma Transport

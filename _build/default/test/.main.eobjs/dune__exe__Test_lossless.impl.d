@@ -1,0 +1,1 @@
+test/test_lossless.ml: Alcotest Array Erpc Experiments List Netsim Sim Transport

@@ -1,0 +1,1 @@
+test/test_masstree.ml: Alcotest Array Fun List Map Masstree Printf QCheck2 QCheck_alcotest Seq Sim String

@@ -1,0 +1,1 @@
+test/test_mica.ml: Alcotest Hashtbl List Mica QCheck2 QCheck_alcotest

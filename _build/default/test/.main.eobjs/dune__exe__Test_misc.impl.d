@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Core Erpc Format Sim String Transport

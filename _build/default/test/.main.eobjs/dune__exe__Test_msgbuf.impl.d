@@ -1,0 +1,1 @@
+test/test_msgbuf.ml: Alcotest Bytes Erpc

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Hashtbl List Netsim Printf Sim String

@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Array Bytes Fun List Printf QCheck2 QCheck_alcotest Queue Raft Sim

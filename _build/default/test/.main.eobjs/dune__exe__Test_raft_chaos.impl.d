@@ -1,0 +1,1 @@
+test/test_raft_chaos.ml: Alcotest Array Fun Hashtbl Int64 List Printf Queue Raft Sim

@@ -1,0 +1,1 @@
+test/test_raft_erpc.ml: Alcotest Array Erpc Experiments Mica Printf Raft Result String Transport Workload

@@ -1,0 +1,1 @@
+test/test_rdma.ml: Alcotest List Rdma Sim Transport

@@ -1,0 +1,1 @@
+test/test_timely.ml: Alcotest Erpc

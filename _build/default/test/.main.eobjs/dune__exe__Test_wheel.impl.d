@@ -1,0 +1,1 @@
+test/test_wheel.ml: Alcotest Erpc Hashtbl List Option QCheck2 QCheck_alcotest

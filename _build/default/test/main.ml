@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "erpc_repro"
+    [
+      ("sim", Test_sim.suite);
+      ("netsim", Test_netsim.suite);
+      ("lossless", Test_lossless.suite);
+      ("nic", Test_nic.suite);
+      ("transport", Test_transport.suite);
+      ("stats", Test_stats.suite);
+      ("msgbuf", Test_msgbuf.suite);
+      ("wheel", Test_wheel.suite);
+      ("timely", Test_timely.suite);
+      ("dcqcn", Test_dcqcn.suite);
+      ("erpc_basic", Test_erpc_basic.suite);
+      ("erpc_protocol", Test_erpc_protocol.suite);
+      ("erpc_loss", Test_erpc_loss.suite);
+      ("erpc_failure", Test_erpc_failure.suite);
+      ("erpc_worker", Test_erpc_worker.suite);
+      ("erpc_session_mgmt", Test_erpc_session_mgmt.suite);
+      ("erpc_config_matrix", Test_erpc_config_matrix.suite);
+      ("erpc_edge", Test_erpc_edge.suite);
+      ("erpc_stress", Test_erpc_stress.suite);
+      ("codec", Test_codec.suite);
+      ("experiments_smoke", Test_experiments_smoke.suite);
+      ("misc", Test_misc.suite);
+      ("mica", Test_mica.suite);
+      ("masstree", Test_masstree.suite);
+      ("raft", Test_raft.suite);
+      ("raft_chaos", Test_raft_chaos.suite);
+      ("raft_erpc", Test_raft_erpc.suite);
+      ("rdma", Test_rdma.suite);
+      ("workload", Test_workload.suite);
+    ]

@@ -1,0 +1,132 @@
+(* Tests for the typed marshalling layer, including qcheck roundtrips. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let roundtrip c v = Codec.of_bytes c (Codec.to_bytes c v)
+
+let test_primitives () =
+  check_int "u8" 200 (roundtrip Codec.u8 200);
+  check_int "u16" 60_000 (roundtrip Codec.u16 60_000);
+  check_int "u32" 0xDEADBEEF (roundtrip Codec.u32 0xDEADBEEF);
+  check_int "u64" 123_456_789_012_345 (roundtrip Codec.u64 123_456_789_012_345);
+  check_bool "bool t" true (roundtrip Codec.bool true);
+  check_bool "bool f" false (roundtrip Codec.bool false);
+  Alcotest.(check string) "string" "hello" (roundtrip Codec.string "hello");
+  Alcotest.(check string) "fixed" "16-byte-string!!" (roundtrip (Codec.fixed_string 16) "16-byte-string!!")
+
+let test_range_checks () =
+  Alcotest.check_raises "u8 range" (Invalid_argument "Codec.u8: out of range") (fun () ->
+      ignore (Codec.to_bytes Codec.u8 256));
+  Alcotest.check_raises "fixed width" (Invalid_argument "Codec.fixed_string: expected 4 bytes, got 3")
+    (fun () -> ignore (Codec.to_bytes (Codec.fixed_string 4) "abc"))
+
+let test_combinators () =
+  let c = Codec.(pair u32 (list string)) in
+  let v = (42, [ "a"; "bb"; "" ]) in
+  check_bool "pair+list" true (roundtrip c v = v);
+  let t = Codec.(triple bool u16 string) in
+  let tv = (true, 7, "x") in
+  check_bool "triple" true (roundtrip t tv = tv);
+  check_bool "option none" true (roundtrip Codec.(option u32) None = None);
+  check_bool "option some" true (roundtrip Codec.(option u32) (Some 9) = Some 9);
+  check_bool "array" true (roundtrip Codec.(array u8) [| 1; 2; 3 |] = [| 1; 2; 3 |])
+
+let test_map () =
+  (* A record codec built with map. *)
+  let c =
+    Codec.map
+      ~into:(fun (k, v) -> `Put (k, v))
+      ~from:(fun (`Put (k, v)) -> (k, v))
+      Codec.(pair string string)
+  in
+  check_bool "mapped record" true (roundtrip c (`Put ("key", "value")) = `Put ("key", "value"))
+
+let test_sizes_exact () =
+  check_int "u32 size" 4 (Codec.size Codec.u32 0);
+  check_int "string size" (4 + 5) (Codec.size Codec.string "hello");
+  check_int "list size" (4 + (2 * 4)) (Codec.size Codec.(list u32) [ 1; 2 ]);
+  check_int "option none size" 1 (Codec.size Codec.(option u64) None)
+
+let test_truncation_raises () =
+  let b = Codec.to_bytes Codec.string "hello world" in
+  let truncated = Bytes.sub b 0 6 in
+  check_bool "decode error" true
+    (try
+       ignore (Codec.of_bytes Codec.string truncated);
+       false
+     with Codec.Decode_error _ -> true)
+
+let test_msgbuf_io () =
+  let c = Codec.(pair u32 string) in
+  let m = Erpc.Msgbuf.alloc ~max_size:64 in
+  Codec.write c m (7, "payload");
+  check_int "msgbuf resized to exact size" (4 + 4 + 7) (Erpc.Msgbuf.size m);
+  check_bool "read back" true (Codec.read c m = (7, "payload"))
+
+let test_alloc_and_write () =
+  let m = Codec.alloc_and_write Codec.string "x" in
+  check_int "exact allocation" 5 (Erpc.Msgbuf.max_size m)
+
+let qcheck_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 0 50)
+        (triple (int_range 0 0xFFFFFFFF) (small_string ~gen:printable) bool))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"codec roundtrip (list of triples)" ~count:300 gen (fun v ->
+         roundtrip Codec.(list (triple u32 string bool)) v = v))
+
+let qcheck_nested =
+  let c = Codec.(option (pair (list u16) string)) in
+  let gen =
+    QCheck2.Gen.(
+      option (pair (list_size (int_range 0 20) (int_range 0 0xFFFF)) (small_string ~gen:printable)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"codec roundtrip (nested option)" ~count:300 gen (fun v ->
+         roundtrip c v = v))
+
+(* End to end: a typed RPC using the codec layer over eRPC. *)
+let test_typed_rpc_over_erpc () =
+  let request_codec = Codec.(pair string (list u32)) in
+  let response_codec = Codec.u64 in
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let fabric = Erpc.Fabric.create cluster in
+  let nx0 = Erpc.Nexus.create fabric ~host:0 () in
+  let nx1 = Erpc.Nexus.create fabric ~host:1 () in
+  (* Server: sum the numbers if the tag matches. *)
+  Erpc.Nexus.register_handler nx1 ~req_type:5 ~mode:Erpc.Nexus.Dispatch (fun h ->
+      let tag, numbers = Codec.read request_codec (Erpc.Req_handle.get_request h) in
+      let sum = if tag = "sum" then List.fold_left ( + ) 0 numbers else 0 in
+      let resp = Erpc.Req_handle.init_response h ~size:(Codec.size response_codec sum) in
+      Codec.write response_codec resp sum;
+      Erpc.Req_handle.enqueue_response h resp);
+  let client = Erpc.Rpc.create nx0 ~rpc_id:0 in
+  let _server = Erpc.Rpc.create nx1 ~rpc_id:0 in
+  let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  let engine = Erpc.Fabric.engine fabric in
+  Sim.Engine.run_until engine (Sim.Time.ms 1.0);
+  let req = Codec.alloc_and_write request_codec ("sum", [ 1; 2; 3; 4; 5 ]) in
+  let resp = Erpc.Msgbuf.alloc ~max_size:8 in
+  let answer = ref 0 in
+  Erpc.Rpc.enqueue_request client sess ~req_type:5 ~req ~resp ~cont:(fun _ ->
+      answer := Codec.read response_codec resp);
+  Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.ms 5.0));
+  check_int "typed RPC answer" 15 !answer
+
+let suite =
+  [
+    Alcotest.test_case "primitives" `Quick test_primitives;
+    Alcotest.test_case "range checks" `Quick test_range_checks;
+    Alcotest.test_case "combinators" `Quick test_combinators;
+    Alcotest.test_case "map" `Quick test_map;
+    Alcotest.test_case "sizes exact" `Quick test_sizes_exact;
+    Alcotest.test_case "truncation raises" `Quick test_truncation_raises;
+    Alcotest.test_case "msgbuf io" `Quick test_msgbuf_io;
+    Alcotest.test_case "alloc_and_write" `Quick test_alloc_and_write;
+    qcheck_roundtrip;
+    qcheck_nested;
+    Alcotest.test_case "typed RPC over eRPC" `Quick test_typed_rpc_over_erpc;
+  ]

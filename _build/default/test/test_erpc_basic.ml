@@ -1,0 +1,151 @@
+(* End-to-end tests of the eRPC core: connect, small RPC, multi-packet
+   RPC, backlog, at-most-once. *)
+
+let echo_req_type = 1
+
+(* Two-host CX5-style fabric with an echo server on host 1. *)
+let make_pair ?config () =
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let fabric = Erpc.Fabric.create ?config cluster in
+  let nx0 = Erpc.Nexus.create fabric ~host:0 () in
+  let nx1 = Erpc.Nexus.create fabric ~host:1 () in
+  Erpc.Nexus.register_handler nx1 ~req_type:echo_req_type ~mode:Erpc.Nexus.Dispatch
+    (fun h ->
+      let req = Erpc.Req_handle.get_request h in
+      let n = Erpc.Msgbuf.size req in
+      let resp = Erpc.Req_handle.init_response h ~size:n in
+      Erpc.Msgbuf.write_string resp ~off:0 (Erpc.Msgbuf.read_string req ~off:0 ~len:n);
+      Erpc.Req_handle.enqueue_response h resp);
+  let client = Erpc.Rpc.create nx0 ~rpc_id:0 in
+  let server = Erpc.Rpc.create nx1 ~rpc_id:0 in
+  (fabric, client, server)
+
+let run_for fabric ms =
+  let engine = Erpc.Fabric.engine fabric in
+  Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.ms ms))
+
+let connect fabric client =
+  let connected = ref false in
+  let sess =
+    Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0
+      ~on_connect:(fun r ->
+        Alcotest.(check bool) "connect ok" true (Result.is_ok r);
+        connected := true)
+      ()
+  in
+  run_for fabric 1.0;
+  Alcotest.(check bool) "connected" true !connected;
+  sess
+
+let test_connect () =
+  let fabric, client, _server = make_pair () in
+  ignore (connect fabric client)
+
+let test_small_echo () =
+  let fabric, client, server = make_pair () in
+  let sess = connect fabric client in
+  let req = Erpc.Msgbuf.alloc ~max_size:32 in
+  Erpc.Msgbuf.write_string req ~off:0 "hello eRPC, this is 32 bytes!!!!";
+  let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+  let done_ = ref false in
+  Erpc.Rpc.enqueue_request client sess ~req_type:echo_req_type ~req ~resp ~cont:(fun r ->
+      Alcotest.(check bool) "rpc ok" true (Result.is_ok r);
+      done_ := true);
+  run_for fabric 1.0;
+  Alcotest.(check bool) "completed" true !done_;
+  Alcotest.(check string)
+    "echoed" "hello eRPC, this is 32 bytes!!!!"
+    (Erpc.Msgbuf.read_string resp ~off:0 ~len:32);
+  Alcotest.(check int) "server handled one" 1 (Erpc.Rpc.stat_handled server);
+  Alcotest.(check int) "client completed one" 1 (Erpc.Rpc.stat_completed client);
+  (* Buffers returned to the app. *)
+  Alcotest.(check bool) "req returned" true (Erpc.Msgbuf.owner req = Erpc.Msgbuf.Owned_by_app)
+
+let test_latency_sane () =
+  let fabric, client, _server = make_pair () in
+  let sess = connect fabric client in
+  let engine = Erpc.Fabric.engine fabric in
+  let req = Erpc.Msgbuf.alloc ~max_size:32 in
+  let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+  let lat = ref 0 in
+  let t0 = Sim.Engine.now engine in
+  Erpc.Rpc.enqueue_request client sess ~req_type:echo_req_type ~req ~resp ~cont:(fun _ ->
+      lat := Sim.Time.sub (Sim.Engine.now engine) t0);
+  run_for fabric 1.0;
+  (* CX5 target is ~2.3 us; sanity band 1-6 us. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "latency %d ns in [1000, 6000]" !lat)
+    true
+    (!lat >= 1_000 && !lat <= 6_000)
+
+let test_multi_packet_echo () =
+  let fabric, client, _server = make_pair () in
+  let sess = connect fabric client in
+  (* CX5 MTU is 1024: an 8000-byte request is 8 packets each way. *)
+  let n = 8_000 in
+  let req = Erpc.Msgbuf.alloc ~max_size:n in
+  let pattern = String.init n (fun i -> Char.chr (((i * 7) + (i / 256)) land 0xff)) in
+  Erpc.Msgbuf.write_string req ~off:0 pattern;
+  let resp = Erpc.Msgbuf.alloc ~max_size:n in
+  let done_ = ref false in
+  Erpc.Rpc.enqueue_request client sess ~req_type:echo_req_type ~req ~resp ~cont:(fun r ->
+      Alcotest.(check bool) "rpc ok" true (Result.is_ok r);
+      done_ := true);
+  run_for fabric 5.0;
+  Alcotest.(check bool) "completed" true !done_;
+  Alcotest.(check int) "response size" n (Erpc.Msgbuf.size resp);
+  Alcotest.(check string) "payload intact" pattern (Erpc.Msgbuf.read_string resp ~off:0 ~len:n)
+
+let test_pipelined_requests () =
+  let fabric, client, _server = make_pair () in
+  let sess = connect fabric client in
+  let total = 100 in
+  let completed = ref 0 in
+  for i = 0 to total - 1 do
+    let req = Erpc.Msgbuf.alloc ~max_size:32 in
+    Erpc.Msgbuf.set_u32 req ~off:0 i;
+    let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+    Erpc.Rpc.enqueue_request client sess ~req_type:echo_req_type ~req ~resp ~cont:(fun r ->
+        Alcotest.(check bool) "rpc ok" true (Result.is_ok r);
+        Alcotest.(check int) "payload" i (Erpc.Msgbuf.get_u32 resp ~off:0);
+        incr completed)
+  done;
+  run_for fabric 10.0;
+  Alcotest.(check int) "all completed" total !completed
+
+let test_ownership_violation () =
+  let fabric, client, _server = make_pair () in
+  let sess = connect fabric client in
+  let req = Erpc.Msgbuf.alloc ~max_size:32 in
+  let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+  Erpc.Rpc.enqueue_request client sess ~req_type:echo_req_type ~req ~resp ~cont:(fun _ -> ());
+  (* The request is in flight: the app must not touch the msgbuf. *)
+  Alcotest.check_raises "write while in flight"
+    (Invalid_argument
+       "Msgbuf.write_string: buffer is in flight (owned by eRPC); wait for the continuation")
+    (fun () -> Erpc.Msgbuf.write_string req ~off:0 "boom");
+  run_for fabric 1.0
+
+let test_unconnected_enqueue_is_buffered () =
+  let fabric, client, _server = make_pair () in
+  (* Enqueue before the handshake completes: held in the backlog. *)
+  let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  let req = Erpc.Msgbuf.alloc ~max_size:32 in
+  let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+  let done_ = ref false in
+  Erpc.Rpc.enqueue_request client sess ~req_type:echo_req_type ~req ~resp ~cont:(fun r ->
+      Alcotest.(check bool) "rpc ok" true (Result.is_ok r);
+      done_ := true);
+  run_for fabric 2.0;
+  Alcotest.(check bool) "completed after connect" true !done_
+
+let suite =
+  [
+    Alcotest.test_case "connect" `Quick test_connect;
+    Alcotest.test_case "small echo" `Quick test_small_echo;
+    Alcotest.test_case "latency sane" `Quick test_latency_sane;
+    Alcotest.test_case "multi-packet echo" `Quick test_multi_packet_echo;
+    Alcotest.test_case "pipelined requests" `Quick test_pipelined_requests;
+    Alcotest.test_case "ownership violation raises" `Quick test_ownership_violation;
+    Alcotest.test_case "enqueue before connect" `Quick test_unconnected_enqueue_is_buffered;
+  ]

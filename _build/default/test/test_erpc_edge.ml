@@ -1,0 +1,117 @@
+(* Edge cases: spurious RTOs (false loss positives), zero-length messages,
+   same-host sessions, determinism across runs. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let echo = Test_erpc_basic.(echo_req_type)
+
+let deploy ?config () =
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let fabric = Erpc.Fabric.create ?config cluster in
+  let handler_runs = ref 0 in
+  let nx0 = Erpc.Nexus.create fabric ~host:0 () in
+  let nx1 = Erpc.Nexus.create fabric ~host:1 () in
+  List.iter
+    (fun nx ->
+      Erpc.Nexus.register_handler nx ~req_type:echo ~mode:Erpc.Nexus.Dispatch (fun h ->
+          incr handler_runs;
+          let req = Erpc.Req_handle.get_request h in
+          let n = Erpc.Msgbuf.size req in
+          let resp = Erpc.Req_handle.init_response h ~size:n in
+          if n > 0 then Erpc.Msgbuf.blit ~src:req ~src_off:0 ~dst:resp ~dst_off:0 ~len:n;
+          Erpc.Req_handle.enqueue_response h resp))
+    [ nx0; nx1 ];
+  (fabric, Erpc.Rpc.create nx0 ~rpc_id:0, Erpc.Rpc.create nx1 ~rpc_id:0, handler_runs)
+
+let run fabric ms =
+  let engine = Erpc.Fabric.engine fabric in
+  Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.ms ms))
+
+(* An RTO far below the RTT produces false loss positives on every RPC:
+   duplicates flood the server, yet at-most-once semantics and completion
+   must survive (§5.3's "induced loss" discussion). *)
+let test_spurious_rto_at_most_once () =
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let config = { (Erpc.Config.of_cluster cluster) with rto_ns = 1_000 (* 1 us << RTT *) } in
+  let fabric, client, _server, handler_runs = deploy ~config () in
+  let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  let n = 20 in
+  let completed = ref 0 in
+  let rec issue i =
+    if i < n then begin
+      let req = Erpc.Msgbuf.alloc ~max_size:2_048 in
+      let resp = Erpc.Msgbuf.alloc ~max_size:2_048 in
+      Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun r ->
+          if Result.is_ok r then incr completed;
+          issue (i + 1))
+    end
+  in
+  issue 0;
+  run fabric 100.0;
+  check_int "all completed" n !completed;
+  check_bool "spurious retransmissions occurred" true (Erpc.Rpc.stat_retransmits client > 0);
+  check_int "handlers still ran exactly once each" n !handler_runs
+
+let test_zero_length_request () =
+  let fabric, client, _server, _ = deploy () in
+  let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  let req = Erpc.Msgbuf.alloc ~max_size:16 in
+  Erpc.Msgbuf.resize req 0;
+  let resp = Erpc.Msgbuf.alloc ~max_size:16 in
+  let ok = ref false in
+  Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun r ->
+      ok := Result.is_ok r);
+  run fabric 5.0;
+  check_bool "zero-length RPC completes" true !ok;
+  check_int "zero-length response" 0 (Erpc.Msgbuf.size resp)
+
+let test_same_host_session () =
+  (* Two Rpc endpoints on one host talking through the ToR and back. *)
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let fabric = Erpc.Fabric.create cluster in
+  let nx = Erpc.Nexus.create fabric ~host:0 () in
+  Erpc.Nexus.register_handler nx ~req_type:echo ~mode:Erpc.Nexus.Dispatch (fun h ->
+      Erpc.Req_handle.enqueue_response h (Erpc.Req_handle.init_response h ~size:4));
+  let a = Erpc.Rpc.create nx ~rpc_id:0 in
+  let _b = Erpc.Rpc.create nx ~rpc_id:1 in
+  let sess = Erpc.Rpc.create_session a ~remote_host:0 ~remote_rpc_id:1 () in
+  run fabric 1.0;
+  let req = Erpc.Msgbuf.alloc ~max_size:4 in
+  let resp = Erpc.Msgbuf.alloc ~max_size:4 in
+  let ok = ref false in
+  Erpc.Rpc.enqueue_request a sess ~req_type:echo ~req ~resp ~cont:(fun r ->
+      ok := Result.is_ok r);
+  run fabric 5.0;
+  check_bool "same-host RPC via the ToR" true !ok
+
+let test_determinism_across_runs () =
+  let snapshot () =
+    let r =
+      Experiments.Exp_small_rate.run ~seed:7L ~measure_ms:0.5
+        ~cluster:(Transport.Cluster.cx5 ~nodes:4 ())
+        ~batch:3 ()
+    in
+    (r.total_rpcs, r.retransmits)
+  in
+  let a = snapshot () and b = snapshot () in
+  check_bool "identical seeded runs" true (a = b);
+  let c =
+    let r =
+      Experiments.Exp_small_rate.run ~seed:8L ~measure_ms:0.5
+        ~cluster:(Transport.Cluster.cx5 ~nodes:4 ())
+        ~batch:3 ()
+    in
+    (r.total_rpcs, r.retransmits)
+  in
+  check_bool "different seed perturbs the schedule" true (a <> c || fst a > 0)
+
+let suite =
+  [
+    Alcotest.test_case "spurious RTO keeps at-most-once" `Quick test_spurious_rto_at_most_once;
+    Alcotest.test_case "zero-length request" `Quick test_zero_length_request;
+    Alcotest.test_case "same-host session" `Quick test_same_host_session;
+    Alcotest.test_case "determinism across runs" `Quick test_determinism_across_runs;
+  ]

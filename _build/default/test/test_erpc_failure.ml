@@ -1,0 +1,124 @@
+(* Node-failure handling (paper Appendix B): pending requests complete
+   with error codes, msgbuf ownership returns to the application, and the
+   rest of the cluster keeps working. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let echo = Test_erpc_basic.(echo_req_type)
+
+let make_trio () =
+  let cluster = Transport.Cluster.cx5 ~nodes:3 () in
+  let fabric = Erpc.Fabric.create cluster in
+  let nexuses = Array.init 3 (fun host -> Erpc.Nexus.create fabric ~host ()) in
+  Array.iter
+    (fun nx ->
+      Erpc.Nexus.register_handler nx ~req_type:echo ~mode:Erpc.Nexus.Dispatch (fun h ->
+          let n = Erpc.Msgbuf.size (Erpc.Req_handle.get_request h) in
+          let resp = Erpc.Req_handle.init_response h ~size:n in
+          Erpc.Req_handle.enqueue_response h resp))
+    nexuses;
+  let rpcs = Array.map (fun nx -> Erpc.Rpc.create nx ~rpc_id:0) nexuses in
+  (fabric, rpcs)
+
+let run fabric ms =
+  let engine = Erpc.Fabric.engine fabric in
+  Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.ms ms))
+
+let test_pending_requests_error_on_failure () =
+  let fabric, rpcs = make_trio () in
+  let sess = Erpc.Rpc.create_session rpcs.(0) ~remote_host:1 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  (* Kill the server, then issue a request: it can never be answered. *)
+  let req = Erpc.Msgbuf.alloc ~max_size:32 in
+  let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+  let result = ref None in
+  Erpc.Rpc.enqueue_request rpcs.(0) sess ~req_type:echo ~req ~resp ~cont:(fun r ->
+      result := Some r);
+  Erpc.Fabric.kill_host fabric 1;
+  (* Failure detection takes sm_failure_timeout (5 ms). *)
+  run fabric 20.0;
+  (match !result with
+  | Some (Error Erpc.Err.Server_failure) -> ()
+  | Some (Ok ()) -> Alcotest.fail "request to dead host completed"
+  | Some (Error e) -> Alcotest.fail ("wrong error: " ^ Erpc.Err.to_string e)
+  | None -> Alcotest.fail "continuation never invoked");
+  (* Ownership returned: the app can reuse its buffers. *)
+  Erpc.Msgbuf.write_string req ~off:0 "reusable";
+  Erpc.Msgbuf.write_string resp ~off:0 "reusable"
+
+let test_backlogged_requests_error_too () =
+  let fabric, rpcs = make_trio () in
+  let sess = Erpc.Rpc.create_session rpcs.(0) ~remote_host:1 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  Erpc.Fabric.kill_host fabric 1;
+  let errors = ref 0 in
+  (* More than the 8-slot window so some sit in the backlog. *)
+  for _ = 1 to 20 do
+    let req = Erpc.Msgbuf.alloc ~max_size:32 in
+    let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+    Erpc.Rpc.enqueue_request rpcs.(0) sess ~req_type:echo ~req ~resp ~cont:(fun r ->
+        match r with Error Erpc.Err.Server_failure -> incr errors | _ -> ())
+  done;
+  run fabric 20.0;
+  check_int "every request errored, including backlogged" 20 !errors
+
+let test_survivors_unaffected () =
+  let fabric, rpcs = make_trio () in
+  let sess_to_dead = Erpc.Rpc.create_session rpcs.(0) ~remote_host:1 ~remote_rpc_id:0 () in
+  let sess_to_live = Erpc.Rpc.create_session rpcs.(0) ~remote_host:2 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  let req1 = Erpc.Msgbuf.alloc ~max_size:32 in
+  let resp1 = Erpc.Msgbuf.alloc ~max_size:32 in
+  Erpc.Rpc.enqueue_request rpcs.(0) sess_to_dead ~req_type:echo ~req:req1 ~resp:resp1
+    ~cont:(fun _ -> ());
+  Erpc.Fabric.kill_host fabric 1;
+  run fabric 20.0;
+  (* The session to the live host still works. *)
+  let ok = ref false in
+  let req2 = Erpc.Msgbuf.alloc ~max_size:32 in
+  let resp2 = Erpc.Msgbuf.alloc ~max_size:32 in
+  Erpc.Rpc.enqueue_request rpcs.(0) sess_to_live ~req_type:echo ~req:req2 ~resp:resp2
+    ~cont:(fun r -> ok := Result.is_ok r);
+  run fabric 10.0;
+  check_bool "live session still works" true !ok;
+  check_bool "dead session marked" true
+    (match sess_to_dead.Erpc.Session.state with Erpc.Session.Error _ -> true | _ -> false)
+
+let test_requests_after_failure_fail_fast () =
+  let fabric, rpcs = make_trio () in
+  let sess = Erpc.Rpc.create_session rpcs.(0) ~remote_host:1 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  Erpc.Fabric.kill_host fabric 1;
+  run fabric 20.0 (* detection done; session now in Error state *);
+  let result = ref None in
+  let req = Erpc.Msgbuf.alloc ~max_size:32 in
+  let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+  Erpc.Rpc.enqueue_request rpcs.(0) sess ~req_type:echo ~req ~resp ~cont:(fun r ->
+      result := Some r);
+  run fabric 5.0;
+  check_bool "fails fast with session error" true
+    (match !result with Some (Error (Erpc.Err.Session_error _)) -> true | _ -> false)
+
+let test_dead_host_stops_responding () =
+  let fabric, rpcs = make_trio () in
+  let sess = Erpc.Rpc.create_session rpcs.(0) ~remote_host:1 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  Erpc.Fabric.kill_host fabric 1;
+  let completed = ref false in
+  let req = Erpc.Msgbuf.alloc ~max_size:32 in
+  let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+  Erpc.Rpc.enqueue_request rpcs.(0) sess ~req_type:echo ~req ~resp ~cont:(fun r ->
+      completed := Result.is_ok r);
+  run fabric 3.0 (* before the detection timeout *);
+  check_bool "no response from dead host" false !completed;
+  check_int "server handled nothing" 0 (Erpc.Rpc.stat_handled rpcs.(1))
+
+let suite =
+  [
+    Alcotest.test_case "pending requests error" `Quick test_pending_requests_error_on_failure;
+    Alcotest.test_case "backlogged requests error" `Quick test_backlogged_requests_error_too;
+    Alcotest.test_case "survivors unaffected" `Quick test_survivors_unaffected;
+    Alcotest.test_case "fail fast after detection" `Quick test_requests_after_failure_fail_fast;
+    Alcotest.test_case "dead host is silent" `Quick test_dead_host_stops_responding;
+  ]

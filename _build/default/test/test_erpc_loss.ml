@@ -1,0 +1,126 @@
+(* Packet loss and retransmission: go-back-N recovery, at-most-once
+   execution, credit reclamation, data integrity under loss. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let echo = Test_erpc_basic.(echo_req_type)
+
+let make_pair ?(count_handler_runs = ref 0) () =
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let fabric = Erpc.Fabric.create cluster in
+  let nx0 = Erpc.Nexus.create fabric ~host:0 () in
+  let nx1 = Erpc.Nexus.create fabric ~host:1 () in
+  Erpc.Nexus.register_handler nx1 ~req_type:echo ~mode:Erpc.Nexus.Dispatch (fun h ->
+      incr count_handler_runs;
+      let req = Erpc.Req_handle.get_request h in
+      let n = Erpc.Msgbuf.size req in
+      let resp = Erpc.Req_handle.init_response h ~size:n in
+      if n > 0 then Erpc.Msgbuf.blit ~src:req ~src_off:0 ~dst:resp ~dst_off:0 ~len:n;
+      Erpc.Req_handle.enqueue_response h resp);
+  let client = Erpc.Rpc.create nx0 ~rpc_id:0 in
+  let server = Erpc.Rpc.create nx1 ~rpc_id:0 in
+  (fabric, client, server)
+
+let run fabric ms =
+  let engine = Erpc.Fabric.engine fabric in
+  Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.ms ms))
+
+let connect fabric client =
+  let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  sess
+
+let test_rpc_survives_heavy_loss () =
+  let fabric, client, _server = make_pair () in
+  let sess = connect fabric client in
+  Netsim.Network.set_loss_prob (Erpc.Fabric.net fabric) 0.2;
+  let completed = ref 0 in
+  for _ = 1 to 10 do
+    let req = Erpc.Msgbuf.alloc ~max_size:32 in
+    let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+    Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun r ->
+        if Result.is_ok r then incr completed)
+  done;
+  (* RTO is 5 ms; heavy loss may need several rounds. *)
+  run fabric 500.0;
+  check_int "all complete despite 20% loss" 10 !completed;
+  check_bool "retransmissions happened" true (Erpc.Rpc.stat_retransmits client > 0)
+
+let test_at_most_once_execution () =
+  let handler_runs = ref 0 in
+  let fabric, client, _server = make_pair ~count_handler_runs:handler_runs () in
+  let sess = connect fabric client in
+  Netsim.Network.set_loss_prob (Erpc.Fabric.net fabric) 0.15;
+  let completed = ref 0 in
+  let n = 30 in
+  let rec issue i =
+    if i < n then begin
+      let req = Erpc.Msgbuf.alloc ~max_size:32 in
+      let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+      Erpc.Msgbuf.set_u32 req ~off:0 i;
+      Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun _ ->
+          incr completed;
+          issue (i + 1))
+    end
+  in
+  issue 0;
+  run fabric 2_000.0;
+  check_int "all completed" n !completed;
+  (* At-most-once: even with retransmitted requests, each request runs its
+     handler exactly once. *)
+  check_int "handlers ran exactly once per request" n !handler_runs;
+  check_bool "loss actually exercised retransmission" true
+    (Erpc.Rpc.stat_retransmits client > 0)
+
+let test_large_transfer_integrity_under_loss () =
+  let fabric, client, _server = make_pair () in
+  let sess = connect fabric client in
+  Netsim.Network.set_loss_prob (Erpc.Fabric.net fabric) 0.02;
+  let n = 100_000 in
+  let req = Erpc.Msgbuf.alloc ~max_size:n in
+  let pattern = String.init n (fun i -> Char.chr ((i * 131) land 0xff)) in
+  Erpc.Msgbuf.write_string req ~off:0 pattern;
+  let resp = Erpc.Msgbuf.alloc ~max_size:n in
+  let ok = ref false in
+  Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun r ->
+      ok := Result.is_ok r);
+  run fabric 3_000.0;
+  check_bool "completed" true !ok;
+  check_bool "payload intact across retransmissions" true
+    (Erpc.Msgbuf.read_string resp ~off:0 ~len:n = pattern)
+
+let test_credits_restored_after_loss () =
+  let fabric, client, _server = make_pair () in
+  let sess = connect fabric client in
+  Netsim.Network.set_loss_prob (Erpc.Fabric.net fabric) 0.1;
+  for _ = 1 to 5 do
+    let req = Erpc.Msgbuf.alloc ~max_size:8_192 in
+    let resp = Erpc.Msgbuf.alloc ~max_size:8_192 in
+    Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun _ -> ())
+  done;
+  run fabric 2_000.0;
+  check_int "credits restored" sess.Erpc.Session.credit_limit sess.Erpc.Session.credits;
+  check_int "nothing outstanding" 0 (Erpc.Session.outstanding_packets sess)
+
+let test_loss_free_run_has_no_retransmits () =
+  let fabric, client, _server = make_pair () in
+  let sess = connect fabric client in
+  for _ = 1 to 100 do
+    let req = Erpc.Msgbuf.alloc ~max_size:1_024 in
+    let resp = Erpc.Msgbuf.alloc ~max_size:1_024 in
+    Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun _ -> ())
+  done;
+  run fabric 100.0;
+  check_int "no spurious retransmissions" 0 (Erpc.Rpc.stat_retransmits client);
+  check_int "all served" 100 (Erpc.Rpc.stat_completed client)
+
+let suite =
+  [
+    Alcotest.test_case "survives 20% loss" `Quick test_rpc_survives_heavy_loss;
+    Alcotest.test_case "at-most-once execution" `Quick test_at_most_once_execution;
+    Alcotest.test_case "large transfer integrity under loss" `Quick
+      test_large_transfer_integrity_under_loss;
+    Alcotest.test_case "credits restored after loss" `Quick test_credits_restored_after_loss;
+    Alcotest.test_case "no spurious retransmits" `Quick test_loss_free_run_has_no_retransmits;
+  ]

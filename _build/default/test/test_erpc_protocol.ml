@@ -1,0 +1,235 @@
+(* Wire-protocol behaviour: packet counts, credits, session limits,
+   backlog, multi-packet request/response interleaving. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let echo = Test_erpc_basic.(echo_req_type)
+
+let make_pair ?config ?(resp_size = None) () =
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let fabric = Erpc.Fabric.create ?config cluster in
+  let nx0 = Erpc.Nexus.create fabric ~host:0 () in
+  let nx1 = Erpc.Nexus.create fabric ~host:1 () in
+  Erpc.Nexus.register_handler nx1 ~req_type:echo ~mode:Erpc.Nexus.Dispatch (fun h ->
+      let req = Erpc.Req_handle.get_request h in
+      let n = match resp_size with Some n -> n | None -> Erpc.Msgbuf.size req in
+      let resp = Erpc.Req_handle.init_response h ~size:n in
+      let copy = min n (Erpc.Msgbuf.size req) in
+      if copy > 0 then Erpc.Msgbuf.blit ~src:req ~src_off:0 ~dst:resp ~dst_off:0 ~len:copy;
+      Erpc.Req_handle.enqueue_response h resp);
+  let client = Erpc.Rpc.create nx0 ~rpc_id:0 in
+  let server = Erpc.Rpc.create nx1 ~rpc_id:0 in
+  (fabric, client, server)
+
+let run fabric ms =
+  let engine = Erpc.Fabric.engine fabric in
+  Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.ms ms))
+
+let connect fabric client =
+  let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  Alcotest.(check bool) "connected" true (sess.Erpc.Session.state = Erpc.Session.Connected);
+  sess
+
+let do_rpc fabric client sess ~req_size ~resp_cap =
+  let req = Erpc.Msgbuf.alloc ~max_size:req_size in
+  let resp = Erpc.Msgbuf.alloc ~max_size:resp_cap in
+  let ok = ref false in
+  Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun r ->
+      ok := Result.is_ok r);
+  run fabric 20.0;
+  check_bool "rpc completed" true !ok;
+  resp
+
+(* Packet counts per the wire protocol (§5.1): an N-packet request with an
+   M-packet response costs N + (M-1) RFRs from the client and (N-1) CRs +
+   M response packets from the server. *)
+let test_packet_counts_single () =
+  let fabric, client, server = make_pair () in
+  let sess = connect fabric client in
+  ignore (do_rpc fabric client sess ~req_size:32 ~resp_cap:32);
+  check_int "client sent 1 pkt" 1 (Erpc.Rpc.stat_tx_pkts client);
+  check_int "server sent 1 pkt" 1 (Erpc.Rpc.stat_tx_pkts server)
+
+let test_packet_counts_multi_request () =
+  let fabric, client, server = make_pair ~resp_size:(Some 32) () in
+  let sess = connect fabric client in
+  (* MTU 1024: 4 KB request = 4 packets; response = 1 packet. *)
+  ignore (do_rpc fabric client sess ~req_size:4_096 ~resp_cap:32);
+  check_int "client: 4 request pkts" 4 (Erpc.Rpc.stat_tx_pkts client);
+  check_int "server: 3 CRs + 1 response" 4 (Erpc.Rpc.stat_tx_pkts server)
+
+let test_multi_packet_response_rfrs () =
+  let fabric, client, server = make_pair ~resp_size:(Some 4_096) () in
+  let sess = connect fabric client in
+  ignore (do_rpc fabric client sess ~req_size:32 ~resp_cap:4_096);
+  (* Client: 1 request + 3 RFRs; server: 4 response packets. *)
+  check_int "client: req + 3 RFRs" 4 (Erpc.Rpc.stat_tx_pkts client);
+  check_int "server: 4 response pkts" 4 (Erpc.Rpc.stat_tx_pkts server)
+
+let test_credits_respected () =
+  (* With C = 2 credits a 6-packet request must still complete, just with
+     more round trips. *)
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let config = Erpc.Config.of_cluster ~credits:2 cluster in
+  let fabric, client, _server = make_pair ~config ~resp_size:(Some 32) () in
+  let sess = connect fabric client in
+  ignore (do_rpc fabric client sess ~req_size:(6 * 1024) ~resp_cap:32)
+
+let test_credit_invariant_restored () =
+  let fabric, client, _server = make_pair () in
+  let sess = connect fabric client in
+  for _ = 1 to 10 do
+    ignore (do_rpc fabric client sess ~req_size:2_048 ~resp_cap:2_048)
+  done;
+  check_int "all credits returned" sess.Erpc.Session.credit_limit sess.Erpc.Session.credits;
+  check_int "no outstanding packets" 0 (Erpc.Session.outstanding_packets sess)
+
+let test_concurrent_slots_out_of_order_completion () =
+  (* A long (multi-packet) RPC and short RPCs on the same session: the
+     short ones complete while the long one is still streaming. *)
+  let fabric, client, _server = make_pair () in
+  let sess = connect fabric client in
+  let order = ref [] in
+  let long_req = Erpc.Msgbuf.alloc ~max_size:(512 * 1024) in
+  let long_resp = Erpc.Msgbuf.alloc ~max_size:(512 * 1024) in
+  Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req:long_req ~resp:long_resp
+    ~cont:(fun _ -> order := `Long :: !order);
+  let short_req = Erpc.Msgbuf.alloc ~max_size:32 in
+  let short_resp = Erpc.Msgbuf.alloc ~max_size:32 in
+  Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req:short_req ~resp:short_resp
+    ~cont:(fun _ -> order := `Short :: !order);
+  run fabric 50.0;
+  Alcotest.(check bool) "short completed before long" true (List.rev !order = [ `Short; `Long ])
+
+let test_backlog_beyond_window () =
+  (* More outstanding requests than the 8 slots: the rest are backlogged
+     and all complete. *)
+  let fabric, client, _server = make_pair () in
+  let sess = connect fabric client in
+  let completed = ref 0 in
+  let n = 50 in
+  for _ = 1 to n do
+    let req = Erpc.Msgbuf.alloc ~max_size:32 in
+    let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+    Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun _ ->
+        incr completed)
+  done;
+  run fabric 20.0;
+  check_int "all completed" n !completed
+
+let test_session_limit_enforced () =
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let cfg = Erpc.Config.of_cluster ~credits:8 cluster in
+  (* Shrink the RQ so only 4 sessions fit: 4 * 8 = 32 descriptors. *)
+  let cluster = { cluster with nic_config = { cluster.nic_config with rq_size = 32 } } in
+  let fabric = Erpc.Fabric.create ~config:cfg cluster in
+  let nx0 = Erpc.Nexus.create fabric ~host:0 () in
+  let _nx1 = Erpc.Nexus.create fabric ~host:1 () in
+  let client = Erpc.Rpc.create nx0 ~rpc_id:0 in
+  for _ = 1 to 4 do
+    ignore (Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 ())
+  done;
+  check_bool "limit raises" true
+    (try
+       ignore (Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_max_msg_size_enforced () =
+  let fabric, client, _server = make_pair () in
+  let sess = connect fabric client in
+  let req = Erpc.Msgbuf.alloc ~max_size:(9 * 1024 * 1024) in
+  let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Rpc.enqueue_request: request exceeds the maximum message size")
+    (fun () ->
+      Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun _ -> ()))
+
+let test_response_too_large_for_resp_buf () =
+  let fabric, client, _server = make_pair ~resp_size:(Some 1_024) () in
+  let sess = connect fabric client in
+  let req = Erpc.Msgbuf.alloc ~max_size:32 in
+  let resp = Erpc.Msgbuf.alloc ~max_size:16 (* too small for 1 KB response *) in
+  Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun _ -> ());
+  check_bool "raises during processing" true
+    (try
+       run fabric 5.0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_data_integrity_random_sizes =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"echo integrity across sizes" ~count:20
+       QCheck2.Gen.(int_range 1 20_000)
+       (fun size ->
+         let fabric, client, _server = make_pair () in
+         let sess = connect fabric client in
+         let req = Erpc.Msgbuf.alloc ~max_size:size in
+         let pattern = String.init size (fun i -> Char.chr ((i * 31 + size) land 0xff)) in
+         Erpc.Msgbuf.write_string req ~off:0 pattern;
+         let resp = Erpc.Msgbuf.alloc ~max_size:size in
+         let ok = ref false in
+         Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun r ->
+             ok := Result.is_ok r);
+         run fabric 50.0;
+         !ok && Erpc.Msgbuf.read_string resp ~off:0 ~len:size = pattern))
+
+let test_unknown_req_type_never_completes () =
+  let fabric, client, _server = make_pair () in
+  let sess = connect fabric client in
+  let req = Erpc.Msgbuf.alloc ~max_size:32 in
+  let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+  let called = ref false in
+  Erpc.Rpc.enqueue_request client sess ~req_type:99 ~req ~resp ~cont:(fun _ -> called := true);
+  run fabric 3.0;
+  check_bool "no continuation for dropped unknown type" false !called
+
+let test_two_rpcs_per_host_demux () =
+  (* Two Rpc endpoints per host: flow steering by rpc id must route each
+     session's packets to the right endpoint. *)
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let fabric = Erpc.Fabric.create cluster in
+  let nx0 = Erpc.Nexus.create fabric ~host:0 () in
+  let nx1 = Erpc.Nexus.create fabric ~host:1 () in
+  Erpc.Nexus.register_handler nx1 ~req_type:7 ~mode:Erpc.Nexus.Dispatch (fun h ->
+      let resp = Erpc.Req_handle.init_response h ~size:4 in
+      Erpc.Msgbuf.set_u32 resp ~off:0 7;
+      Erpc.Req_handle.enqueue_response h resp);
+  let c0 = Erpc.Rpc.create nx0 ~rpc_id:0 in
+  let c1 = Erpc.Rpc.create nx0 ~rpc_id:1 in
+  let s0 = Erpc.Rpc.create nx1 ~rpc_id:0 in
+  let s1 = Erpc.Rpc.create nx1 ~rpc_id:1 in
+  let sess0 = Erpc.Rpc.create_session c0 ~remote_host:1 ~remote_rpc_id:0 () in
+  let sess1 = Erpc.Rpc.create_session c1 ~remote_host:1 ~remote_rpc_id:1 () in
+  run fabric 1.0;
+  let done0 = ref false and done1 = ref false in
+  let mk () = (Erpc.Msgbuf.alloc ~max_size:4, Erpc.Msgbuf.alloc ~max_size:4) in
+  let r0, p0 = mk () and r1, p1 = mk () in
+  Erpc.Rpc.enqueue_request c0 sess0 ~req_type:7 ~req:r0 ~resp:p0 ~cont:(fun _ -> done0 := true);
+  Erpc.Rpc.enqueue_request c1 sess1 ~req_type:7 ~req:r1 ~resp:p1 ~cont:(fun _ -> done1 := true);
+  run fabric 5.0;
+  check_bool "both completed" true (!done0 && !done1);
+  check_int "s0 handled one" 1 (Erpc.Rpc.stat_handled s0);
+  check_int "s1 handled one" 1 (Erpc.Rpc.stat_handled s1)
+
+let suite =
+  [
+    Alcotest.test_case "packet count: single" `Quick test_packet_counts_single;
+    Alcotest.test_case "packet count: multi request (CRs)" `Quick
+      test_packet_counts_multi_request;
+    Alcotest.test_case "packet count: multi response (RFRs)" `Quick
+      test_multi_packet_response_rfrs;
+    Alcotest.test_case "tiny credit window" `Quick test_credits_respected;
+    Alcotest.test_case "credit invariant restored" `Quick test_credit_invariant_restored;
+    Alcotest.test_case "out-of-order slot completion" `Quick
+      test_concurrent_slots_out_of_order_completion;
+    Alcotest.test_case "backlog beyond window" `Quick test_backlog_beyond_window;
+    Alcotest.test_case "session limit" `Quick test_session_limit_enforced;
+    Alcotest.test_case "max message size" `Quick test_max_msg_size_enforced;
+    Alcotest.test_case "oversized response rejected" `Quick test_response_too_large_for_resp_buf;
+    test_data_integrity_random_sizes;
+    Alcotest.test_case "unknown req type dropped" `Quick test_unknown_req_type_never_completes;
+    Alcotest.test_case "two Rpcs per host demux" `Quick test_two_rpcs_per_host_demux;
+  ]

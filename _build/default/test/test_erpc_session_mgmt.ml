@@ -1,0 +1,110 @@
+(* Session-management plane: connect/disconnect lifecycle and the credit
+   budget it frees (paper §4.3.1, Appendix B). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let echo = Test_erpc_basic.(echo_req_type)
+
+let make_pair () =
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let fabric = Erpc.Fabric.create cluster in
+  let nx0 = Erpc.Nexus.create fabric ~host:0 () in
+  let nx1 = Erpc.Nexus.create fabric ~host:1 () in
+  Erpc.Nexus.register_handler nx1 ~req_type:echo ~mode:Erpc.Nexus.Dispatch (fun h ->
+      Erpc.Req_handle.enqueue_response h (Erpc.Req_handle.init_response h ~size:4));
+  (fabric, Erpc.Rpc.create nx0 ~rpc_id:0, Erpc.Rpc.create nx1 ~rpc_id:0)
+
+let run fabric ms =
+  let engine = Erpc.Fabric.engine fabric in
+  Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.ms ms))
+
+let test_disconnect_lifecycle () =
+  let fabric, client, server = make_pair () in
+  let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  check_int "client has one session" 1 (Erpc.Rpc.num_sessions client);
+  check_int "server has one session" 1 (Erpc.Rpc.num_sessions server);
+  Erpc.Rpc.destroy_session client sess;
+  run fabric 1.0;
+  check_bool "destroyed" true (sess.Erpc.Session.state = Erpc.Session.Destroyed);
+  check_int "client freed" 0 (Erpc.Rpc.num_sessions client);
+  check_int "server freed" 0 (Erpc.Rpc.num_sessions server)
+
+let test_disconnect_with_pending_raises () =
+  let fabric, client, _server = make_pair () in
+  let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  let req = Erpc.Msgbuf.alloc ~max_size:4 in
+  let resp = Erpc.Msgbuf.alloc ~max_size:4 in
+  Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun _ -> ());
+  Alcotest.check_raises "pending request blocks disconnect"
+    (Invalid_argument "Rpc.destroy_session: session has pending requests") (fun () ->
+      Erpc.Rpc.destroy_session client sess);
+  run fabric 2.0;
+  (* After completion, teardown succeeds. *)
+  Erpc.Rpc.destroy_session client sess;
+  run fabric 1.0;
+  check_bool "destroyed after drain" true (sess.Erpc.Session.state = Erpc.Session.Destroyed)
+
+let test_disconnect_frees_budget () =
+  (* Session limit reached; destroying one frees room for a new one. *)
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let cfg = Erpc.Config.of_cluster ~credits:8 cluster in
+  let cluster = { cluster with nic_config = { cluster.nic_config with rq_size = 16 } } in
+  let fabric = Erpc.Fabric.create ~config:cfg cluster in
+  let nx0 = Erpc.Nexus.create fabric ~host:0 () in
+  let nx1 = Erpc.Nexus.create fabric ~host:1 () in
+  let client = Erpc.Rpc.create nx0 ~rpc_id:0 in
+  let _server = Erpc.Rpc.create nx1 ~rpc_id:0 in
+  let s1 = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  let _s2 = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  (let engine = Erpc.Fabric.engine fabric in
+   Sim.Engine.run_until engine (Sim.Time.ms 1.0));
+  check_bool "third rejected" true
+    (try
+       ignore (Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 ());
+       false
+     with Invalid_argument _ -> true);
+  Erpc.Rpc.destroy_session client s1;
+  (let engine = Erpc.Fabric.engine fabric in
+   Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.ms 1.0)));
+  let s3 = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  (let engine = Erpc.Fabric.engine fabric in
+   Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.ms 1.0)));
+  check_bool "slot reused" true (s3.Erpc.Session.state = Erpc.Session.Connected)
+
+let test_reuse_after_disconnect_errors () =
+  let fabric, client, _server = make_pair () in
+  let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  Erpc.Rpc.destroy_session client sess;
+  run fabric 1.0;
+  let req = Erpc.Msgbuf.alloc ~max_size:4 in
+  let resp = Erpc.Msgbuf.alloc ~max_size:4 in
+  let result = ref None in
+  Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun r ->
+      result := Some r);
+  run fabric 1.0;
+  check_bool "request on destroyed session errors" true
+    (match !result with Some (Error (Erpc.Err.Session_error _)) -> true | _ -> false)
+
+let test_double_destroy_raises () =
+  let fabric, client, _server = make_pair () in
+  let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  Erpc.Rpc.destroy_session client sess;
+  run fabric 1.0;
+  Alcotest.check_raises "double destroy"
+    (Invalid_argument "Rpc.destroy_session: already destroyed") (fun () ->
+      Erpc.Rpc.destroy_session client sess)
+
+let suite =
+  [
+    Alcotest.test_case "disconnect lifecycle" `Quick test_disconnect_lifecycle;
+    Alcotest.test_case "pending blocks disconnect" `Quick test_disconnect_with_pending_raises;
+    Alcotest.test_case "disconnect frees budget" `Quick test_disconnect_frees_budget;
+    Alcotest.test_case "destroyed session rejects requests" `Quick
+      test_reuse_after_disconnect_errors;
+    Alcotest.test_case "double destroy raises" `Quick test_double_destroy_raises;
+  ]

@@ -1,0 +1,91 @@
+(* Smoke tests for the experiment harnesses: short runs asserting that
+   each reproduced result lands in a sane band around the paper's value.
+   The full-length runs live in bench/main.exe; these keep the experiment
+   code exercised by `dune runtest`. *)
+
+let check_bool = Alcotest.(check bool)
+
+let in_band name lo hi v =
+  check_bool (Printf.sprintf "%s: %.2f in [%.2f, %.2f]" name v lo hi) true (v >= lo && v <= hi)
+
+let test_latency_bands () =
+  let r = Experiments.Exp_latency.measure ~samples:300 (Transport.Cluster.cx5 ~nodes:2 ()) in
+  in_band "CX5 RDMA read (us)" 1.6 2.4 r.rdma_read_us;
+  in_band "CX5 eRPC (us)" 2.0 2.7 r.erpc_us;
+  check_bool "eRPC slower than RDMA" true (r.erpc_us > r.rdma_read_us)
+
+let test_small_rate_band () =
+  let r =
+    Experiments.Exp_small_rate.run ~measure_ms:1.0
+      ~cluster:(Transport.Cluster.cx4 ~nodes:11 ())
+      ~batch:3 ()
+  in
+  in_band "CX4 single-core Mrps" 4.0 6.0 r.per_thread_mrps
+
+let test_fasst_faster_than_erpc () =
+  let cluster = Transport.Cluster.cx3 () in
+  let erpc = Experiments.Exp_small_rate.run ~measure_ms:1.0 ~cluster ~batch:11 () in
+  let fasst = Experiments.Exp_small_rate.run_fasst ~measure_ms:1.0 ~cluster ~batch:11 () in
+  check_bool "specialized system leads at large B" true
+    (fasst.per_thread_mrps > erpc.per_thread_mrps)
+
+let test_bandwidth_band () =
+  let p = Experiments.Exp_bandwidth.erpc_goodput ~requests:3 ~req_size:(2 * 1024 * 1024) () in
+  in_band "2 MB goodput (Gbps)" 60.0 90.0 p.goodput_gbps;
+  let r = Experiments.Exp_bandwidth.rdma_write_goodput ~requests:3 ~req_size:(2 * 1024 * 1024) () in
+  check_bool "eRPC within 70-100% of RDMA write" true
+    (p.goodput_gbps /. r.goodput_gbps > 0.7 && p.goodput_gbps < r.goodput_gbps)
+
+let test_loss_collapse () =
+  let clean = Experiments.Exp_bandwidth.erpc_goodput ~requests:3 ~req_size:(4 * 1024 * 1024) () in
+  let lossy =
+    Experiments.Exp_bandwidth.erpc_goodput ~requests:3 ~loss:1e-3 ~req_size:(4 * 1024 * 1024) ()
+  in
+  check_bool "heavy loss collapses throughput" true
+    (lossy.goodput_gbps < 0.2 *. clean.goodput_gbps);
+  check_bool "via retransmissions" true (lossy.retransmits > 0)
+
+let test_incast_cc_reduces_queueing () =
+  let with_cc =
+    Experiments.Exp_incast.run ~degree:20 ~cc:true ~warmup_ms:8.0 ~measure_ms:10.0 ()
+  in
+  let without =
+    Experiments.Exp_incast.run ~degree:20 ~cc:false ~warmup_ms:8.0 ~measure_ms:10.0 ()
+  in
+  check_bool
+    (Printf.sprintf "cc cuts p50 queueing (%.0f vs %.0f us)" with_cc.rtt_p50_us
+       without.rtt_p50_us)
+    true
+    (with_cc.rtt_p50_us < 0.5 *. without.rtt_p50_us);
+  in_band "no-cc p50 = degree x window (us)" 180. 280. without.rtt_p50_us
+
+let test_scalability_small () =
+  (* A scaled-down Fig 5: 20 nodes, 2 threads each, all-to-all. *)
+  let r = Experiments.Exp_scalability.run ~nodes:20 ~threads:2 ~measure_us:400. () in
+  check_bool "throughput positive" true (r.per_node_mrps > 1.0);
+  in_band "median latency (us)" 8.0 25.0 r.lat_p50_us
+
+let test_raft_band () =
+  let r = Experiments.Exp_raft.run ~samples:300 () in
+  in_band "replicated PUT p50 (us)" 4.0 7.0 r.client_p50_us;
+  in_band "leader commit p50 (us)" 2.0 4.5 r.leader_p50_us;
+  check_bool "client latency > leader commit" true (r.client_p50_us > r.leader_p50_us)
+
+let test_rdma_fig1_band () =
+  let few = Rdma.Read_rate.run ~ops:100_000 ~connections:100 () in
+  let many = Rdma.Read_rate.run ~ops:100_000 ~connections:5_000 () in
+  check_bool "collapse by ~half" true
+    (many.rate_mops < 0.6 *. few.rate_mops && many.rate_mops > 0.3 *. few.rate_mops)
+
+let suite =
+  [
+    Alcotest.test_case "table2 bands" `Quick test_latency_bands;
+    Alcotest.test_case "fig4 band" `Quick test_small_rate_band;
+    Alcotest.test_case "fig4 FaSST ordering" `Quick test_fasst_faster_than_erpc;
+    Alcotest.test_case "fig6 band" `Quick test_bandwidth_band;
+    Alcotest.test_case "table4 collapse" `Quick test_loss_collapse;
+    Alcotest.test_case "table5 cc effect" `Quick test_incast_cc_reduces_queueing;
+    Alcotest.test_case "fig5 scaled-down" `Quick test_scalability_small;
+    Alcotest.test_case "table6 bands" `Quick test_raft_band;
+    Alcotest.test_case "fig1 band" `Quick test_rdma_fig1_band;
+  ]

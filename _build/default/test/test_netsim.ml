@@ -1,0 +1,274 @@
+(* Tests for the network fabric: shared-buffer admission, port timing,
+   switching, topologies, loss injection. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* {2 Buffer pool (dynamic threshold)} *)
+
+let test_pool_basic_admission () =
+  let p = Netsim.Buffer_pool.create ~capacity_bytes:1_000 ~alpha:8.0 in
+  check_bool "admit small" true (Netsim.Buffer_pool.admit p ~port_queued_bytes:0 ~size:100);
+  check_int "used" 100 (Netsim.Buffer_pool.used p);
+  check_int "free" 900 (Netsim.Buffer_pool.free p);
+  Netsim.Buffer_pool.release p 100;
+  check_int "released" 0 (Netsim.Buffer_pool.used p)
+
+let test_pool_rejects_over_capacity () =
+  let p = Netsim.Buffer_pool.create ~capacity_bytes:1_000 ~alpha:100.0 in
+  check_bool "fill" true (Netsim.Buffer_pool.admit p ~port_queued_bytes:0 ~size:900);
+  check_bool "reject overflow" false (Netsim.Buffer_pool.admit p ~port_queued_bytes:0 ~size:200)
+
+let test_pool_dynamic_threshold () =
+  (* alpha=1: a port may hold at most as much as remains free. *)
+  let p = Netsim.Buffer_pool.create ~capacity_bytes:1_000 ~alpha:1.0 in
+  (* Fill 600 from "another port"; free = 400. A port already holding 300
+     may not take 200 more (300+200 > 400). *)
+  check_bool "other port" true (Netsim.Buffer_pool.admit p ~port_queued_bytes:0 ~size:600);
+  check_bool "DT reject" false (Netsim.Buffer_pool.admit p ~port_queued_bytes:300 ~size:200);
+  check_bool "DT admit smaller" true (Netsim.Buffer_pool.admit p ~port_queued_bytes:300 ~size:100)
+
+let test_pool_high_water_mark () =
+  let p = Netsim.Buffer_pool.create ~capacity_bytes:1_000 ~alpha:8.0 in
+  ignore (Netsim.Buffer_pool.admit p ~port_queued_bytes:0 ~size:700);
+  Netsim.Buffer_pool.release p 700;
+  check_int "max used" 700 (Netsim.Buffer_pool.max_used p)
+
+(* {2 Port} *)
+
+let mk_pkt ?(size = 1_000) ?(flow = 0) ~src ~dst () =
+  Netsim.Packet.make ~src ~dst ~size_bytes:size ~flow_hash:flow Netsim.Packet.Empty
+
+let test_port_serialization_timing () =
+  let e = Sim.Engine.create () in
+  let arrivals = ref [] in
+  let port =
+    Netsim.Port.create e ~name:"p" ~rate_gbps:8.0 ~extra_delay_ns:100
+      ~sink:(fun _ -> arrivals := Sim.Engine.now e :: !arrivals)
+      ()
+  in
+  (* 1000 B at 8 Gbps = 1000 ns serialization + 100 ns propagation. *)
+  ignore (Netsim.Port.send port (mk_pkt ~src:0 ~dst:1 ()));
+  ignore (Netsim.Port.send port (mk_pkt ~src:0 ~dst:1 ()));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "arrival times" [ 1_100; 2_100 ] (List.rev !arrivals)
+
+let test_port_stats () =
+  let e = Sim.Engine.create () in
+  let port =
+    Netsim.Port.create e ~name:"p" ~rate_gbps:10.0 ~extra_delay_ns:0 ~sink:(fun _ -> ()) ()
+  in
+  for _ = 1 to 5 do
+    ignore (Netsim.Port.send port (mk_pkt ~src:0 ~dst:1 ~size:500 ()))
+  done;
+  Sim.Engine.run e;
+  check_int "tx packets" 5 (Netsim.Port.tx_packets port);
+  check_int "tx bytes" 2_500 (Netsim.Port.tx_bytes port);
+  check_int "queue drained" 0 (Netsim.Port.queued_bytes port)
+
+let test_port_drops_when_pool_full () =
+  let e = Sim.Engine.create () in
+  let pool = Netsim.Buffer_pool.create ~capacity_bytes:2_000 ~alpha:100.0 in
+  let port =
+    Netsim.Port.create e ~name:"p" ~rate_gbps:0.008 (* 1 B/us: very slow *) ~extra_delay_ns:0
+      ~pool ~sink:(fun _ -> ()) ()
+  in
+  let sent = ref 0 in
+  for _ = 1 to 5 do
+    if Netsim.Port.send port (mk_pkt ~src:0 ~dst:1 ~size:1_000 ()) then incr sent
+  done;
+  check_int "only 2 admitted" 2 !sent;
+  check_int "3 dropped" 3 (Netsim.Port.dropped_packets port);
+  check_int "dropped bytes" 3_000 (Netsim.Port.dropped_bytes port)
+
+let test_port_queue_delay () =
+  let e = Sim.Engine.create () in
+  let port =
+    Netsim.Port.create e ~name:"p" ~rate_gbps:8.0 ~extra_delay_ns:0 ~sink:(fun _ -> ()) ()
+  in
+  ignore (Netsim.Port.send port (mk_pkt ~src:0 ~dst:1 ~size:1_000 ()));
+  ignore (Netsim.Port.send port (mk_pkt ~src:0 ~dst:1 ~size:1_000 ()));
+  check_int "2000 B at 8 Gbps" 2_000 (Netsim.Port.queue_delay port)
+
+(* {2 Switch} *)
+
+let test_switch_routes_by_destination () =
+  let e = Sim.Engine.create () in
+  let sw = Netsim.Switch.create e ~name:"sw" ~latency_ns:300 ~buffer_bytes:1_000_000 ~alpha:8.0 in
+  let got = Array.make 2 0 in
+  let add_port i =
+    let p =
+      Netsim.Port.create e ~name:(string_of_int i) ~rate_gbps:10.0 ~extra_delay_ns:0
+        ~pool:(Netsim.Switch.pool sw)
+        ~sink:(fun _ -> got.(i) <- got.(i) + 1)
+        ()
+    in
+    Netsim.Switch.add_port sw p
+  in
+  let p0 = add_port 0 and p1 = add_port 1 in
+  Netsim.Switch.set_route sw ~dst:10 ~ports:[| p0 |];
+  Netsim.Switch.set_route sw ~dst:11 ~ports:[| p1 |];
+  Netsim.Switch.receive sw (mk_pkt ~src:0 ~dst:10 ());
+  Netsim.Switch.receive sw (mk_pkt ~src:0 ~dst:11 ());
+  Netsim.Switch.receive sw (mk_pkt ~src:0 ~dst:11 ());
+  Sim.Engine.run e;
+  check_int "port0" 1 got.(0);
+  check_int "port1" 2 got.(1)
+
+let test_switch_no_route_raises () =
+  let e = Sim.Engine.create () in
+  let sw = Netsim.Switch.create e ~name:"sw" ~latency_ns:0 ~buffer_bytes:1_000 ~alpha:1.0 in
+  Alcotest.check_raises "no route" (Invalid_argument "Switch sw: no route for host 5") (fun () ->
+      Netsim.Switch.receive sw (mk_pkt ~src:0 ~dst:5 ()))
+
+let test_switch_ecmp_spreads_flows () =
+  let e = Sim.Engine.create () in
+  let sw = Netsim.Switch.create e ~name:"sw" ~latency_ns:0 ~buffer_bytes:10_000_000 ~alpha:8.0 in
+  let counts = Array.make 4 0 in
+  let ports =
+    Array.init 4 (fun i ->
+        let p =
+          Netsim.Port.create e ~name:(string_of_int i) ~rate_gbps:100.0 ~extra_delay_ns:0
+            ~pool:(Netsim.Switch.pool sw)
+            ~sink:(fun _ -> counts.(i) <- counts.(i) + 1)
+            ()
+        in
+        Netsim.Switch.add_port sw p)
+  in
+  Netsim.Switch.set_route sw ~dst:1 ~ports;
+  (* 400 flows, one packet each. *)
+  for flow = 0 to 399 do
+    Netsim.Switch.receive sw (mk_pkt ~src:0 ~dst:1 ~flow ())
+  done;
+  Sim.Engine.run e;
+  Array.iteri
+    (fun i c -> check_bool (Printf.sprintf "port %d got %d" i c) true (c > 50 && c < 150))
+    counts;
+  (* Same flow always takes the same port (no reordering across paths). *)
+  let before = Array.copy counts in
+  for _ = 1 to 10 do
+    Netsim.Switch.receive sw (mk_pkt ~src:0 ~dst:1 ~flow:7 ())
+  done;
+  Sim.Engine.run e;
+  let diffs = ref 0 in
+  Array.iteri (fun i c -> if c <> before.(i) then incr diffs) counts;
+  check_int "single port absorbed the flow" 1 !diffs
+
+(* {2 Network topologies} *)
+
+let test_single_switch_delivery () =
+  let e = Sim.Engine.create () in
+  let cfg =
+    { Netsim.Network.default_config with topology = Netsim.Network.Single_switch { hosts = 4 } }
+  in
+  let net = Netsim.Network.create e cfg in
+  check_int "hosts" 4 (Netsim.Network.num_hosts net);
+  let received = Array.make 4 0 in
+  for h = 0 to 3 do
+    Netsim.Network.attach net ~host:h ~rx:(fun _ -> received.(h) <- received.(h) + 1)
+  done;
+  for dst = 1 to 3 do
+    Netsim.Network.send net (mk_pkt ~src:0 ~dst ())
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (array int)) "one each" [| 0; 1; 1; 1 |] received
+
+let two_tier_cfg ~hosts_per_tor =
+  {
+    Netsim.Network.default_config with
+    topology =
+      Netsim.Network.Two_tier
+        { tors = 3; hosts_per_tor; spines = 1; uplinks_per_tor = 2; uplink_gbps = 100.0 };
+  }
+
+let test_two_tier_all_pairs () =
+  let e = Sim.Engine.create () in
+  let net = Netsim.Network.create e (two_tier_cfg ~hosts_per_tor:3) in
+  let n = Netsim.Network.num_hosts net in
+  check_int "9 hosts" 9 n;
+  let received = Array.make_matrix n n 0 in
+  for h = 0 to n - 1 do
+    Netsim.Network.attach net ~host:h ~rx:(fun pkt ->
+        received.(pkt.Netsim.Packet.src).(h) <- received.(pkt.Netsim.Packet.src).(h) + 1)
+  done;
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then Netsim.Network.send net (mk_pkt ~src ~dst ~flow:(src * dst) ())
+    done
+  done;
+  Sim.Engine.run e;
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then
+        check_int (Printf.sprintf "%d->%d" src dst) 1 received.(src).(dst)
+    done
+  done
+
+let test_two_tier_same_tor () =
+  let e = Sim.Engine.create () in
+  let net = Netsim.Network.create e (two_tier_cfg ~hosts_per_tor:3) in
+  check_bool "0,2 same tor" true (Netsim.Network.same_tor net 0 2);
+  check_bool "0,3 different tor" false (Netsim.Network.same_tor net 0 3)
+
+let test_cross_tor_slower_than_same_tor () =
+  let e = Sim.Engine.create () in
+  let net = Netsim.Network.create e (two_tier_cfg ~hosts_per_tor:3) in
+  let arrival = Hashtbl.create 4 in
+  List.iter
+    (fun h -> Netsim.Network.attach net ~host:h ~rx:(fun _ -> Hashtbl.replace arrival h (Sim.Engine.now e)))
+    [ 1; 3 ];
+  Netsim.Network.send net (mk_pkt ~src:0 ~dst:1 ());
+  Netsim.Network.send net (mk_pkt ~src:0 ~dst:3 ());
+  Sim.Engine.run e;
+  let t_same = Hashtbl.find arrival 1 and t_cross = Hashtbl.find arrival 3 in
+  check_bool
+    (Printf.sprintf "cross-ToR %d > same-ToR %d" t_cross t_same)
+    true (t_cross > t_same)
+
+let test_loss_injection () =
+  let e = Sim.Engine.create () in
+  let cfg =
+    { Netsim.Network.default_config with topology = Netsim.Network.Single_switch { hosts = 2 } }
+  in
+  let net = Netsim.Network.create e cfg in
+  let got = ref 0 in
+  Netsim.Network.attach net ~host:1 ~rx:(fun _ -> incr got);
+  Netsim.Network.attach net ~host:0 ~rx:(fun _ -> ());
+  Netsim.Network.set_loss_prob net 0.5;
+  let n = 10_000 in
+  for _ = 1 to n do
+    Netsim.Network.send net (mk_pkt ~src:0 ~dst:1 ~size:100 ())
+  done;
+  Sim.Engine.run e;
+  check_int "conservation" n (!got + Netsim.Network.injected_losses net);
+  let ratio = float_of_int !got /. float_of_int n in
+  check_bool (Printf.sprintf "half delivered (%.2f)" ratio) true (abs_float (ratio -. 0.5) < 0.05)
+
+let test_victim_port_accessor () =
+  let e = Sim.Engine.create () in
+  let net = Netsim.Network.create e (two_tier_cfg ~hosts_per_tor:3) in
+  let port = Netsim.Network.tor_downlink_port net ~host:4 in
+  check_bool "named for host" true
+    (String.length (Netsim.Port.name port) > 0
+    && String.length (Netsim.Port.name port) >= 2)
+
+let suite =
+  [
+    Alcotest.test_case "pool admission" `Quick test_pool_basic_admission;
+    Alcotest.test_case "pool capacity" `Quick test_pool_rejects_over_capacity;
+    Alcotest.test_case "pool dynamic threshold" `Quick test_pool_dynamic_threshold;
+    Alcotest.test_case "pool high-water mark" `Quick test_pool_high_water_mark;
+    Alcotest.test_case "port serialization" `Quick test_port_serialization_timing;
+    Alcotest.test_case "port stats" `Quick test_port_stats;
+    Alcotest.test_case "port drops on full pool" `Quick test_port_drops_when_pool_full;
+    Alcotest.test_case "port queue delay" `Quick test_port_queue_delay;
+    Alcotest.test_case "switch routing" `Quick test_switch_routes_by_destination;
+    Alcotest.test_case "switch no route" `Quick test_switch_no_route_raises;
+    Alcotest.test_case "switch ECMP" `Quick test_switch_ecmp_spreads_flows;
+    Alcotest.test_case "single switch delivery" `Quick test_single_switch_delivery;
+    Alcotest.test_case "two-tier all pairs" `Quick test_two_tier_all_pairs;
+    Alcotest.test_case "two-tier same_tor" `Quick test_two_tier_same_tor;
+    Alcotest.test_case "cross-ToR latency" `Quick test_cross_tor_slower_than_same_tor;
+    Alcotest.test_case "loss injection" `Quick test_loss_injection;
+    Alcotest.test_case "victim port accessor" `Quick test_victim_port_accessor;
+  ]

@@ -1,0 +1,124 @@
+(* Tests for the NIC model: RX descriptors, multi-packet RQ amortization,
+   unsignaled TX + flush, RX ring notification, FIFO-preserving jitter. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let two_host_net e =
+  let cfg =
+    { Netsim.Network.default_config with topology = Netsim.Network.Single_switch { hosts = 2 } }
+  in
+  Netsim.Network.create e cfg
+
+let mk_pkt ?(size = 100) ~src ~dst () =
+  Netsim.Packet.make ~src ~dst ~size_bytes:size ~flow_hash:0 Netsim.Packet.Empty
+
+let test_rx_ring_and_poll () =
+  let e = Sim.Engine.create () in
+  let net = two_host_net e in
+  let nic = Nic.create e net ~host:1 Nic.default_config in
+  Netsim.Network.attach net ~host:1 ~rx:(fun pkt -> Nic.receive nic pkt);
+  Netsim.Network.attach net ~host:0 ~rx:(fun _ -> ());
+  for _ = 1 to 5 do
+    Netsim.Network.send net (mk_pkt ~src:0 ~dst:1 ())
+  done;
+  Sim.Engine.run e;
+  check_int "ring depth" 5 (Nic.rx_ring_depth nic);
+  let batch = Nic.poll_rx nic ~max:3 in
+  check_int "poll batch" 3 (List.length batch);
+  check_int "remaining" 2 (Nic.rx_ring_depth nic);
+  check_int "rx stat" 5 (Nic.rx_packets nic)
+
+let test_rq_exhaustion_drops () =
+  let e = Sim.Engine.create () in
+  let net = two_host_net e in
+  let nic = Nic.create e net ~host:1 { Nic.default_config with rq_size = 3 } in
+  Netsim.Network.attach net ~host:1 ~rx:(fun pkt -> Nic.receive nic pkt);
+  Netsim.Network.attach net ~host:0 ~rx:(fun _ -> ());
+  for _ = 1 to 5 do
+    Netsim.Network.send net (mk_pkt ~src:0 ~dst:1 ())
+  done;
+  Sim.Engine.run e;
+  check_int "3 delivered" 3 (Nic.rx_ring_depth nic);
+  check_int "2 dropped with empty RQ" 2 (Nic.rx_dropped_no_desc nic);
+  (* Replenishing restores delivery. *)
+  ignore (Nic.replenish_rq nic 3);
+  Netsim.Network.send net (mk_pkt ~src:0 ~dst:1 ());
+  Sim.Engine.run e;
+  check_int "delivered after replenish" 4 (Nic.rx_ring_depth nic)
+
+let test_multi_packet_rq_amortization () =
+  let e = Sim.Engine.create () in
+  let net = two_host_net e in
+  let mp =
+    Nic.create e net ~host:0
+      { Nic.default_config with multi_packet_rq = true; multi_packet_rq_stride = 512 }
+  in
+  let plain = Nic.create e net ~host:1 { Nic.default_config with multi_packet_rq = false } in
+  (* Multi-packet RQ: cost charged once per 512 buffers. *)
+  let cost_mp = ref 0 and cost_plain = ref 0 in
+  for _ = 1 to 1_024 do
+    cost_mp := !cost_mp + Nic.replenish_rq mp 1;
+    cost_plain := !cost_plain + Nic.replenish_rq plain 1
+  done;
+  let unit = Nic.default_config.rq_replenish_unit_ns in
+  check_int "amortized: 2 descriptor posts" (2 * unit) !cost_mp;
+  check_int "per-packet posts" (1_024 * unit) !cost_plain
+
+let test_unsignaled_tx_and_flush () =
+  let e = Sim.Engine.create () in
+  let net = two_host_net e in
+  let nic = Nic.create e net ~host:0 { Nic.default_config with tx_latency_ns = 400 } in
+  Netsim.Network.attach net ~host:1 ~rx:(fun _ -> ());
+  Netsim.Network.attach net ~host:0 ~rx:(fun _ -> ());
+  check_int "flush on empty queue costs only the fixed overhead"
+    Nic.default_config.tx_flush_ns (Nic.flush_time_ns nic);
+  Nic.post_send nic (mk_pkt ~src:0 ~dst:1 ());
+  Nic.post_send nic (mk_pkt ~src:0 ~dst:1 ());
+  check_int "two DMAs pending" 2 (Nic.tx_pending nic);
+  (* Flush must wait for the last pending DMA plus the fixed cost. *)
+  check_int "flush waits for DMA" (400 + Nic.default_config.tx_flush_ns) (Nic.flush_time_ns nic);
+  Sim.Engine.run e;
+  check_int "drained" 0 (Nic.tx_pending nic)
+
+let test_rx_notify_fires_on_empty_ring_only () =
+  let e = Sim.Engine.create () in
+  let net = two_host_net e in
+  let nic = Nic.create e net ~host:1 Nic.default_config in
+  Netsim.Network.attach net ~host:1 ~rx:(fun pkt -> Nic.receive nic pkt);
+  Netsim.Network.attach net ~host:0 ~rx:(fun _ -> ());
+  let notifies = ref 0 in
+  Nic.set_rx_notify nic (fun () -> incr notifies);
+  for _ = 1 to 4 do
+    Netsim.Network.send net (mk_pkt ~src:0 ~dst:1 ())
+  done;
+  Sim.Engine.run e;
+  check_int "one notify for the burst" 1 !notifies;
+  ignore (Nic.poll_rx nic ~max:10);
+  Netsim.Network.send net (mk_pkt ~src:0 ~dst:1 ());
+  Sim.Engine.run e;
+  check_int "notify again after drain" 2 !notifies
+
+let test_jitter_preserves_fifo () =
+  let e = Sim.Engine.create () in
+  let net = two_host_net e in
+  let nic = Nic.create e net ~host:1 { Nic.default_config with rx_jitter_ns = 5_000 } in
+  Netsim.Network.attach net ~host:1 ~rx:(fun pkt -> Nic.receive nic pkt);
+  Netsim.Network.attach net ~host:0 ~rx:(fun _ -> ());
+  (* Tag packets with distinct sizes to identify them. *)
+  for i = 1 to 50 do
+    Netsim.Network.send net (mk_pkt ~size:(100 + i) ~src:0 ~dst:1 ())
+  done;
+  Sim.Engine.run e;
+  let sizes = List.map (fun p -> p.Netsim.Packet.size_bytes) (Nic.poll_rx nic ~max:100) in
+  Alcotest.(check (list int)) "FIFO under jitter" (List.init 50 (fun i -> 101 + i)) sizes
+
+let suite =
+  [
+    Alcotest.test_case "rx ring and poll" `Quick test_rx_ring_and_poll;
+    Alcotest.test_case "RQ exhaustion drops" `Quick test_rq_exhaustion_drops;
+    Alcotest.test_case "multi-packet RQ amortization" `Quick test_multi_packet_rq_amortization;
+    Alcotest.test_case "unsignaled TX + flush" `Quick test_unsignaled_tx_and_flush;
+    Alcotest.test_case "rx notify on empty ring" `Quick test_rx_notify_fires_on_empty_ring_only;
+    Alcotest.test_case "jitter preserves FIFO" `Quick test_jitter_preserves_fifo;
+  ]

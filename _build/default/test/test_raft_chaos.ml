@@ -1,0 +1,170 @@
+(* Randomized Raft safety testing: under random partitions, elections,
+   message reordering/loss and client submissions, the core safety
+   properties must hold:
+   - election safety: at most one leader per term;
+   - state-machine safety: no two nodes apply different commands at the
+     same index;
+   - apply order: every node applies indices 1,2,3,... with no gaps or
+     duplicates;
+   - commit monotonicity. *)
+
+let check_bool = Alcotest.(check bool)
+
+type world = {
+  mutable nodes : string Raft.Core.t array;
+  pending : (int * string Raft.Core.msg) Queue.t;
+  applied : (int, (int * string) list ref) Hashtbl.t;  (* node -> newest-first *)
+  leaders_by_term : (int, int) Hashtbl.t;  (* term -> leader id *)
+  mutable reachable : bool array array;
+}
+
+let make_world n seed =
+  let rng = Sim.Rng.create seed in
+  let w =
+    {
+      nodes = [||];
+      pending = Queue.create ();
+      applied = Hashtbl.create 8;
+      leaders_by_term = Hashtbl.create 8;
+      reachable = Array.make_matrix n n true;
+    }
+  in
+  w.nodes <-
+    Array.init n (fun id ->
+        Hashtbl.replace w.applied id (ref []);
+        let peers = Array.of_list (List.filter (fun p -> p <> id) (List.init n Fun.id)) in
+        Raft.Core.create ~id ~peers Raft.Core.default_config
+          ~send:(fun dst msg ->
+            if w.reachable.(id).(dst) then Queue.add (dst, msg) w.pending)
+          ~apply:(fun index cmd ->
+            let l = Hashtbl.find w.applied id in
+            l := (index, cmd) :: !l)
+          ~random:(fun bound -> Sim.Rng.int rng bound));
+  w
+
+let observe_leaders w =
+  Array.iter
+    (fun node ->
+      if Raft.Core.role node = Raft.Core.Leader then begin
+        let term = Raft.Core.term node in
+        match Hashtbl.find_opt w.leaders_by_term term with
+        | None -> Hashtbl.replace w.leaders_by_term term (Raft.Core.id node)
+        | Some other ->
+            if other <> Raft.Core.id node then
+              Alcotest.failf "two leaders in term %d: %d and %d" term other
+                (Raft.Core.id node)
+      end)
+    w.nodes
+
+(* Deliver up to [k] messages, possibly dropping some. *)
+let deliver_some w rng k =
+  let i = ref 0 in
+  while (not (Queue.is_empty w.pending)) && !i < k do
+    incr i;
+    let dst, msg = Queue.take w.pending in
+    if Sim.Rng.int rng 100 < 90 then Raft.Core.receive w.nodes.(dst) msg;
+    observe_leaders w
+  done
+
+let random_partition w rng n =
+  (* Either heal everything or cut a random bidirectional set. *)
+  if Sim.Rng.int rng 3 = 0 then
+    w.reachable <- Array.make_matrix n n true
+  else begin
+    let a = Sim.Rng.int rng n and b = Sim.Rng.int rng n in
+    w.reachable.(a).(b) <- false;
+    w.reachable.(b).(a) <- false
+  end
+
+let check_safety w =
+  (* Collect applied sequences oldest-first and compare pairwise. *)
+  let seqs =
+    Hashtbl.fold (fun id l acc -> (id, List.rev !l) :: acc) w.applied []
+  in
+  List.iter
+    (fun (id, seq) ->
+      (* Gapless, duplicate-free, in order. *)
+      List.iteri
+        (fun i (index, _) ->
+          if index <> i + 1 then
+            Alcotest.failf "node %d applied index %d at position %d" id index i)
+        seq)
+    seqs;
+  List.iter
+    (fun (ida, sa) ->
+      List.iter
+        (fun (idb, sb) ->
+          if ida < idb then
+            List.iteri
+              (fun i (index, cmd) ->
+                match List.nth_opt sb i with
+                | Some (index', cmd') ->
+                    if index <> index' || cmd <> cmd' then
+                      Alcotest.failf "divergence at index %d between nodes %d and %d" index
+                        ida idb
+                | None -> ())
+              sa)
+        seqs)
+    seqs
+
+let run_chaos ~seed ~steps ~n =
+  let w = make_world n seed in
+  let rng = Sim.Rng.create (Int64.add seed 1L) in
+  let submitted = ref 0 in
+  for _ = 1 to steps do
+    (match Sim.Rng.int rng 10 with
+    | 0 | 1 ->
+        (* someone's election timer expires *)
+        Raft.Core.periodic
+          w.nodes.(Sim.Rng.int rng n)
+          ~elapsed_ns:(Raft.Core.default_config.election_timeout_max_ns + 1)
+    | 2 ->
+        (* heartbeats *)
+        Array.iter
+          (fun node ->
+            Raft.Core.periodic node ~elapsed_ns:(Raft.Core.default_config.heartbeat_ns + 1))
+          w.nodes
+    | 3 -> random_partition w rng n
+    | 4 | 5 | 6 ->
+        (* a client tries to submit at a random node *)
+        incr submitted;
+        ignore
+          (Raft.Core.submit
+             w.nodes.(Sim.Rng.int rng n)
+             (Printf.sprintf "cmd-%d" !submitted))
+    | _ -> deliver_some w rng (1 + Sim.Rng.int rng 20));
+    observe_leaders w;
+    check_safety w
+  done;
+  (* Heal and let the cluster converge; everything still safe. *)
+  w.reachable <- Array.make_matrix n n true;
+  for _ = 1 to 20 do
+    Array.iter
+      (fun node ->
+        Raft.Core.periodic node ~elapsed_ns:(Raft.Core.default_config.heartbeat_ns + 1))
+      w.nodes;
+    deliver_some w rng 10_000
+  done;
+  check_safety w;
+  (* Liveness after healing: some commands committed somewhere. *)
+  Array.exists (fun node -> Raft.Core.commit_index node > 0) w.nodes
+
+let test_chaos_3 () =
+  let progressed = ref 0 in
+  for seed = 1 to 30 do
+    if run_chaos ~seed:(Int64.of_int seed) ~steps:300 ~n:3 then incr progressed
+  done;
+  check_bool "most seeds make progress" true (!progressed > 20)
+
+let test_chaos_5 () =
+  let progressed = ref 0 in
+  for seed = 100 to 114 do
+    if run_chaos ~seed:(Int64.of_int seed) ~steps:400 ~n:5 then incr progressed
+  done;
+  check_bool "most seeds make progress" true (!progressed > 8)
+
+let suite =
+  [
+    Alcotest.test_case "chaos: 3 nodes, 30 seeds" `Quick test_chaos_3;
+    Alcotest.test_case "chaos: 5 nodes, 15 seeds" `Quick test_chaos_5;
+  ]

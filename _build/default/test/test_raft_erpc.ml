@@ -1,0 +1,101 @@
+(* Integration tests: the Raft-over-eRPC replicated KV store (§7.1). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let setup () =
+  let cluster = Transport.Cluster.cx5 ~nodes:4 () in
+  let d = Experiments.Harness.deploy cluster ~threads_per_host:1 in
+  let replicas = [| 0; 1; 2 |] in
+  let servers =
+    Array.mapi
+      (fun replica_id host -> Experiments.Raft_kv.create d ~host ~replica_id ~replicas)
+      replicas
+  in
+  let deadline = ref 100 in
+  while (not (Array.exists Experiments.Raft_kv.is_leader servers)) && !deadline > 0 do
+    Experiments.Harness.run_ms d 5.0;
+    decr deadline
+  done;
+  check_bool "leader elected" true (Array.exists Experiments.Raft_kv.is_leader servers);
+  (d, servers)
+
+let leader_of servers =
+  match Array.find_opt Experiments.Raft_kv.is_leader servers with
+  | Some s -> s
+  | None -> Alcotest.fail "no leader"
+
+let put d client sess ~key ~value =
+  let req =
+    Erpc.Msgbuf.alloc ~max_size:(Experiments.Raft_kv.key_size + Experiments.Raft_kv.value_size)
+  in
+  let resp = Erpc.Msgbuf.alloc ~max_size:4 in
+  Erpc.Msgbuf.write_string req ~off:0 (Experiments.Raft_kv.encode_put ~key ~value);
+  let status = ref (-1) in
+  Erpc.Rpc.enqueue_request client sess ~req_type:Experiments.Raft_kv.put_req_type ~req ~resp
+    ~cont:(fun r -> if Result.is_ok r then status := Erpc.Msgbuf.get_u32 resp ~off:0);
+  Experiments.Harness.run_ms d 10.0;
+  !status
+
+let test_put_replicates_to_all () =
+  let d, servers = setup () in
+  let leader = leader_of servers in
+  let leader_host = Erpc.Rpc.host (Experiments.Raft_kv.rpc leader) in
+  let client = d.rpcs.(3).(0) in
+  let sess = Experiments.Harness.connect d client ~remote_host:leader_host ~remote_rpc_id:0 in
+  let key = Workload.Keygen.encode 1 in
+  let value = String.make Experiments.Raft_kv.value_size 'x' in
+  check_int "put acked" 0 (put d client sess ~key ~value);
+  (* Followers apply after the next heartbeat carries the commit index. *)
+  Experiments.Harness.run_ms d 10.0;
+  Array.iter
+    (fun s ->
+      check_bool "replica has the key" true
+        (Mica.Store.get (Experiments.Raft_kv.store s) ~key = Some value))
+    servers
+
+let test_put_to_follower_rejected () =
+  let d, servers = setup () in
+  let follower =
+    match Array.find_opt (fun s -> not (Experiments.Raft_kv.is_leader s)) servers with
+    | Some s -> s
+    | None -> Alcotest.fail "no follower"
+  in
+  let follower_host = Erpc.Rpc.host (Experiments.Raft_kv.rpc follower) in
+  let client = d.rpcs.(3).(0) in
+  let sess = Experiments.Harness.connect d client ~remote_host:follower_host ~remote_rpc_id:0 in
+  let key = Workload.Keygen.encode 2 in
+  let value = String.make Experiments.Raft_kv.value_size 'y' in
+  check_int "not-leader status" 2 (put d client sess ~key ~value)
+
+let test_many_puts_sequential_consistency () =
+  let d, servers = setup () in
+  let leader = leader_of servers in
+  let leader_host = Erpc.Rpc.host (Experiments.Raft_kv.rpc leader) in
+  let client = d.rpcs.(3).(0) in
+  let sess = Experiments.Harness.connect d client ~remote_host:leader_host ~remote_rpc_id:0 in
+  (* Repeatedly overwrite one key; all replicas must end at the final
+     value (log order = commit order). *)
+  let key = Workload.Keygen.encode 7 in
+  for i = 1 to 50 do
+    let value = Printf.sprintf "%-64d" i in
+    ignore (put d client sess ~key ~value)
+  done;
+  Experiments.Harness.run_ms d 20.0;
+  let final = Printf.sprintf "%-64d" 50 in
+  Array.iter
+    (fun s ->
+      check_bool "final value everywhere" true
+        (Mica.Store.get (Experiments.Raft_kv.store s) ~key = Some final))
+    servers;
+  (* Raft logs converged. *)
+  let last = Raft.Core.commit_index (Experiments.Raft_kv.raft leader) in
+  check_bool "committed everything" true (last >= 50)
+
+let suite =
+  [
+    Alcotest.test_case "PUT replicates to all" `Quick test_put_replicates_to_all;
+    Alcotest.test_case "PUT to follower rejected" `Quick test_put_to_follower_rejected;
+    Alcotest.test_case "sequential overwrites converge" `Quick
+      test_many_puts_sequential_consistency;
+  ]

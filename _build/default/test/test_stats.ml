@@ -1,0 +1,136 @@
+(* Tests for the histogram and bit helpers. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_bits () =
+  check_int "msb 1" 0 (Stats.Bits.msb 1);
+  check_int "msb 2" 1 (Stats.Bits.msb 2);
+  check_int "msb 255" 7 (Stats.Bits.msb 255);
+  check_int "msb 256" 8 (Stats.Bits.msb 256);
+  check_int "clz 1" 62 (Stats.Bits.clz 1);
+  Alcotest.check_raises "msb 0" (Invalid_argument "Bits.msb: requires v > 0") (fun () ->
+      ignore (Stats.Bits.msb 0))
+
+let test_hist_empty () =
+  let h = Stats.Hist.create () in
+  check_int "count" 0 (Stats.Hist.count h);
+  Alcotest.check_raises "percentile of empty"
+    (Invalid_argument "Hist.percentile: empty histogram") (fun () ->
+      ignore (Stats.Hist.percentile h 50.))
+
+let test_hist_small_values_exact () =
+  let h = Stats.Hist.create () in
+  for v = 0 to 63 do
+    Stats.Hist.record h v
+  done;
+  check_int "min" 0 (Stats.Hist.min h);
+  check_int "max" 63 (Stats.Hist.max h);
+  check_int "p50 exact below 64" 31 (Stats.Hist.percentile h 50.);
+  check_int "p100" 63 (Stats.Hist.percentile h 100.)
+
+let test_hist_known_median () =
+  let h = Stats.Hist.create () in
+  for _ = 1 to 100 do
+    Stats.Hist.record h 10
+  done;
+  for _ = 1 to 10 do
+    Stats.Hist.record h 1_000_000
+  done;
+  check_int "median ignores tail" 10 (Stats.Hist.median h);
+  check_bool "p99.9 in tail" true (Stats.Hist.percentile h 99.9 > 900_000)
+
+let test_hist_relative_error () =
+  let h = Stats.Hist.create () in
+  let values = [ 100; 1_000; 12_345; 999_999; 5_000_000; 123_456_789 ] in
+  List.iter
+    (fun v ->
+      Stats.Hist.clear h;
+      Stats.Hist.record h v;
+      let got = Stats.Hist.median h in
+      let err = abs_float (float_of_int (got - v) /. float_of_int v) in
+      check_bool (Printf.sprintf "value %d -> %d (err %.3f)" v got err) true (err < 0.02))
+    values
+
+let test_hist_percentile_monotone =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"percentiles are monotone" ~count:100
+       QCheck2.Gen.(list_size (int_range 1 500) (int_range 0 10_000_000))
+       (fun values ->
+         let h = Stats.Hist.create () in
+         List.iter (Stats.Hist.record h) values;
+         let ps = [ 1.; 10.; 25.; 50.; 75.; 90.; 99.; 99.9; 100. ] in
+         let qs = List.map (Stats.Hist.percentile h) ps in
+         let rec monotone = function
+           | a :: (b :: _ as rest) -> a <= b && monotone rest
+           | _ -> true
+         in
+         monotone qs))
+
+let test_hist_percentile_bounds =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"percentiles within [min,max]" ~count:100
+       QCheck2.Gen.(list_size (int_range 1 500) (int_range 0 10_000_000))
+       (fun values ->
+         let h = Stats.Hist.create () in
+         List.iter (Stats.Hist.record h) values;
+         let lo = Stats.Hist.min h and hi = Stats.Hist.max h in
+         List.for_all
+           (fun p ->
+             let q = Stats.Hist.percentile h p in
+             q >= lo && q <= hi)
+           [ 0.1; 50.; 99.99 ]))
+
+let test_hist_mean_total () =
+  let h = Stats.Hist.create () in
+  List.iter (Stats.Hist.record h) [ 10; 20; 30 ];
+  check_int "total" 60 (Stats.Hist.total h);
+  Alcotest.(check (float 0.001)) "mean" 20.0 (Stats.Hist.mean h)
+
+let test_hist_merge () =
+  let a = Stats.Hist.create () and b = Stats.Hist.create () in
+  List.iter (Stats.Hist.record a) [ 1; 2; 3 ];
+  List.iter (Stats.Hist.record b) [ 1_000; 2_000 ];
+  Stats.Hist.merge ~dst:a ~src:b;
+  check_int "merged count" 5 (Stats.Hist.count a);
+  check_int "merged min" 1 (Stats.Hist.min a);
+  check_bool "merged max" true (Stats.Hist.max a >= 2_000)
+
+let test_hist_record_n_and_clear () =
+  let h = Stats.Hist.create () in
+  Stats.Hist.record_n h 42 ~n:1_000;
+  check_int "bulk count" 1_000 (Stats.Hist.count h);
+  check_int "bulk median" 42 (Stats.Hist.median h);
+  Stats.Hist.clear h;
+  check_int "cleared" 0 (Stats.Hist.count h)
+
+let test_hist_median_approximates_true_median =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"median within 2% of true median" ~count:50
+       QCheck2.Gen.(list_size (int_range 11 400) (int_range 1 1_000_000))
+       (fun values ->
+         let h = Stats.Hist.create () in
+         List.iter (Stats.Hist.record h) values;
+         let sorted = List.sort compare values in
+         let true_median = List.nth sorted ((List.length values - 1) / 2) in
+         let got = Stats.Hist.median h in
+         (* Allow bucket resolution error plus one rank of slack. *)
+         let upper = List.nth sorted (min (List.length values - 1) (List.length values / 2)) in
+         let lo = float_of_int true_median *. 0.97 in
+         let hi = float_of_int upper *. 1.03 in
+         float_of_int got >= lo -. 1. && float_of_int got <= hi +. 1.))
+
+let suite =
+  [
+    Alcotest.test_case "bits" `Quick test_bits;
+    Alcotest.test_case "hist empty" `Quick test_hist_empty;
+    Alcotest.test_case "hist small exact" `Quick test_hist_small_values_exact;
+    Alcotest.test_case "hist known median" `Quick test_hist_known_median;
+    Alcotest.test_case "hist relative error" `Quick test_hist_relative_error;
+    test_hist_percentile_monotone;
+    test_hist_percentile_bounds;
+    Alcotest.test_case "hist mean/total" `Quick test_hist_mean_total;
+    Alcotest.test_case "hist merge" `Quick test_hist_merge;
+    Alcotest.test_case "hist record_n/clear" `Quick test_hist_record_n_and_clear;
+    test_hist_median_approximates_true_median;
+  ]

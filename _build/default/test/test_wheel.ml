@@ -1,0 +1,88 @@
+(* Tests for the Carousel timing wheel. *)
+
+let check_int = Alcotest.(check int)
+
+let test_delivery_order () =
+  let w = Erpc.Wheel.create ~slot_ns:1_000 ~num_slots:128 in
+  Erpc.Wheel.insert w ~now:0 ~at:5_000 "c";
+  Erpc.Wheel.insert w ~now:0 ~at:1_000 "a";
+  Erpc.Wheel.insert w ~now:0 ~at:3_000 "b";
+  let got = ref [] in
+  ignore (Erpc.Wheel.poll w ~now:10_000 (fun x -> got := x :: !got));
+  Alcotest.(check (list string)) "slot order" [ "a"; "b"; "c" ] (List.rev !got)
+
+let test_poll_only_due () =
+  let w = Erpc.Wheel.create ~slot_ns:1_000 ~num_slots:128 in
+  Erpc.Wheel.insert w ~now:0 ~at:2_000 "early";
+  Erpc.Wheel.insert w ~now:0 ~at:50_000 "late";
+  let got = ref [] in
+  ignore (Erpc.Wheel.poll w ~now:10_000 (fun x -> got := x :: !got));
+  Alcotest.(check (list string)) "only due" [ "early" ] !got;
+  check_int "one pending" 1 (Erpc.Wheel.pending w);
+  ignore (Erpc.Wheel.poll w ~now:60_000 (fun x -> got := x :: !got));
+  Alcotest.(check (list string)) "late delivered" [ "late"; "early" ] !got
+
+let test_past_entries_fire_next_poll () =
+  let w = Erpc.Wheel.create ~slot_ns:1_000 ~num_slots:128 in
+  ignore (Erpc.Wheel.poll w ~now:20_000 (fun _ -> ()));
+  (* Insert for the "past": must still fire on the next poll, never be
+     lost. *)
+  Erpc.Wheel.insert w ~now:20_000 ~at:5_000 "stale";
+  let got = ref [] in
+  ignore (Erpc.Wheel.poll w ~now:21_000 (fun x -> got := x :: !got));
+  Alcotest.(check (list string)) "stale fired" [ "stale" ] !got
+
+let test_horizon_clamp () =
+  let w = Erpc.Wheel.create ~slot_ns:1_000 ~num_slots:16 in
+  (* Horizon is 15 us; an entry 1 second out is clamped, not lost. *)
+  Erpc.Wheel.insert w ~now:0 ~at:1_000_000_000 "far";
+  let got = ref [] in
+  ignore (Erpc.Wheel.poll w ~now:15_000 (fun x -> got := x :: !got));
+  Alcotest.(check (list string)) "clamped entry fired within horizon" [ "far" ] !got
+
+let test_pending_counts () =
+  let w = Erpc.Wheel.create ~slot_ns:1_000 ~num_slots:64 in
+  for i = 1 to 10 do
+    Erpc.Wheel.insert w ~now:0 ~at:(i * 1_000) i
+  done;
+  check_int "pending" 10 (Erpc.Wheel.pending w);
+  let n = Erpc.Wheel.poll w ~now:5_000 (fun _ -> ()) in
+  check_int "delivered" 5 n;
+  check_int "left" 5 (Erpc.Wheel.pending w)
+
+let test_wraparound () =
+  let w = Erpc.Wheel.create ~slot_ns:1_000 ~num_slots:8 in
+  let delivered = ref 0 in
+  (* Push time far past several wheel revolutions. *)
+  for round = 0 to 9 do
+    let base = round * 8_000 in
+    ignore (Erpc.Wheel.poll w ~now:base (fun _ -> incr delivered));
+    Erpc.Wheel.insert w ~now:base ~at:(base + 3_000) round
+  done;
+  ignore (Erpc.Wheel.poll w ~now:100_000 (fun _ -> incr delivered));
+  check_int "all delivered across wraps" 10 !delivered
+
+let test_exactly_once =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"wheel delivers every entry exactly once" ~count:100
+       QCheck2.Gen.(list_size (int_range 1 300) (int_range 0 200_000))
+       (fun ats ->
+         let w = Erpc.Wheel.create ~slot_ns:1_000 ~num_slots:64 in
+         List.iteri (fun i at -> Erpc.Wheel.insert w ~now:0 ~at i) ats;
+         let got = Hashtbl.create 64 in
+         ignore
+           (Erpc.Wheel.poll w ~now:300_000 (fun i ->
+                Hashtbl.replace got i (1 + Option.value ~default:0 (Hashtbl.find_opt got i))));
+         List.length ats = Hashtbl.length got
+         && Hashtbl.fold (fun _ c acc -> acc && c = 1) got true))
+
+let suite =
+  [
+    Alcotest.test_case "delivery order" `Quick test_delivery_order;
+    Alcotest.test_case "poll only due" `Quick test_poll_only_due;
+    Alcotest.test_case "past entries" `Quick test_past_entries_fire_next_poll;
+    Alcotest.test_case "horizon clamp" `Quick test_horizon_clamp;
+    Alcotest.test_case "pending counts" `Quick test_pending_counts;
+    Alcotest.test_case "wraparound" `Quick test_wraparound;
+    test_exactly_once;
+  ]

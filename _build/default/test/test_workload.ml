@@ -1,0 +1,65 @@
+(* Tests for workload generators. *)
+
+let check_bool = Alcotest.(check bool)
+
+let test_uniform_bounds () =
+  let g = Workload.Keygen.uniform ~n:100 in
+  let rng = Sim.Rng.create 1L in
+  for _ = 1 to 10_000 do
+    let k = Workload.Keygen.next g rng in
+    check_bool "bounds" true (k >= 0 && k < 100)
+  done
+
+let test_uniform_covers_space () =
+  let g = Workload.Keygen.uniform ~n:10 in
+  let rng = Sim.Rng.create 2L in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1_000 do
+    seen.(Workload.Keygen.next g rng) <- true
+  done;
+  check_bool "all keys seen" true (Array.for_all Fun.id seen)
+
+let test_zipf_bounds () =
+  let g = Workload.Keygen.zipf ~n:1_000 ~theta:0.99 in
+  let rng = Sim.Rng.create 3L in
+  for _ = 1 to 10_000 do
+    let k = Workload.Keygen.next g rng in
+    check_bool "bounds" true (k >= 0 && k < 1_000)
+  done
+
+let test_zipf_is_skewed () =
+  let n = 1_000 in
+  let g = Workload.Keygen.zipf ~n ~theta:0.99 in
+  let rng = Sim.Rng.create 4L in
+  let counts = Array.make n 0 in
+  let total = 100_000 in
+  for _ = 1 to total do
+    let k = Workload.Keygen.next g rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* YCSB zipf(0.99): the hottest key draws far more than uniform share
+     (which would be 100 here). *)
+  check_bool
+    (Printf.sprintf "hot key %d" counts.(0))
+    true
+    (counts.(0) > 10 * (total / n));
+  (* And the tail is cold. *)
+  let tail = Array.fold_left ( + ) 0 (Array.sub counts (n / 2) (n / 2)) in
+  check_bool "cold tail" true (tail < total / 4)
+
+let test_encode () =
+  Alcotest.(check string) "default width" "0000000000000042" (Workload.Keygen.encode 42);
+  Alcotest.(check string) "width 8" "00000042" (Workload.Keygen.encode ~width:8 42);
+  Alcotest.(check int) "fixed length" 16 (String.length (Workload.Keygen.encode 123456));
+  (* Lexicographic order matches numeric order. *)
+  check_bool "order preserved" true
+    (String.compare (Workload.Keygen.encode 99) (Workload.Keygen.encode 100) < 0)
+
+let suite =
+  [
+    Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+    Alcotest.test_case "uniform coverage" `Quick test_uniform_covers_space;
+    Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_is_skewed;
+    Alcotest.test_case "key encoding" `Quick test_encode;
+  ]
