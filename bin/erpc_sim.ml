@@ -160,6 +160,36 @@ let masstree_cmd =
     (Cmd.info "masstree" ~doc:"§7.2: Masstree over eRPC")
     Term.(const run $ workers)
 
+(* chaos *)
+let chaos_cmd =
+  let run seeds events requests verbose =
+    let s = Experiments.Chaos.run_suite ~seeds ~events ~requests () in
+    List.iter
+      (fun r ->
+        Format.printf "%a@." Experiments.Chaos.pp_run r;
+        if verbose then print_string r.Experiments.Chaos.trace)
+      s.runs;
+    let bad =
+      List.filter (fun r -> r.Experiments.Chaos.violations <> []) s.runs |> List.length
+    in
+    Printf.printf "%d/%d schedules clean; deterministic=%b\n" (seeds - bad) seeds
+      s.deterministic;
+    if bad > 0 || not s.deterministic then exit 1
+  in
+  let seeds =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc:"Seeded schedules to run.")
+  in
+  let events =
+    Arg.(value & opt int 12 & info [ "events" ] ~docv:"N" ~doc:"Fault events per schedule.")
+  in
+  let requests =
+    Arg.(value & opt int 120 & info [ "requests" ] ~docv:"N" ~doc:"RPCs issued per run.")
+  in
+  let verbose = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.") in
+  Cmd.v
+    (Cmd.info "chaos" ~doc:"Fault-injection chaos suite: invariants under seeded fault schedules")
+    Term.(const run $ seeds $ events $ requests $ verbose)
+
 (* rdma-scalability *)
 let rdma_cmd =
   let run connections =
@@ -190,5 +220,6 @@ let () =
             scalability_cmd;
             raft_cmd;
             masstree_cmd;
+            chaos_cmd;
             rdma_cmd;
           ]))

@@ -196,6 +196,28 @@ let array elt =
         (Array.of_list xs, off));
   }
 
+let with_checksum c =
+  {
+    size = (fun v -> c.size v + 4);
+    write =
+      (fun b off v ->
+        let body_end = c.write b off v in
+        let sum =
+          Erpc.Pkthdr.bytes_checksum b ~off ~len:(body_end - off) land 0xFFFFFFFF
+        in
+        u32.write b body_end sum);
+    read =
+      (fun b off ->
+        let v, body_end = c.read b off in
+        let stored, next = u32.read b body_end in
+        let sum =
+          Erpc.Pkthdr.bytes_checksum b ~off ~len:(body_end - off) land 0xFFFFFFFF
+        in
+        if stored <> sum then
+          fail (Printf.sprintf "checksum mismatch (stored %#x, computed %#x)" stored sum);
+        (v, next));
+  }
+
 let map ~into ~from c =
   {
     size = (fun v -> c.size (from v));

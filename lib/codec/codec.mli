@@ -42,6 +42,11 @@ val array : 'a t -> 'a array t
 (** [map ~into ~from c] builds a codec for a richer type from codec [c]. *)
 val map : into:('a -> 'b) -> from:('b -> 'a) -> 'a t -> 'b t
 
+(** [with_checksum c] appends a u32 FNV-1a checksum of the encoded body;
+    [read] verifies it and raises {!Decode_error} on mismatch — app-level
+    end-to-end integrity on top of the per-packet wire checksum. *)
+val with_checksum : 'a t -> 'a t
+
 (** {2 Sizes} *)
 
 (** Exact encoded size of a value. *)

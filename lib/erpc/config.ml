@@ -72,6 +72,7 @@ type t = {
   rx_batch : int;
   tx_batch : int;
   rto_ns : int;
+  max_retransmits : int;
   cr_stride : int;
   wheel_slot_ns : int;
   wheel_num_slots : int;
@@ -108,6 +109,7 @@ let of_cluster ?credits (cluster : Transport.Cluster.t) =
     rx_batch = 32;
     tx_batch = 32;
     rto_ns = 5_000_000;
+    max_retransmits = 8;
     cr_stride = 4;
     wheel_slot_ns = 1_000;
     wheel_num_slots = 16_384;

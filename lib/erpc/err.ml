@@ -1,7 +1,8 @@
-type t = Server_failure | Session_error of string
+type t = Server_failure | Peer_unreachable | Session_error of string
 
 let to_string = function
   | Server_failure -> "server failure"
+  | Peer_unreachable -> "peer unreachable"
   | Session_error s -> "session error: " ^ s
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

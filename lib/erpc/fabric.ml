@@ -8,6 +8,7 @@ type t = {
   dead_hosts : (int, unit) Hashtbl.t;
   mutable failure_watchers : (int -> unit) list;
   mutable kill_watchers : (int -> unit) list;
+  mutable restart_watchers : (int -> unit) list;
 }
 
 let create ?(seed = 42L) ?config ?cost cluster =
@@ -25,6 +26,7 @@ let create ?(seed = 42L) ?config ?cost cluster =
     dead_hosts = Hashtbl.create 8;
     failure_watchers = [];
     kill_watchers = [];
+    restart_watchers = [];
   }
 
 let engine t = t.engine
@@ -49,6 +51,7 @@ let send_sm t ~dst_host ~dst_rpc msg =
 
 let on_host_failure t f = t.failure_watchers <- f :: t.failure_watchers
 let on_host_killed t f = t.kill_watchers <- f :: t.kill_watchers
+let on_host_restart t f = t.restart_watchers <- f :: t.restart_watchers
 
 let kill_host t host =
   if not (host_dead t host) then begin
@@ -56,4 +59,21 @@ let kill_host t host =
     List.iter (fun f -> f host) t.kill_watchers;
     Sim.Engine.schedule_after t.engine t.cfg.sm_failure_timeout_ns (fun () ->
         List.iter (fun f -> f host) t.failure_watchers)
+  end
+
+let crash_host t host ~down_ns =
+  if down_ns <= 0 then invalid_arg "Fabric.crash_host: down_ns must be positive";
+  if not (host_dead t host) then begin
+    Hashtbl.replace t.dead_hosts host ();
+    List.iter (fun f -> f host) t.kill_watchers;
+    (* Failure detection only fires if the host is still down when the
+       management plane's timeout expires — a fast restart goes unnoticed by
+       peers, exactly the case bounded retransmission must cover. *)
+    Sim.Engine.schedule_after t.engine t.cfg.sm_failure_timeout_ns (fun () ->
+        if host_dead t host then List.iter (fun f -> f host) t.failure_watchers);
+    Sim.Engine.schedule_after t.engine down_ns (fun () ->
+        if host_dead t host then begin
+          Hashtbl.remove t.dead_hosts host;
+          List.iter (fun f -> f host) t.restart_watchers
+        end)
   end

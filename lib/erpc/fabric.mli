@@ -37,5 +37,18 @@ val on_host_failure : t -> (int -> unit) -> unit
     killed — used by the victim itself to stop executing. *)
 val on_host_killed : t -> (int -> unit) -> unit
 
+(** [on_host_restart t f] registers [f], called when a crashed host comes
+    back up (see {!crash_host}). *)
+val on_host_restart : t -> (int -> unit) -> unit
+
 val kill_host : t -> int -> unit
+
+(** [crash_host t host ~down_ns] is crash-with-restart: the host is silenced
+    like {!kill_host}, then comes back after [down_ns] having lost all
+    session state. Failure detection fires only if the host is still down
+    when [sm_failure_timeout_ns] expires, so a fast restart is invisible to
+    the management plane and peers must recover via bounded retransmission
+    ({!Err.Peer_unreachable}). No-op if the host is already dead. *)
+val crash_host : t -> int -> down_ns:int -> unit
+
 val host_dead : t -> int -> bool

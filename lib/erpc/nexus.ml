@@ -45,6 +45,7 @@ let create fabric ~host ?(num_workers = 1) () =
             | None -> ())
         | _ -> ());
   Fabric.on_host_killed fabric (fun h -> if h = host then t.dead <- true);
+  Fabric.on_host_restart fabric (fun h -> if h = host then t.dead <- false);
   t
 
 let fabric t = t.fabric

@@ -31,6 +31,19 @@ type t = {
 (** Size of the eRPC header on the wire. *)
 val size : int
 
+(** {2 Wire checksum}
+
+    FNV-1a over all header fields and the payload, computed at packet
+    construction and verified on RX so corrupted packets are detected and
+    dropped (and recovered like losses) instead of delivered. ECN marks are
+    switch-mutated in flight and therefore not covered. *)
+
+val checksum : t -> data:bytes -> int
+
+(** FNV-1a over a byte range — the same kernel, reusable by higher-level
+    framing (see [Codec.with_checksum]). *)
+val bytes_checksum : ?init:int -> bytes -> off:int -> len:int -> int
+
 val pkt_type_to_string : pkt_type -> string
 val pp : Format.formatter -> t -> unit
 

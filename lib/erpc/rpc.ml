@@ -31,6 +31,9 @@ type t = {
   mutable st_completed : int;
   mutable st_handled : int;
   mutable st_wheel_inserts : int;
+  mutable st_rx_corrupt : int;
+  mutable st_retx_warnings : int;
+  mutable st_session_resets : int;
   mutable rtt_probe : (int -> unit) option;
 }
 
@@ -46,6 +49,10 @@ let stat_retransmits t = t.st_retransmits
 let stat_completed t = t.st_completed
 let stat_handled t = t.st_handled
 let stat_wheel_inserts t = t.st_wheel_inserts
+let stat_rx_corrupt t = t.st_rx_corrupt
+let stat_retx_warnings t = t.st_retx_warnings
+let stat_session_resets t = t.st_session_resets
+let stat_session_retransmits (_ : t) (sess : Session.session) = sess.retransmits
 
 let stat_timely_updates t =
   Array.fold_left
@@ -59,6 +66,52 @@ let stat_timely_updates t =
 let ch t ns = ignore (Sim.Cpu.charge t.cpu_ (Cost_model.scaled t.cost ns))
 
 let dead t = Nexus.dead t.nexus_
+
+let disarm_rto slot =
+  match slot.rto with Some timer -> Sim.Timer.disarm timer | None -> ()
+
+(* Fail every in-flight and backlogged request of [sess] with [err]:
+   timers are disarmed, rate-limiter references dropped, msgbufs returned
+   to the application, and the session's credits restored to their limit
+   (the session is unusable afterward, so its accounting must balance). *)
+let fail_pending_requests _t sess err =
+  Array.iter
+    (fun s ->
+      match s with
+      | Some ({ busy = true; args = Some args; _ } as slot) when sess.role = Client ->
+          disarm_rto slot;
+          (match slot.cli with
+          | Some c ->
+              c.wheel_refs <- 0;
+              c.retx_in_wheel <- false;
+              c.consec_retx <- 0
+          | None -> ());
+          slot.busy <- false;
+          slot.args <- None;
+          Msgbuf.return_to_app args.req;
+          Msgbuf.return_to_app args.resp;
+          args.cont (Stdlib.Error err)
+      | _ -> ())
+    sess.slots;
+  Queue.iter
+    (fun args ->
+      Msgbuf.return_to_app args.req;
+      Msgbuf.return_to_app args.resp;
+      args.cont (Stdlib.Error err))
+    sess.backlog;
+  Queue.clear sess.backlog;
+  Queue.iter (fun waiter -> waiter.in_credit_waitq <- false) sess.credit_waiters;
+  Queue.clear sess.credit_waiters;
+  sess.credits <- sess.credit_limit
+
+(* Session reset (§4.3): entered after [max_retransmits] consecutive RTOs
+   without progress. In-flight slots complete with [Err.Peer_unreachable],
+   RTO timers are disarmed and msgbufs reclaimed; the session cannot be
+   used again. *)
+let reset_session t sess =
+  t.st_session_resets <- t.st_session_resets + 1;
+  sess.state <- Error "peer unreachable";
+  fail_pending_requests t sess Err.Peer_unreachable
 
 (* {2 Event loop scheduling} *)
 
@@ -333,30 +386,47 @@ and arm_rto t slot =
   in
   Sim.Timer.arm_after timer t.cfg.rto_ns
 
-and disarm_rto slot = match slot.rto with Some timer -> Sim.Timer.disarm timer | None -> ()
-
 and do_retransmit t slot =
   slot.needs_retx <- false;
   if slot.busy then
     match slot.cli with
     | None -> ()
     | Some cli ->
-        t.st_retransmits <- t.st_retransmits + 1;
-        cli.retransmits <- cli.retransmits + 1;
         let sess = slot.session in
-        (* Roll back wire state and reclaim credits. *)
-        sess.credits <- sess.credits + (cli.num_tx - cli.num_rx);
-        cli.num_tx <- cli.num_rx;
-        (* Flush the TX DMA queue so no stale reference to the request
-           msgbuf survives (§4.2.2): expensive, but only on loss. *)
-        ch t (Nic.flush_time_ns t.nic_);
-        arm_rto t slot;
-        push_txq t slot
+        cli.consec_retx <- cli.consec_retx + 1;
+        if cli.consec_retx >= t.cfg.max_retransmits then begin
+          (* Retry budget exhausted: the peer is gone (crashed, restarted
+             without our session state, or partitioned). Reset the session
+             instead of retransmitting forever. *)
+          ch t (Nic.flush_time_ns t.nic_);
+          reset_session t sess
+        end
+        else begin
+          if 2 * cli.consec_retx > t.cfg.max_retransmits then
+            t.st_retx_warnings <- t.st_retx_warnings + 1;
+          t.st_retransmits <- t.st_retransmits + 1;
+          cli.retransmits <- cli.retransmits + 1;
+          sess.retransmits <- sess.retransmits + 1;
+          (* Roll back wire state and reclaim credits. *)
+          sess.credits <- sess.credits + (cli.num_tx - cli.num_rx);
+          cli.num_tx <- cli.num_rx;
+          (* Flush the TX DMA queue so no stale reference to the request
+             msgbuf survives (§4.2.2): expensive, but only on loss. *)
+          ch t (Nic.flush_time_ns t.nic_);
+          arm_rto t slot;
+          push_txq t slot
+        end
 
 (* {2 RX demultiplexing} *)
 
 and process_pkt t pkt =
   match pkt.Netsim.Packet.body with
+  | Wire.Pkt _ when not (Wire.verify pkt) ->
+      (* Failed wire checksum: the packet was corrupted in flight. Drop it;
+         the sender's RTO recovers it like a loss. *)
+      t.st_rx_pkts <- t.st_rx_pkts + 1;
+      t.st_rx_corrupt <- t.st_rx_corrupt + 1;
+      ch t t.cost.rx_pkt
   | Wire.Pkt { hdr; data; _ } -> (
       t.st_rx_pkts <- t.st_rx_pkts + 1;
       ch t t.cost.rx_pkt;
@@ -379,6 +449,7 @@ and accept_rx_item t slot (cli : client_info) ~marked =
   let sess = slot.session in
   let i = cli.num_rx in
   cli.num_rx <- i + 1;
+  cli.consec_retx <- 0 (* progress: the retry budget is consecutive RTOs *);
   sess.credits <- sess.credits + 1;
   ch t t.cost.credit_logic;
   (* A credit became available: unpark slots blocked on credits. *)
@@ -695,6 +766,7 @@ and start_request t slot args =
   cli.num_tx <- 0;
   cli.num_rx <- 0;
   cli.max_tx <- 0;
+  cli.consec_retx <- 0;
   cli.n_req_pkts <- Msgbuf.num_pkts args.req ~mtu:t.cfg.mtu;
   cli.n_resp_pkts <- -1;
   arm_rto t slot;
@@ -724,6 +796,23 @@ let enqueue_request t sess ~req_type ~req ~resp ~cont =
 (* {2 Sessions and session management} *)
 
 let num_sessions t = t.n_sessions
+
+(* Armed RTO timers across all sessions. The chaos harness checks this is
+   zero after quiesce: any armed timer on a completed/failed request is a
+   leak. *)
+let armed_rto_count t =
+  Array.fold_left
+    (fun acc s ->
+      match s with
+      | None -> acc
+      | Some sess ->
+          Array.fold_left
+            (fun acc slot ->
+              match slot with
+              | Some { rto = Some timer; _ } when Sim.Timer.is_armed timer -> acc + 1
+              | _ -> acc)
+            acc sess.slots)
+    0 t.sessions
 
 let add_session t sess =
   let sn = sess.sn in
@@ -783,32 +872,6 @@ let accept_session t ~client_host ~client_rpc ~client_sn =
   sess.state <- Connected;
   add_session t sess;
   sn
-
-let fail_pending_requests _t sess err =
-  Array.iter
-    (fun s ->
-      match s with
-      | Some ({ busy = true; args = Some args; _ } as slot) when sess.role = Client ->
-          disarm_rto slot;
-          (match slot.cli with
-          | Some c ->
-              c.wheel_refs <- 0;
-              c.retx_in_wheel <- false
-          | None -> ());
-          slot.busy <- false;
-          slot.args <- None;
-          Msgbuf.return_to_app args.req;
-          Msgbuf.return_to_app args.resp;
-          args.cont (Stdlib.Error err)
-      | _ -> ())
-    sess.slots;
-  Queue.iter
-    (fun args ->
-      Msgbuf.return_to_app args.req;
-      Msgbuf.return_to_app args.resp;
-      args.cont (Stdlib.Error err))
-    sess.backlog;
-  Queue.clear sess.backlog
 
 let handle_sm t msg =
   match msg with
@@ -874,6 +937,30 @@ let handle_peer_failure t failed_host =
       | _ -> ())
     t.sessions
 
+(* Local crash (crash-with-restart): the process dies, losing every
+   session, queue and in-flight request. Continuations of lost requests are
+   failed rather than leaked so callers observe each request exactly once.
+   A restarted host keeps its handler registry (a restarted process would
+   re-register) but comes back with no sessions: peers retransmitting into
+   it get silence and recover via their own bounded-retransmission reset. *)
+let handle_local_crash t =
+  Array.iter
+    (fun s ->
+      match s with
+      | Some sess when sess.state <> Destroyed ->
+          sess.state <- Error "local host crashed";
+          if sess.role = Client then
+            fail_pending_requests t sess (Err.Session_error "local host crashed")
+      | _ -> ())
+    t.sessions;
+  Array.fill t.sessions 0 (Array.length t.sessions) None;
+  t.n_sessions <- 0;
+  Queue.clear t.txq;
+  Queue.clear t.bgq;
+  Queue.clear t.retxq;
+  t.wheel <- None;
+  Nic.clear_rx t.nic_
+
 let destroy_session t sess =
   if sess.role <> Client then invalid_arg "Rpc.destroy_session: not a client session";
   (match sess.state with
@@ -921,6 +1008,9 @@ let create nexus_ ~rpc_id =
       st_completed = 0;
       st_handled = 0;
       st_wheel_inserts = 0;
+      st_rx_corrupt = 0;
+      st_retx_warnings = 0;
+      st_session_resets = 0;
       rtt_probe = None;
     }
   in
@@ -930,6 +1020,8 @@ let create nexus_ ~rpc_id =
       if not (dead t) then handle_sm t msg);
   Fabric.on_host_failure fabric (fun failed ->
       if (not (dead t)) && failed <> host_ then handle_peer_failure t failed);
+  Fabric.on_host_killed fabric (fun killed ->
+      if killed = host_ then handle_local_crash t);
   t
 
 let set_rtt_probe t probe = t.rtt_probe <- Some probe

@@ -78,6 +78,26 @@ val stat_handled : t -> int
 val stat_timely_updates : t -> int
 val stat_wheel_inserts : t -> int
 
+(** Received packets dropped for checksum failure (wire corruption). *)
+val stat_rx_corrupt : t -> int
+
+(** Times any slot's consecutive-RTO count crossed half the
+    [Config.max_retransmits] budget — an early-warning signal that a peer
+    is close to being declared unreachable. *)
+val stat_retx_warnings : t -> int
+
+(** Sessions reset after [Config.max_retransmits] consecutive RTOs
+    without progress (§4.3). *)
+val stat_session_resets : t -> int
+
+(** Cumulative retransmissions on one session. *)
+val stat_session_retransmits : t -> Session.session -> int
+
+(** Number of currently armed RTO timers across all sessions. Zero once
+    every request has completed or failed — anything else is a timer
+    leak. *)
+val armed_rto_count : t -> int
+
 (** Install a probe invoked with every per-packet RTT sample (ns) measured
     at this client — the paper's proxy for switch queue length (§6.5). *)
 val set_rtt_probe : t -> (int -> unit) -> unit

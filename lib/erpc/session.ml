@@ -18,6 +18,7 @@ type client_info = {
   mutable wheel_refs : int;
   mutable retx_in_wheel : bool;
   mutable retransmits : int;
+  mutable consec_retx : int;
 }
 
 type server_info = {
@@ -61,6 +62,7 @@ and session = {
   mutable cc : Cc.t option;
   mutable next_tx_ts : Sim.Time.t;
   mutable connect_cb : (unit, Err.t) result -> unit;
+  mutable retransmits : int;
 }
 
 let create ~sn ~role ~remote_host ~remote_rpc_id ~credits ~req_window =
@@ -79,6 +81,7 @@ let create ~sn ~role ~remote_host ~remote_rpc_id ~credits ~req_window =
     cc = None;
     next_tx_ts = Sim.Time.zero;
     connect_cb = (fun _ -> ());
+    retransmits = 0;
   }
 
 let slot session i =
@@ -123,6 +126,7 @@ let client_info sslot ~credits =
           wheel_refs = 0;
           retx_in_wheel = false;
           retransmits = 0;
+          consec_retx = 0;
         }
       in
       sslot.cli <- Some c;

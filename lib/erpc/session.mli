@@ -45,6 +45,9 @@ type client_info = {
       (** a retransmitted packet sits in the rate limiter: responses are
           dropped until the wheel drains (Appendix C) *)
   mutable retransmits : int;
+  mutable consec_retx : int;
+      (** consecutive RTOs since the last accepted RX item; reaching
+          [Config.max_retransmits] resets the session (§4.3) *)
 }
 
 type server_info = {
@@ -92,6 +95,7 @@ and session = {
   mutable cc : Cc.t option;  (** client sessions under congestion control *)
   mutable next_tx_ts : Sim.Time.t;  (** Carousel pacing cursor *)
   mutable connect_cb : (unit, Err.t) result -> unit;
+  mutable retransmits : int;  (** cumulative, across all slots and requests *)
 }
 
 val create :

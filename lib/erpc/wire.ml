@@ -1,4 +1,5 @@
-type Netsim.Packet.body += Pkt of { dst_rpc : int; hdr : Pkthdr.t; data : bytes }
+type Netsim.Packet.body +=
+  | Pkt of { dst_rpc : int; hdr : Pkthdr.t; data : bytes; csum : int }
 
 let make ~src_host ~dst_host ~dst_rpc ~wire_overhead ~flow ~hdr ?payload () =
   let data =
@@ -7,8 +8,27 @@ let make ~src_host ~dst_host ~dst_rpc ~wire_overhead ~flow ~hdr ?payload () =
     | Some (src, off, len) -> Bytes.sub src off len
   in
   let size_bytes = Bytes.length data + wire_overhead in
+  let csum = Pkthdr.checksum hdr ~data in
   Netsim.Packet.make ~src:src_host ~dst:dst_host ~size_bytes ~flow_hash:flow
-    (Pkt { dst_rpc; hdr; data })
+    (Pkt { dst_rpc; hdr; data; csum })
+
+let verify pkt =
+  (not pkt.Netsim.Packet.corrupted)
+  &&
+  match pkt.Netsim.Packet.body with
+  | Pkt { hdr; data; csum; _ } -> csum = Pkthdr.checksum hdr ~data
+  | _ -> true
+
+let corrupt ?(bit = 0) pkt =
+  match pkt.Netsim.Packet.body with
+  | Pkt { data; _ } when Bytes.length data > 0 ->
+      let i = bit / 8 mod Bytes.length data in
+      Bytes.set_uint8 data i (Bytes.get_uint8 data i lxor (1 lsl (bit mod 8)))
+  | _ ->
+      (* Header-only packet (CR/RFR), or a foreign body: the flipped bits
+         land in the typed header, which we cannot mangle structurally —
+         mark the frame so checksum verification fails. *)
+      pkt.Netsim.Packet.corrupted <- true
 
 let flow_hash ~src_host ~dst_host ~sn =
   let h = (src_host * 1_000_003) + (dst_host * 7_919) + (sn * 131) in

@@ -6,7 +6,9 @@
     control packets (CR/RFR) carry none. *)
 
 type Netsim.Packet.body +=
-  | Pkt of { dst_rpc : int; hdr : Pkthdr.t; data : bytes }
+  | Pkt of { dst_rpc : int; hdr : Pkthdr.t; data : bytes; csum : int }
+        (** [csum] is the wire checksum stamped at construction
+            ({!Pkthdr.checksum} over header and payload). *)
 
 (** Build a wire packet. [payload], when given, is copied out of
     [(bytes, off, len)]. The wire size is the payload length plus
@@ -21,6 +23,18 @@ val make :
   ?payload:bytes * int * int ->
   unit ->
   Netsim.Packet.t
+
+(** Recompute the checksum and compare with the stamped one; [false] for
+    packets mangled in flight (payload bit flips or the
+    {!Netsim.Packet.t.corrupted} header-corruption flag). Non-eRPC bodies
+    verify trivially. *)
+val verify : Netsim.Packet.t -> bool
+
+(** Flip payload bit [bit] (default 0; wraps modulo the payload length), or
+    mark header corruption on payload-less packets. This is the
+    payload-aware corrupter the fault injector installs via
+    {!Netsim.Network.set_corrupter}. *)
+val corrupt : ?bit:int -> Netsim.Packet.t -> unit
 
 (** Flow-hash for ECMP: all packets of a session take one path. *)
 val flow_hash : src_host:int -> dst_host:int -> sn:int -> int

@@ -1,0 +1,154 @@
+type run_result = {
+  seed : int64;
+  issued : int;
+  ok : int;
+  failed : int;
+  injected : int;
+  fault_kinds : int;
+  retransmits : int;
+  session_resets : int;
+  rx_corrupt : int;
+  violations : string list;
+  trace : string;
+}
+
+let topology_tors (cluster : Transport.Cluster.t) =
+  match cluster.net_config.topology with
+  | Netsim.Network.Two_tier { tors; _ } -> tors
+  | Netsim.Network.Single_switch _ -> 1
+
+(* Draw a schedule that actually mixes fault kinds: a handful of events
+   over nine kinds occasionally collapses onto two or three, which would
+   leave recovery paths untested. The retry is a deterministic function of
+   the seed, so reruns stay reproducible. *)
+let pick_schedule ~seed ~horizon_ns ~events ~hosts ~tors =
+  let rec go s tries =
+    let sched = Faults.Schedule.random ~seed:s ~horizon_ns ~events ~hosts ~tors in
+    if Faults.Schedule.num_kinds sched >= 4 || tries = 0 then sched
+    else go (Int64.add s 1_000_003L) (tries - 1)
+  in
+  go seed 100
+
+let run_one ?(hosts = 10) ?(events = 12) ?(requests = 120) ?(horizon_ns = 60_000_000) ~seed
+    () =
+  let cluster = Transport.Cluster.cx4 ~nodes:hosts () in
+  let d =
+    Harness.deploy ~seed cluster ~threads_per_host:1 ~register:(fun nx ->
+        Harness.register_echo nx)
+  in
+  let engine = Erpc.Fabric.engine d.fabric in
+  let trace = Faults.Trace.create () in
+  let injector = Faults.Injector.create ~trace d.fabric in
+  (* Two client sessions per host — a rack neighbour and a cross-rack peer,
+     so partitions and crashes both land on live traffic. Connect before
+     any fault fires: handshake loss is Test_erpc_failure territory; here
+     we chaos-test the data plane. *)
+  let sessions =
+    Array.init hosts (fun h ->
+        let rpc = d.rpcs.(h).(0) in
+        [|
+          Harness.connect d rpc ~remote_host:((h + 1) mod hosts) ~remote_rpc_id:0;
+          Harness.connect d rpc ~remote_host:((h + (hosts / 2)) mod hosts) ~remote_rpc_id:0;
+        |])
+  in
+  let schedule =
+    pick_schedule ~seed ~horizon_ns ~events ~hosts ~tors:(topology_tors cluster)
+  in
+  Faults.Injector.install injector schedule;
+  (* Stagger issuance across the fault window so requests meet every phase
+     of the schedule. *)
+  let completions = Array.make requests 0 in
+  let ok = ref 0 and failed = ref 0 in
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let gap_ns = Stdlib.max 1 (horizon_ns * 3 / 4 / Stdlib.max 1 requests) in
+  for j = 0 to requests - 1 do
+    Sim.Engine.schedule_after engine (j * gap_ns) (fun () ->
+        let h = j mod hosts in
+        let rpc = d.rpcs.(h).(0) in
+        let sess = sessions.(h).(j / hosts mod 2) in
+        let req = Erpc.Msgbuf.alloc ~max_size:32 in
+        let resp = Erpc.Msgbuf.alloc ~max_size:32 in
+        Erpc.Msgbuf.set_u32 req ~off:0 j;
+        Erpc.Rpc.enqueue_request rpc sess ~req_type:Harness.echo_req_type ~req ~resp
+          ~cont:(fun r ->
+            completions.(j) <- completions.(j) + 1;
+            (match r with
+            | Ok () ->
+                incr ok;
+                if Erpc.Msgbuf.get_u32 resp ~off:0 <> j then
+                  violate "req %d: response payload mismatch" j
+            | Error _ -> incr failed);
+            Faults.Trace.record trace
+              ~at_ns:(Sim.Engine.now engine)
+              (Printf.sprintf "done req=%d %s" j
+                 (match r with
+                 | Ok () -> "ok"
+                 | Error e -> "err:" ^ Erpc.Err.to_string e))))
+  done;
+  (* Quiesce: drain the event queue completely. Terminates because
+     retransmission is bounded — before bounded retx, a crashed peer meant
+     retransmitting forever. *)
+  Sim.Engine.run engine;
+  (* {2 Invariants} *)
+  Array.iteri
+    (fun j n -> if n <> 1 then violate "req %d completed %d times (want exactly 1)" j n)
+    completions;
+  let all_rpcs = Array.to_list d.rpcs |> List.concat_map Array.to_list in
+  let armed = List.fold_left (fun acc r -> acc + Erpc.Rpc.armed_rto_count r) 0 all_rpcs in
+  if armed <> 0 then violate "%d armed RTO timers leaked after quiesce" armed;
+  Array.iter
+    (Array.iter (fun (sess : Erpc.Session.session) ->
+         if sess.credits <> sess.credit_limit then
+           violate "session sn=%d: credits %d <> limit %d (leak)" sess.sn sess.credits
+             sess.credit_limit))
+    sessions;
+  let handled = List.fold_left (fun acc r -> acc + Erpc.Rpc.stat_handled r) 0 all_rpcs in
+  if handled > requests then
+    violate "handlers ran %d times for %d requests (at-most-once broken)" handled requests;
+  let stat f = List.fold_left (fun acc r -> acc + f r) 0 all_rpcs in
+  let retransmits = stat Erpc.Rpc.stat_retransmits in
+  let session_resets = stat Erpc.Rpc.stat_session_resets in
+  let rx_corrupt = stat Erpc.Rpc.stat_rx_corrupt in
+  Faults.Trace.record trace
+    ~at_ns:(Sim.Engine.now engine)
+    (Printf.sprintf "quiesce ok=%d failed=%d retx=%d resets=%d corrupt=%d" !ok !failed
+       retransmits session_resets rx_corrupt);
+  {
+    seed;
+    issued = requests;
+    ok = !ok;
+    failed = !failed;
+    injected = Faults.Injector.injected injector;
+    fault_kinds = Faults.Schedule.num_kinds schedule;
+    retransmits;
+    session_resets;
+    rx_corrupt;
+    violations = List.rev !violations;
+    trace = Faults.Trace.to_string trace;
+  }
+
+type suite_result = {
+  runs : run_result list;
+  deterministic : bool;  (** every seed's rerun produced a byte-identical trace *)
+}
+
+let run_suite ?(seeds = 20) ?hosts ?events ?requests ?horizon_ns () =
+  let runs = ref [] in
+  let deterministic = ref true in
+  for i = 0 to seeds - 1 do
+    let seed = Int64.of_int (1_000 + (7_919 * i)) in
+    let r1 = run_one ?hosts ?events ?requests ?horizon_ns ~seed () in
+    let r2 = run_one ?hosts ?events ?requests ?horizon_ns ~seed () in
+    if r1.trace <> r2.trace then deterministic := false;
+    runs := r1 :: !runs
+  done;
+  { runs = List.rev !runs; deterministic = !deterministic }
+
+let pp_run fmt r =
+  Format.fprintf fmt
+    "seed=%Ld issued=%d ok=%d failed=%d faults=%d kinds=%d retx=%d resets=%d corrupt=%d %s"
+    r.seed r.issued r.ok r.failed r.injected r.fault_kinds r.retransmits r.session_resets
+    r.rx_corrupt
+    (if r.violations = [] then "PASS"
+     else "VIOLATIONS: " ^ String.concat "; " r.violations)

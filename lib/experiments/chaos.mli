@@ -1,0 +1,59 @@
+(** Chaos harness: seeded fault schedules against a live RPC workload.
+
+    Each run deploys a two-tier CX4-style cluster, connects client sessions
+    on every host, issues a staggered echo workload, compiles a random
+    fault schedule (mixing at least four fault kinds) through
+    {!Faults.Injector}, drains the simulation to quiescence and then checks
+    the recovery invariants:
+
+    - every issued request completes {e exactly} once ([Ok] or [Error]);
+    - completed responses carry intact payloads (corruption was detected,
+      never silently accepted);
+    - no armed RTO timer survives quiescence;
+    - every session's credits return to its credit limit;
+    - request handlers ran at most once per issued request.
+
+    Because retransmission is bounded, quiescence is guaranteed even when a
+    peer crashes and never answers. Running the same seed twice must yield
+    a byte-identical trace. *)
+
+type run_result = {
+  seed : int64;
+  issued : int;
+  ok : int;
+  failed : int;
+  injected : int;  (** schedule events applied *)
+  fault_kinds : int;  (** distinct fault kinds in the schedule *)
+  retransmits : int;
+  session_resets : int;
+  rx_corrupt : int;  (** packets dropped by wire-checksum verification *)
+  violations : string list;  (** empty iff all invariants held *)
+  trace : string;
+}
+
+val run_one :
+  ?hosts:int ->
+  ?events:int ->
+  ?requests:int ->
+  ?horizon_ns:int ->
+  seed:int64 ->
+  unit ->
+  run_result
+
+type suite_result = {
+  runs : run_result list;
+  deterministic : bool;  (** every seed's rerun produced a byte-identical trace *)
+}
+
+(** [run_suite ~seeds ()] runs [seeds] schedules, each twice (for the
+    determinism check). *)
+val run_suite :
+  ?seeds:int ->
+  ?hosts:int ->
+  ?events:int ->
+  ?requests:int ->
+  ?horizon_ns:int ->
+  unit ->
+  suite_result
+
+val pp_run : Format.formatter -> run_result -> unit

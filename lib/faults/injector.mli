@@ -1,0 +1,27 @@
+(** Compiles a {!Schedule} into simulator events against a deployment.
+
+    Each schedule event is scheduled (relative to install time) to apply
+    its fault and, where the fault has a duration, to revert it. Every
+    application and reversion is stamped into the injector's {!Trace}, so
+    two runs of the same seed can be compared byte-for-byte.
+
+    Overlapping events on the same resource compose safely: link state is
+    refcounted and probability knobs keep the strongest active interval
+    until the last one expires.
+
+    Creating an injector installs a payload-aware corrupter into the
+    network (see {!Netsim.Network.set_corrupter}): chosen packets get a
+    real payload bit flipped — varying per packet — so receivers' wire
+    checksums are exercised rather than a mere "corrupted" flag. *)
+
+type t
+
+val create : ?trace:Trace.t -> Erpc.Fabric.t -> t
+
+(** Schedule every event of the fault schedule, relative to now. *)
+val install : t -> Schedule.t -> unit
+
+val trace : t -> Trace.t
+
+(** Schedule events applied so far. *)
+val injected : t -> int

@@ -1,0 +1,24 @@
+type t = { mutable entries : (int * string) list; mutable n : int }
+
+let create () = { entries = []; n = 0 }
+
+let record t ~at_ns msg =
+  t.entries <- (at_ns, msg) :: t.entries;
+  t.n <- t.n + 1
+
+let length t = t.n
+let entries t = List.rev t.entries
+
+let to_string t =
+  let buf = Buffer.create (64 * t.n) in
+  List.iter
+    (fun (at, msg) ->
+      Buffer.add_string buf (string_of_int at);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf msg;
+      Buffer.add_char buf '\n')
+    (entries t);
+  Buffer.contents buf
+
+let pp fmt t =
+  List.iter (fun (at, msg) -> Format.fprintf fmt "%d %s@." at msg) (entries t)

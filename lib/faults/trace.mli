@@ -1,0 +1,21 @@
+(** Append-only event trace with simulated-time stamps.
+
+    The determinism contract of the fault framework is expressed over
+    traces: running the same schedule against the same seeded deployment
+    must produce a byte-identical [to_string]. Both the {!Injector} (fault
+    applications and reversions) and harnesses (request completions,
+    invariant checkpoints) write into the same trace. *)
+
+type t
+
+val create : unit -> t
+val record : t -> at_ns:int -> string -> unit
+val length : t -> int
+
+(** Entries in recording order. *)
+val entries : t -> (int * string) list
+
+(** Canonical one-entry-per-line rendering, used for byte equality. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

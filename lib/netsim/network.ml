@@ -47,13 +47,71 @@ type t = {
   rng : Sim.Rng.t;
   mutable loss_prob : float;
   mutable injected_losses : int;
+  (* deterministic fault-injection state (lib/faults drives these) *)
+  link_up : bool array;  (* per-host access-link state *)
+  partitions : (int * int, unit) Hashtbl.t;  (* severed ToR pairs *)
+  extra_delay_ns : int array;  (* per-host delivery delay spike *)
+  mutable corrupt_prob : float;
+  mutable corrupter : Packet.t -> unit;
+  mutable dup_prob : float;
+  mutable reorder_prob : float;
+  mutable reorder_max_ns : int;
+  mutable delivery_count : int;
+  mutable armed_drops : int list;  (* absolute delivery indexes to drop *)
+  mutable link_drops : int;
+  mutable partition_drops : int;
+  mutable targeted_drops : int;
+  mutable injected_dups : int;
+  mutable injected_corruptions : int;
+  mutable injected_reorders : int;
 }
 
+let tor_pair a b = if a <= b then (a, b) else (b, a)
+
+let partitioned t src dst =
+  Hashtbl.length t.partitions > 0
+  && Hashtbl.mem t.partitions
+       (tor_pair t.hosts.(src).tor_index t.hosts.(dst).tor_index)
+
+(* Final-delivery fault pipeline. Order is fixed so that a given seed and
+   fault schedule always consume the RNG identically: targeted drop, link
+   state, partition, Bernoulli loss, corruption, then reorder/jitter delay
+   and duplication. *)
 let deliver t host_id pkt =
   let h = t.hosts.(host_id) in
-  if t.loss_prob > 0. && Sim.Rng.bool_with_prob t.rng t.loss_prob then
+  t.delivery_count <- t.delivery_count + 1;
+  let n = t.delivery_count in
+  if List.mem n t.armed_drops then begin
+    t.armed_drops <- List.filter (fun m -> m <> n) t.armed_drops;
+    t.targeted_drops <- t.targeted_drops + 1
+  end
+  else if not (t.link_up.(pkt.Packet.src) && t.link_up.(host_id)) then
+    t.link_drops <- t.link_drops + 1
+  else if partitioned t pkt.Packet.src host_id then
+    t.partition_drops <- t.partition_drops + 1
+  else if t.loss_prob > 0. && Sim.Rng.bool_with_prob t.rng t.loss_prob then
     t.injected_losses <- t.injected_losses + 1
-  else h.rx pkt
+  else begin
+    if t.corrupt_prob > 0. && Sim.Rng.bool_with_prob t.rng t.corrupt_prob then begin
+      t.corrupter pkt;
+      t.injected_corruptions <- t.injected_corruptions + 1
+    end;
+    let delay = ref t.extra_delay_ns.(host_id) in
+    if t.reorder_prob > 0. && Sim.Rng.bool_with_prob t.rng t.reorder_prob then begin
+      (* Bounded reordering: hold this packet back so later packets of the
+         flow overtake it at the receiver. *)
+      t.injected_reorders <- t.injected_reorders + 1;
+      delay := !delay + 1 + Sim.Rng.int t.rng (max 1 t.reorder_max_ns)
+    end;
+    if !delay = 0 then h.rx pkt
+    else Sim.Engine.schedule_after t.engine !delay (fun () -> h.rx pkt);
+    if t.dup_prob > 0. && Sim.Rng.bool_with_prob t.rng t.dup_prob then begin
+      (* The duplicate trails the original by a hair, like a replayed
+         frame arriving back-to-back. *)
+      t.injected_dups <- t.injected_dups + 1;
+      Sim.Engine.schedule_after t.engine (!delay + 50) (fun () -> h.rx pkt)
+    end
+  end
 
 let unattached_rx _pkt = invalid_arg "Network: packet delivered to unattached host"
 
@@ -176,6 +234,22 @@ let create engine cfg =
          rng;
          loss_prob = 0.;
          injected_losses = 0;
+         link_up = Array.make (Array.length hosts) true;
+         partitions = Hashtbl.create 4;
+         extra_delay_ns = Array.make (Array.length hosts) 0;
+         corrupt_prob = 0.;
+         corrupter = (fun pkt -> pkt.Packet.corrupted <- true);
+         dup_prob = 0.;
+         reorder_prob = 0.;
+         reorder_max_ns = 0;
+         delivery_count = 0;
+         armed_drops = [];
+         link_drops = 0;
+         partition_drops = 0;
+         targeted_drops = 0;
+         injected_dups = 0;
+         injected_corruptions = 0;
+         injected_reorders = 0;
        })
   in
   Lazy.force t
@@ -186,11 +260,48 @@ let config t = t.cfg
 let attach t ~host ~rx = t.hosts.(host).rx <- rx
 
 let send t pkt =
-  pkt.Packet.sent_at <- Sim.Engine.now t.engine;
-  ignore (Port.send t.hosts.(pkt.Packet.src).tx_port pkt)
+  if not t.link_up.(pkt.Packet.src) then t.link_drops <- t.link_drops + 1
+  else begin
+    pkt.Packet.sent_at <- Sim.Engine.now t.engine;
+    ignore (Port.send t.hosts.(pkt.Packet.src).tx_port pkt)
+  end
 
 let set_loss_prob t p = t.loss_prob <- p
 let injected_losses t = t.injected_losses
+
+(* {2 Fault injection} *)
+
+let set_host_link t ~host up = t.link_up.(host) <- up
+let host_link_up t ~host = t.link_up.(host)
+
+let set_partition t ~tor_a ~tor_b severed =
+  let key = tor_pair tor_a tor_b in
+  if severed then Hashtbl.replace t.partitions key ()
+  else Hashtbl.remove t.partitions key
+
+let set_corrupt_prob t p = t.corrupt_prob <- p
+
+let set_corrupter t f = t.corrupter <- f
+
+let set_dup_prob t p = t.dup_prob <- p
+
+let set_reorder t ~prob ~max_delay_ns =
+  t.reorder_prob <- prob;
+  t.reorder_max_ns <- max_delay_ns
+
+let set_host_extra_delay t ~host extra_ns = t.extra_delay_ns.(host) <- extra_ns
+
+let arm_drop_nth t n =
+  if n < 1 then invalid_arg "Network.arm_drop_nth: n must be >= 1";
+  t.armed_drops <- (t.delivery_count + n) :: t.armed_drops
+
+let link_drops t = t.link_drops
+let partition_drops t = t.partition_drops
+let targeted_drops t = t.targeted_drops
+let injected_dups t = t.injected_dups
+let injected_corruptions t = t.injected_corruptions
+let injected_reorders t = t.injected_reorders
+let host_tor_index t ~host = t.hosts.(host).tor_index
 
 let tor_downlink_port t ~host =
   let h = t.hosts.(host) in

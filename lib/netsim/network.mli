@@ -59,6 +59,66 @@ val set_loss_prob : t -> float -> unit
 
 val injected_losses : t -> int
 
+(** {2 Deterministic fault injection}
+
+    These hooks are driven by the [faults] library's schedule compiler.
+    All randomized faults (loss, corruption, duplication, reordering) draw
+    from the network's seeded RNG stream in a fixed order, so a given
+    engine seed and fault schedule always produce the same packet-level
+    outcome. *)
+
+(** Take a host's access link down ([false]) or back up ([true]). While
+    down, packets from and to the host are dropped at the fault layer. *)
+val set_host_link : t -> host:int -> bool -> unit
+
+val host_link_up : t -> host:int -> bool
+
+(** Sever (or heal) connectivity between two ToRs: packets whose endpoints
+    sit under the severed pair are dropped. A ToR partitioned from itself
+    ([tor_a = tor_b]) isolates intra-rack traffic too. *)
+val set_partition : t -> tor_a:int -> tor_b:int -> bool -> unit
+
+(** Per-delivery corruption probability. A corrupted packet is mangled by
+    the installed corrupter ({!set_corrupter}; the default sets
+    {!Packet.t.corrupted}) and still delivered — receivers must detect it
+    with a wire checksum. *)
+val set_corrupt_prob : t -> float -> unit
+
+(** Install the function that mangles a packet chosen for corruption.
+    Higher layers install a payload-aware corrupter that flips real bits so
+    wire checksums are genuinely exercised. *)
+val set_corrupter : t -> (Packet.t -> unit) -> unit
+
+(** Per-delivery duplication probability; the duplicate arrives 50 ns after
+    the original. *)
+val set_dup_prob : t -> float -> unit
+
+(** Bounded reordering: with probability [prob], delay a packet's delivery
+    by 1..[max_delay_ns] ns so later packets overtake it. *)
+val set_reorder : t -> prob:float -> max_delay_ns:int -> unit
+
+(** Delay-jitter spike: add [extra_ns] to every delivery at [host]
+    (0 clears). *)
+val set_host_extra_delay : t -> host:int -> int -> unit
+
+(** [arm_drop_nth t n] deterministically drops the [n]-th next final
+    delivery (1-based, counted from now, across all hosts) — lets protocol
+    tests target a specific packet instead of sweeping seeds. May be armed
+    multiple times. *)
+val arm_drop_nth : t -> int -> unit
+
+(** Fault-layer drop/injection counters. *)
+
+val link_drops : t -> int
+val partition_drops : t -> int
+val targeted_drops : t -> int
+val injected_dups : t -> int
+val injected_corruptions : t -> int
+val injected_reorders : t -> int
+
+(** The ToR index a host sits under (0 for single-switch topologies). *)
+val host_tor_index : t -> host:int -> int
+
 (** The ToR egress port facing [host] — where incast queueing happens. *)
 val tor_downlink_port : t -> host:int -> Port.t
 

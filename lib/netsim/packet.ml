@@ -9,8 +9,20 @@ type t = {
   body : body;
   mutable sent_at : Sim.Time.t;
   mutable ecn : bool;
+  mutable corrupted : bool;
+      (* physical-layer bit errors outside the typed payload (header bits);
+         receivers treat it as a checksum mismatch *)
 }
 
 let make ~src ~dst ~size_bytes ~flow_hash body =
   assert (size_bytes > 0);
-  { src; dst; size_bytes; flow_hash; body; sent_at = Sim.Time.zero; ecn = false }
+  {
+    src;
+    dst;
+    size_bytes;
+    flow_hash;
+    body;
+    sent_at = Sim.Time.zero;
+    ecn = false;
+    corrupted = false;
+  }

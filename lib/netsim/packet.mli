@@ -15,6 +15,10 @@ type t = {
   body : body;
   mutable sent_at : Sim.Time.t;  (** stamped by the network on first hop *)
   mutable ecn : bool;  (** congestion-experienced mark (RED/ECN at switches) *)
+  mutable corrupted : bool;
+      (** physical-layer bit errors that hit bits outside the typed payload
+          (e.g. header fields); receivers must treat the packet as failing
+          its wire checksum *)
 }
 
 val make : src:int -> dst:int -> size_bytes:int -> flow_hash:int -> body -> t

@@ -121,6 +121,11 @@ let replenish_rq t n =
   end
   else n * t.cfg.rq_replenish_unit_ns
 
+let clear_rx t =
+  Queue.clear t.rx_ring;
+  t.rq_available <- t.cfg.rq_size;
+  t.replenish_partial <- 0
+
 let rq_available t = t.rq_available
 let rx_packets t = t.rx_packets
 let tx_packets t = t.tx_packets

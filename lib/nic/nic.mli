@@ -76,6 +76,11 @@ val replenish_rq : t -> int -> int
 
 val rq_available : t -> int
 
+(** Drop everything in the RX ring and restore the full descriptor count —
+    the restarted driver after a host crash re-posts its RQ from scratch at
+    no modeled cost. *)
+val clear_rx : t -> unit
+
 (** {2 Statistics} *)
 
 val rx_packets : t -> int

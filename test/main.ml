@@ -17,6 +17,9 @@ let () =
       ("erpc_failure", Test_erpc_failure.suite);
       ("erpc_worker", Test_erpc_worker.suite);
       ("erpc_session_mgmt", Test_erpc_session_mgmt.suite);
+      ("erpc_sm", Test_sm.suite);
+      ("faults", Test_faults.suite);
+      ("chaos", Test_chaos.suite);
       ("erpc_config_matrix", Test_erpc_config_matrix.suite);
       ("erpc_edge", Test_erpc_edge.suite);
       ("erpc_stress", Test_erpc_stress.suite);

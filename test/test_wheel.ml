@@ -62,6 +62,71 @@ let test_wraparound () =
   ignore (Erpc.Wheel.poll w ~now:100_000 (fun _ -> incr delivered));
   check_int "all delivered across wraps" 10 !delivered
 
+let test_rollover_no_collision () =
+  (* Rollover: an entry inserted one full revolution after another lands in
+     the same physical slot. It must fire in its own revolution, not ride
+     out with (or shadow) the earlier entry. *)
+  let w = Erpc.Wheel.create ~slot_ns:1_000 ~num_slots:8 in
+  Erpc.Wheel.insert w ~now:0 ~at:3_000 "rev0";
+  let got = ref [] in
+  ignore (Erpc.Wheel.poll w ~now:4_000 (fun x -> got := x :: !got));
+  Alcotest.(check (list string)) "first revolution only" [ "rev0" ] !got;
+  (* Same physical slot (3 mod 8), next revolution: abs slot 11. *)
+  Erpc.Wheel.insert w ~now:4_000 ~at:11_000 "rev1";
+  ignore (Erpc.Wheel.poll w ~now:10_000 (fun x -> got := x :: !got));
+  Alcotest.(check (list string)) "not early" [ "rev0" ] !got;
+  ignore (Erpc.Wheel.poll w ~now:11_000 (fun x -> got := x :: !got));
+  Alcotest.(check (list string)) "fires in its own revolution" [ "rev1"; "rev0" ] !got;
+  check_int "empty" 0 (Erpc.Wheel.pending w)
+
+let test_rollover_insert_at_now () =
+  (* An entry due exactly at the cursor's current slot must fire on the
+     very next poll, across a slot-index wrap. *)
+  let w = Erpc.Wheel.create ~slot_ns:1_000 ~num_slots:8 in
+  ignore (Erpc.Wheel.poll w ~now:15_000 (fun _ -> ()));
+  Erpc.Wheel.insert w ~now:16_000 ~at:16_000 "due-now";
+  let got = ref [] in
+  ignore (Erpc.Wheel.poll w ~now:16_000 (fun x -> got := x :: !got));
+  Alcotest.(check (list string)) "due-now fired" [ "due-now" ] !got
+
+let test_rollover_horizon_boundary () =
+  (* Insert exactly at the horizon: must clamp into the last distinct slot
+     and fire exactly once (never alias slot 0 = "due immediately"... which
+     would deliver too early, nor be pushed a revolution out). *)
+  let w = Erpc.Wheel.create ~slot_ns:1_000 ~num_slots:8 in
+  let h = 7_000 (* slot_ns * (num_slots - 1) *) in
+  Erpc.Wheel.insert w ~now:0 ~at:h "edge";
+  let got = ref [] in
+  ignore (Erpc.Wheel.poll w ~now:(h - 1_000) (fun x -> got := x :: !got));
+  Alcotest.(check (list string)) "not before its slot" [] !got;
+  ignore (Erpc.Wheel.poll w ~now:h (fun x -> got := x :: !got));
+  Alcotest.(check (list string)) "fired at horizon" [ "edge" ] !got;
+  ignore (Erpc.Wheel.poll w ~now:(h + 8_000) (fun x -> got := x :: !got));
+  check_int "no ghost redelivery" 1 (List.length !got)
+
+let test_exactly_once_across_revolutions =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"wheel exact-once with advancing cursor (rollover)" ~count:100
+       QCheck2.Gen.(list_size (int_range 1 200) (pair (int_range 0 50) (int_range 0 20_000)))
+       (fun steps ->
+         (* Interleave polls and inserts while time marches far past many
+            revolutions of a small wheel. *)
+         let w = Erpc.Wheel.create ~slot_ns:1_000 ~num_slots:8 in
+         let got = Hashtbl.create 64 in
+         let deliver i =
+           Hashtbl.replace got i (1 + Option.value ~default:0 (Hashtbl.find_opt got i))
+         in
+         let now = ref 0 in
+         List.iteri
+           (fun i (advance, offset) ->
+             now := !now + (advance * 1_000);
+             ignore (Erpc.Wheel.poll w ~now:!now deliver);
+             Erpc.Wheel.insert w ~now:!now ~at:(!now + offset) i)
+           steps;
+         ignore (Erpc.Wheel.poll w ~now:(!now + 100_000) deliver);
+         List.length steps = Hashtbl.length got
+         && Hashtbl.fold (fun _ c acc -> acc && c = 1) got true))
+
 let test_exactly_once =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name:"wheel delivers every entry exactly once" ~count:100
@@ -84,5 +149,9 @@ let suite =
     Alcotest.test_case "horizon clamp" `Quick test_horizon_clamp;
     Alcotest.test_case "pending counts" `Quick test_pending_counts;
     Alcotest.test_case "wraparound" `Quick test_wraparound;
+    Alcotest.test_case "rollover: no slot collision" `Quick test_rollover_no_collision;
+    Alcotest.test_case "rollover: insert at now" `Quick test_rollover_insert_at_now;
+    Alcotest.test_case "rollover: horizon boundary" `Quick test_rollover_horizon_boundary;
     test_exactly_once;
+    test_exactly_once_across_revolutions;
   ]
