@@ -325,7 +325,7 @@ let ablations () =
       Printf.printf "%-14s %-14.1f %-16d
 %!"
         (if cumulative then "cumulative" else "per-packet")
-        gbps (Erpc.Rpc.stat_tx_pkts server))
+        gbps ((Erpc.Rpc.stats server).Erpc.Rpc_stats.tx_pkts))
     [ false; true ];
 
   section "Ablation: Timely vs DCQCN (the extension the paper could not run, §5.2.1)";
@@ -443,6 +443,42 @@ let micro () =
         results)
     tests
 
+(* Machine-readable results for CI tracking: one JSON file per headline
+   benchmark, written to the current directory. Hand-rolled printing — the
+   values are numbers and fixed cluster names, no escaping needed. *)
+let bench_json () =
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  in
+  let rows_obj name unit rows =
+    Printf.sprintf "{\n  \"benchmark\": %S,\n  \"unit\": %S,\n  \"rows\": [\n%s\n  ]\n}\n"
+      name unit (String.concat ",\n" rows)
+  in
+  let small_rate =
+    List.map
+      (fun batch ->
+        let r =
+          Experiments.Exp_small_rate.run ~cluster:(Transport.Cluster.cx4 ~nodes:11 ()) ~batch ()
+        in
+        Printf.sprintf
+          "    { \"cluster\": \"CX4\", \"batch\": %d, \"per_thread_mrps\": %.4f, \
+           \"total_rpcs\": %d, \"retransmits\": %d }"
+          batch r.per_thread_mrps r.total_rpcs r.retransmits)
+      [ 3; 5; 11 ]
+  in
+  write "BENCH_small_rate.json" (rows_obj "small_rate" "Mrps" small_rate);
+  let latency =
+    List.map
+      (fun (r : Experiments.Exp_latency.row) ->
+        Printf.sprintf "    { \"cluster\": %S, \"rdma_read_us\": %.3f, \"erpc_us\": %.3f }"
+          r.cluster r.rdma_read_us r.erpc_us)
+      (Experiments.Exp_latency.run ~samples:1_000 ())
+  in
+  write "BENCH_latency.json" (rows_obj "latency" "us" latency)
+
 let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match arg with
@@ -459,6 +495,7 @@ let () =
   | "masstree" -> masstree ()
   | "ablations" -> ablations ()
   | "micro" -> micro ()
+  | "json" -> bench_json ()
   | "all" ->
       fig1 ();
       table2 ();
@@ -475,6 +512,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown bench %S; use \
-         fig1|table2|fig4|table3|fig5|fig5full|fig6|table4|table5|table6|masstree|micro|all\n"
+         fig1|table2|fig4|table3|fig5|fig5full|fig6|table4|table5|table6|masstree|micro|json|all\n"
         other;
       exit 1

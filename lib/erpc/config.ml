@@ -21,6 +21,8 @@ let all_opts_on =
     cumulative_crs = false;
   }
 
+type transport_kind = Raw_eth | Rdma_rc
+
 type cc_algo = Timely | Dcqcn
 
 type cc = {
@@ -64,6 +66,7 @@ let default_cc ~min_rtt_ns =
   }
 
 type t = {
+  transport : transport_kind;
   mtu : int;
   max_msg_size : int;
   wire_overhead : int;
@@ -101,6 +104,7 @@ let of_cluster ?credits (cluster : Transport.Cluster.t) =
     2 * hop
   in
   {
+    transport = Raw_eth;
     mtu = cluster.mtu;
     max_msg_size = 8 * 1024 * 1024;
     wire_overhead = cluster.wire_overhead;

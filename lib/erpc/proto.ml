@@ -1,0 +1,651 @@
+open Session
+
+(* The client-driven wire protocol (paper §4): request slots, session
+   credits, go-back-N retransmission, CR/RFR control packets and
+   at-most-once delivery. This module is written against the
+   [Transport.Iface] signature alone — it never names a concrete device —
+   and reaches the pieces that stay in {!Rpc} (dispatch-thread charging,
+   timestamp batching, congestion control, the Carousel rate limiter and
+   handler invocation) through the [env] closures. *)
+
+type env = {
+  ch : int -> unit;
+  charge_memcpy : int -> unit;
+  now_ts : unit -> Sim.Time.t;
+  cc_sample : session -> sample_rtt_ns:int -> marked:bool -> unit;
+  transmit :
+    sslot -> Netsim.Packet.t -> wire_bytes:int -> tx_item:int -> is_retx:bool -> unit;
+  post : Netsim.Packet.t -> unit;
+  wake : unit -> unit;
+  alive : unit -> bool;
+  rtt_sample : int -> unit;
+  zero_copy_dispatch : int -> bool;
+  invoke : session -> sslot -> server_info -> int -> unit;
+}
+
+type t = {
+  env : env;
+  engine : Sim.Engine.t;
+  host : int;
+  cfg : Config.t;
+  cost : Cost_model.t;
+  transport : Transport.Iface.t;
+  stats : Rpc_stats.t;
+  mutable sessions : session option array;
+  mutable n_sessions : int;
+  txq : sslot Queue.t;
+  retxq : sslot Queue.t;
+}
+
+let create ~env ~engine ~host ~cfg ~cost ~transport ~stats =
+  {
+    env;
+    engine;
+    host;
+    cfg;
+    cost;
+    transport;
+    stats;
+    sessions = Array.make 4 None;
+    n_sessions = 0;
+    txq = Queue.create ();
+    retxq = Queue.create ();
+  }
+
+let disarm_rto slot =
+  match slot.rto with Some timer -> Sim.Timer.disarm timer | None -> ()
+
+(* Fail every in-flight and backlogged request of [sess] with [err]:
+   timers are disarmed, rate-limiter references dropped, msgbufs returned
+   to the application, and the session's credits restored to their limit
+   (the session is unusable afterward, so its accounting must balance). *)
+let fail_pending_requests sess err =
+  Array.iter
+    (fun s ->
+      match s with
+      | Some ({ busy = true; args = Some args; _ } as slot) when sess.role = Client ->
+          disarm_rto slot;
+          (match slot.cli with
+          | Some c ->
+              c.wheel_refs <- 0;
+              c.retx_in_wheel <- false;
+              c.consec_retx <- 0
+          | None -> ());
+          slot.busy <- false;
+          slot.args <- None;
+          Msgbuf.return_to_app args.req;
+          Msgbuf.return_to_app args.resp;
+          args.cont (Stdlib.Error err)
+      | _ -> ())
+    sess.slots;
+  Queue.iter
+    (fun args ->
+      Msgbuf.return_to_app args.req;
+      Msgbuf.return_to_app args.resp;
+      args.cont (Stdlib.Error err))
+    sess.backlog;
+  Queue.clear sess.backlog;
+  Queue.iter (fun waiter -> waiter.in_credit_waitq <- false) sess.credit_waiters;
+  Queue.clear sess.credit_waiters;
+  sess.credits <- sess.credit_limit
+
+(* Session reset (§4.3): entered after [max_retransmits] consecutive RTOs
+   without progress. In-flight slots complete with [Err.Peer_unreachable],
+   RTO timers are disarmed and msgbufs reclaimed; the session cannot be
+   used again. *)
+let reset_session t sess =
+  t.stats.Rpc_stats.session_resets <- t.stats.Rpc_stats.session_resets + 1;
+  sess.state <- Error "peer unreachable";
+  fail_pending_requests sess Err.Peer_unreachable
+
+(* {2 Client TX path} *)
+
+let rec push_txq t slot =
+  if not slot.in_txq then begin
+    slot.in_txq <- true;
+    Queue.add slot t.txq
+  end
+
+and client_next_item_ready (cli : client_info) =
+  let k = cli.num_tx in
+  if k < cli.n_req_pkts then true
+  else
+    cli.n_resp_pkts > 0
+    && k < cli.n_req_pkts + cli.n_resp_pkts - 1
+    && cli.num_rx >= cli.n_req_pkts
+
+and service_slot_tx t slot budget =
+  let sess = slot.session in
+  if sess.state = Connected && slot.busy then begin
+    match (slot.args, slot.cli) with
+    | Some args, Some cli ->
+        let continue = ref true in
+        while !continue && !budget > 0 && sess.credits > 0 && client_next_item_ready cli do
+          send_tx_item t slot args cli;
+          decr budget
+        done;
+        if client_next_item_ready cli then
+          if sess.credits = 0 then begin
+            (* Blocked on credits: park until a CR/response returns one,
+               so other slots of the session are not starved. *)
+            if not slot.in_credit_waitq then begin
+              slot.in_credit_waitq <- true;
+              Queue.add slot sess.credit_waiters
+            end
+          end
+          else if !budget = 0 then push_txq t slot
+    | _ -> ()
+  end
+
+and send_tx_item t slot args cli =
+  let sess = slot.session in
+  let k = cli.num_tx in
+  let stamp = t.env.now_ts () in
+  cli.tx_ts.(k mod Array.length cli.tx_ts) <- stamp;
+  sess.credits <- sess.credits - 1;
+  t.env.ch t.cost.credit_logic;
+  let mtu = t.cfg.mtu in
+  let flow = Wire.flow_hash ~src_host:t.host ~dst_host:sess.remote_host ~sn:sess.sn in
+  let pkt, wire_bytes =
+    if k < cli.n_req_pkts then begin
+      let msg_size = Msgbuf.size args.req in
+      let hdr =
+        {
+          Pkthdr.req_type = args.req_type;
+          msg_size;
+          dest_session = sess.remote_sn;
+          pkt_type = Pkthdr.Req;
+          pkt_num = k;
+          req_num = slot.req_num;
+          ecn_echo = false;
+        }
+      in
+      let len = Pkthdr.data_bytes hdr ~mtu in
+      t.env.ch t.cost.tx_data_pkt;
+      let payload = (Msgbuf.unsafe_bytes args.req, Msgbuf.unsafe_offset args.req + (k * mtu), len) in
+      ( Wire.make ~src_host:t.host ~dst_host:sess.remote_host ~dst_rpc:sess.remote_rpc_id
+          ~wire_overhead:t.cfg.wire_overhead ~flow ~hdr ~payload (),
+        len + t.cfg.wire_overhead )
+    end
+    else begin
+      (* Request-for-response for response packet (k - N + 1). *)
+      let hdr =
+        {
+          Pkthdr.req_type = args.req_type;
+          msg_size = 0;
+          dest_session = sess.remote_sn;
+          pkt_type = Pkthdr.Rfr;
+          pkt_num = k - cli.n_req_pkts + 1;
+          req_num = slot.req_num;
+          ecn_echo = false;
+        }
+      in
+      t.env.ch t.cost.tx_ctrl_pkt;
+      ( Wire.make ~src_host:t.host ~dst_host:sess.remote_host ~dst_rpc:sess.remote_rpc_id
+          ~wire_overhead:t.cfg.wire_overhead ~flow ~hdr (),
+        t.cfg.wire_overhead )
+    end
+  in
+  (* Only retransmitted REQUEST DATA packets reference the request msgbuf
+     from the rate limiter; RFRs are header-only, so they never force
+     response drops (Appendix C). *)
+  let is_retx = k < cli.max_tx && k < cli.n_req_pkts in
+  cli.num_tx <- k + 1;
+  if cli.num_tx > cli.max_tx then cli.max_tx <- cli.num_tx;
+  t.env.transmit slot pkt ~wire_bytes ~tx_item:k ~is_retx
+
+(* {2 Retransmission (go-back-N, §5.3)} *)
+
+and arm_rto t slot =
+  let timer =
+    match slot.rto with
+    | Some timer -> timer
+    | None ->
+        let timer =
+          Sim.Timer.create t.engine ~callback:(fun () ->
+              if slot.busy && t.env.alive () then begin
+                slot.needs_retx <- true;
+                Queue.add slot t.retxq;
+                t.env.wake ()
+              end)
+        in
+        slot.rto <- Some timer;
+        timer
+  in
+  Sim.Timer.arm_after timer t.cfg.rto_ns
+
+and do_retransmit t slot =
+  slot.needs_retx <- false;
+  if slot.busy then
+    match slot.cli with
+    | None -> ()
+    | Some cli ->
+        let sess = slot.session in
+        cli.consec_retx <- cli.consec_retx + 1;
+        if cli.consec_retx >= t.cfg.max_retransmits then begin
+          (* Retry budget exhausted: the peer is gone (crashed, restarted
+             without our session state, or partitioned). Reset the session
+             instead of retransmitting forever. *)
+          t.env.ch (Transport.Iface.flush_time_ns t.transport);
+          reset_session t sess
+        end
+        else begin
+          if 2 * cli.consec_retx > t.cfg.max_retransmits then
+            t.stats.Rpc_stats.retx_warnings <- t.stats.Rpc_stats.retx_warnings + 1;
+          t.stats.Rpc_stats.retransmits <- t.stats.Rpc_stats.retransmits + 1;
+          cli.retransmits <- cli.retransmits + 1;
+          sess.retransmits <- sess.retransmits + 1;
+          (* Roll back wire state and reclaim credits. *)
+          sess.credits <- sess.credits + (cli.num_tx - cli.num_rx);
+          cli.num_tx <- cli.num_rx;
+          (* Flush the TX DMA queue so no stale reference to the request
+             msgbuf survives (§4.2.2): expensive, but only on loss. *)
+          t.env.ch (Transport.Iface.flush_time_ns t.transport);
+          arm_rto t slot;
+          push_txq t slot
+        end
+
+(* {2 RX demultiplexing} *)
+
+and rx_pkt t pkt =
+  match pkt.Netsim.Packet.body with
+  | Wire.Pkt _ when not (Wire.verify pkt) ->
+      (* Failed wire checksum: the packet was corrupted in flight. Drop it;
+         the sender's RTO recovers it like a loss. *)
+      t.stats.Rpc_stats.rx_pkts <- t.stats.Rpc_stats.rx_pkts + 1;
+      t.stats.Rpc_stats.rx_corrupt <- t.stats.Rpc_stats.rx_corrupt + 1;
+      t.env.ch t.cost.rx_pkt
+  | Wire.Pkt { hdr; data; _ } -> (
+      t.stats.Rpc_stats.rx_pkts <- t.stats.Rpc_stats.rx_pkts + 1;
+      t.env.ch t.cost.rx_pkt;
+      let ecn = pkt.Netsim.Packet.ecn in
+      let sn = hdr.Pkthdr.dest_session in
+      if sn >= 0 && sn < Array.length t.sessions then
+        match t.sessions.(sn) with
+        | None -> ()
+        | Some sess -> (
+            let slot = Session.slot sess (hdr.req_num mod t.cfg.req_window) in
+            match (hdr.pkt_type, sess.role) with
+            | (Pkthdr.Cr | Pkthdr.Resp), Client -> client_rx t sess slot hdr data ~ecn
+            | (Pkthdr.Req | Pkthdr.Rfr), Server -> server_rx t sess slot hdr data ~ecn
+            | _ -> () (* role mismatch: corrupt/stale packet *)))
+  | _ -> ()
+
+(* {2 Client RX} *)
+
+and accept_rx_item t slot (cli : client_info) ~marked =
+  let sess = slot.session in
+  let i = cli.num_rx in
+  cli.num_rx <- i + 1;
+  cli.consec_retx <- 0 (* progress: the retry budget is consecutive RTOs *);
+  sess.credits <- sess.credits + 1;
+  t.env.ch t.cost.credit_logic;
+  (* A credit became available: unpark slots blocked on credits. *)
+  while not (Queue.is_empty sess.credit_waiters) do
+    let waiter = Queue.take sess.credit_waiters in
+    waiter.in_credit_waitq <- false;
+    if waiter.busy then push_txq t waiter
+  done;
+  let stamp = t.env.now_ts () in
+  let sample = Sim.Time.sub stamp cli.tx_ts.(i mod Array.length cli.tx_ts) in
+  t.env.rtt_sample sample;
+  if t.cfg.opts.congestion_control then begin
+    t.env.ch t.cost.cc_check;
+    t.env.cc_sample sess ~sample_rtt_ns:sample ~marked
+  end;
+  arm_rto t slot
+
+and client_rx t sess slot hdr data ~ecn =
+  (* Congestion signal: this packet was marked on the reverse path, or it
+     acknowledges a marked forward-path packet. *)
+  let marked = ecn || hdr.Pkthdr.ecn_echo in
+  if slot.busy && hdr.Pkthdr.req_num = slot.req_num then
+    match (slot.args, slot.cli) with
+    | Some args, Some cli -> (
+        match hdr.pkt_type with
+        | Pkthdr.Cr ->
+            (* CR for request packet [pkt_num] is RX item [pkt_num]. In
+               cumulative mode one CR acknowledges every request packet up
+               to [pkt_num]. *)
+            let acceptable =
+              if t.cfg.opts.cumulative_crs then
+                hdr.pkt_num >= cli.num_rx && hdr.pkt_num < cli.n_req_pkts - 1
+              else hdr.pkt_num = cli.num_rx
+            in
+            if acceptable then begin
+              (* Intermediate items return credits without separate RTT
+                 samples; the newest item carries the sample. *)
+              while cli.num_rx < hdr.pkt_num do
+                cli.num_rx <- cli.num_rx + 1;
+                sess.credits <- sess.credits + 1
+              done;
+              accept_rx_item t slot cli ~marked;
+              if client_next_item_ready cli && sess.credits > 0 then begin
+                push_txq t slot;
+                t.env.wake ()
+              end
+            end
+        | Pkthdr.Resp ->
+            let item = cli.n_req_pkts - 1 + hdr.pkt_num in
+            if item = cli.num_rx then begin
+              if cli.retx_in_wheel then
+                (* A retransmitted packet of this request sits in the rate
+                   limiter: drop the response (Appendix C). *)
+                ()
+              else begin
+                if hdr.pkt_num = 0 then begin
+                  if hdr.msg_size > Msgbuf.max_size args.resp then
+                    invalid_arg "eRPC: response larger than client's response msgbuf";
+                  Msgbuf.unsafe_set_size args.resp hdr.msg_size;
+                  cli.n_resp_pkts <- max 1 ((hdr.msg_size + t.cfg.mtu - 1) / t.cfg.mtu)
+                end;
+                (* Copy response data into the client's response msgbuf
+                   (§3.1); this copy is a real CPU cost (§6.4). *)
+                let len = Bytes.length data in
+                if len > 0 then begin
+                  Msgbuf.blit_from_bytes data ~src_off:0 args.resp
+                    ~dst_off:(hdr.pkt_num * t.cfg.mtu) ~len;
+                  t.env.charge_memcpy len
+                end;
+                accept_rx_item t slot cli ~marked;
+                if cli.num_rx = cli.n_req_pkts - 1 + cli.n_resp_pkts then
+                  complete_request t slot args
+                else if client_next_item_ready cli && sess.credits > 0 then begin
+                  push_txq t slot;
+                  t.env.wake ()
+                end
+              end
+            end
+        | Pkthdr.Req | Pkthdr.Rfr -> ())
+    | _ -> ()
+
+and complete_request t slot args =
+  let sess = slot.session in
+  disarm_rto slot;
+  t.stats.Rpc_stats.completed <- t.stats.Rpc_stats.completed + 1;
+  slot.busy <- false;
+  slot.args <- None;
+  Msgbuf.return_to_app args.req;
+  Msgbuf.return_to_app args.resp;
+  t.env.ch t.cost.continuation;
+  args.cont (Ok ());
+  (* Admit backlogged requests into freed slots. *)
+  admit_backlog t sess
+
+and admit_backlog t sess =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty sess.backlog) do
+    match Session.free_slot sess ~req_window:t.cfg.req_window with
+    | Some free -> start_request t free (Queue.take sess.backlog)
+    | None -> continue := false
+  done
+
+(* {2 Server RX} *)
+
+and send_server_pkt t sess slot ~pkt_type ~pkt_num ~msg_size ~payload ~req_type ~ecn_echo =
+  let hdr =
+    {
+      Pkthdr.req_type;
+      msg_size;
+      dest_session = sess.remote_sn;
+      pkt_type;
+      pkt_num;
+      req_num = slot.req_num;
+      ecn_echo;
+    }
+  in
+  let flow = Wire.flow_hash ~src_host:t.host ~dst_host:sess.remote_host ~sn:sess.remote_sn in
+  let pkt =
+    Wire.make ~src_host:t.host ~dst_host:sess.remote_host ~dst_rpc:sess.remote_rpc_id
+      ~wire_overhead:t.cfg.wire_overhead ~flow ~hdr ?payload ()
+  in
+  (match pkt_type with
+  | Pkthdr.Cr -> t.env.ch t.cost.tx_ctrl_pkt
+  | _ -> t.env.ch t.cost.tx_data_pkt);
+  t.env.post pkt
+
+and send_cr t sess slot ~pkt_num ~req_type ~ecn_echo =
+  send_server_pkt t sess slot ~pkt_type:Pkthdr.Cr ~pkt_num ~msg_size:0 ~payload:None ~req_type
+    ~ecn_echo
+
+and send_resp_pkt t sess slot ~pkt_num ~ecn_echo =
+  match slot.srv with
+  | Some ({ resp_buf = Some resp; _ } as srv) when srv.handler_done ->
+      let msg_size = Msgbuf.size resp in
+      let mtu = t.cfg.mtu in
+      let len =
+        let off = pkt_num * mtu in
+        if off >= msg_size then 0 else min mtu (msg_size - off)
+      in
+      let payload =
+        Some (Msgbuf.unsafe_bytes resp, Msgbuf.unsafe_offset resp + (pkt_num * mtu), len)
+      in
+      send_server_pkt t sess slot ~pkt_type:Pkthdr.Resp ~pkt_num ~msg_size ~payload
+        ~req_type:0 ~ecn_echo
+  | _ -> ()
+
+and begin_new_request t sess slot hdr =
+  let srv = Session.server_info slot in
+  assert (not srv.handler_running);
+  (* The previous response buffer is released: the client has completed the
+     previous request, or it would not have issued a new one on this slot. *)
+  (match srv.resp_buf with
+  | Some resp when Msgbuf.owner resp = Msgbuf.Owned_by_erpc -> Msgbuf.return_to_app resp
+  | _ -> ());
+  srv.resp_buf <- None;
+  srv.req_buf <- None;
+  srv.handler_done <- false;
+  srv.num_rx <- 0;
+  srv.n_req_pkts <- max 1 ((hdr.Pkthdr.msg_size + t.cfg.mtu - 1) / t.cfg.mtu);
+  slot.req_num <- hdr.req_num;
+  slot.busy <- true;
+  ignore sess
+
+and server_rx t sess slot hdr data ~ecn =
+  match hdr.Pkthdr.pkt_type with
+  | Pkthdr.Req ->
+      if hdr.req_num < slot.req_num then () (* stale request: already superseded *)
+      else begin
+        if hdr.req_num > slot.req_num then begin_new_request t sess slot hdr;
+        let srv = Session.server_info slot in
+        let p = hdr.pkt_num in
+        if p < srv.num_rx then begin
+          (* Duplicate from a client rollback: re-ack idempotently; the
+             handler is never run twice (at-most-once). Cumulative mode
+             re-acks everything received so far. *)
+          if p < srv.n_req_pkts - 1 then begin
+            let ack =
+              if t.cfg.opts.cumulative_crs then min (srv.num_rx - 1) (srv.n_req_pkts - 2)
+              else p
+            in
+            send_cr t sess slot ~pkt_num:ack ~req_type:hdr.req_type ~ecn_echo:ecn
+          end
+          else if srv.handler_done then send_resp_pkt t sess slot ~pkt_num:0 ~ecn_echo:ecn
+        end
+        else if p > srv.num_rx then () (* reordered: treated as loss *)
+        else begin
+          srv.num_rx <- p + 1;
+          store_req_data t slot srv hdr data;
+          if p < srv.n_req_pkts - 1 then begin
+            let send_now =
+              (not t.cfg.opts.cumulative_crs)
+              || (p + 1) mod t.cfg.cr_stride = 0
+              || p = srv.n_req_pkts - 2
+            in
+            if send_now then send_cr t sess slot ~pkt_num:p ~req_type:hdr.req_type ~ecn_echo:ecn
+          end
+          else begin
+            (* The echo for the last request packet rides on response
+               packet 0, sent when the handler responds. *)
+            srv.ecn_pending <- ecn;
+            t.env.invoke sess slot srv hdr.req_type
+          end
+        end
+      end
+  | Pkthdr.Rfr ->
+      if hdr.req_num = slot.req_num then
+        send_resp_pkt t sess slot ~pkt_num:hdr.pkt_num ~ecn_echo:ecn
+  | Pkthdr.Cr | Pkthdr.Resp -> ()
+
+and store_req_data t _slot srv hdr data =
+  let single_pkt = srv.n_req_pkts = 1 in
+  let zero_copy_ok =
+    single_pkt && t.cfg.opts.zero_copy_rx && t.env.zero_copy_dispatch hdr.Pkthdr.req_type
+  in
+  if zero_copy_ok then
+    (* Dispatch handler runs directly on the RX ring buffer (§4.2.3). *)
+    srv.req_buf <- Some (Msgbuf.view data ~off:0 ~len:(Bytes.length data))
+  else begin
+    (match srv.req_buf with
+    | Some _ -> ()
+    | None ->
+        t.env.ch t.cost.dyn_alloc;
+        let buf = Msgbuf.alloc ~max_size:hdr.msg_size in
+        Msgbuf.take_for_erpc buf;
+        srv.req_buf <- Some buf);
+    let len = Bytes.length data in
+    if len > 0 then begin
+      match srv.req_buf with
+      | Some buf ->
+          Msgbuf.blit_from_bytes data ~src_off:0 buf ~dst_off:(hdr.pkt_num * t.cfg.mtu) ~len;
+          t.env.charge_memcpy len
+      | None -> assert false
+    end
+  end
+
+(* {2 Client request admission} *)
+
+and start_request t slot args =
+  let sess = slot.session in
+  slot.req_num <- slot.req_num + t.cfg.req_window;
+  slot.busy <- true;
+  slot.args <- Some args;
+  slot.issue_time <- Sim.Engine.now t.engine;
+  let cli = Session.client_info slot ~credits:sess.credit_limit in
+  (* Completion is blocked while a retransmitted copy is wheeled, so a new
+     request can only start once no rate-limiter reference to the previous
+     request's buffers exists. *)
+  assert (not cli.retx_in_wheel);
+  cli.num_tx <- 0;
+  cli.num_rx <- 0;
+  cli.max_tx <- 0;
+  cli.consec_retx <- 0;
+  cli.n_req_pkts <- Msgbuf.num_pkts args.req ~mtu:t.cfg.mtu;
+  cli.n_resp_pkts <- -1;
+  arm_rto t slot;
+  push_txq t slot;
+  t.env.wake ()
+
+(* Completion of a server handler (possibly from a background worker):
+   record the response buffer and transmit response packet 0, carrying the
+   deferred ECN echo for the request's last packet. *)
+let enqueue_response t sess slot srv resp =
+  srv.handler_running <- false;
+  srv.handler_done <- true;
+  if Msgbuf.owner resp = Msgbuf.Owned_by_app then Msgbuf.take_for_erpc resp;
+  srv.resp_buf <- Some resp;
+  send_resp_pkt t sess slot ~pkt_num:0 ~ecn_echo:srv.ecn_pending
+
+let enqueue_request t sess ~req_type ~req ~resp ~cont =
+  if sess.role <> Client then invalid_arg "Rpc.enqueue_request: not a client session";
+  if Msgbuf.size req > t.cfg.max_msg_size then
+    invalid_arg "Rpc.enqueue_request: request exceeds the maximum message size";
+  t.env.ch t.cost.enqueue_request;
+  Msgbuf.take_for_erpc req;
+  Msgbuf.take_for_erpc resp;
+  let args = { req_type; req; resp; cont } in
+  match sess.state with
+  | Error _ | Destroyed ->
+      Msgbuf.return_to_app req;
+      Msgbuf.return_to_app resp;
+      Sim.Engine.schedule_after t.engine 0 (fun () ->
+          cont (Stdlib.Error (Err.Session_error "session closed")))
+  | Connect_pending -> Queue.add args sess.backlog
+  | Connected -> (
+      match Session.free_slot sess ~req_window:t.cfg.req_window with
+      | Some slot -> start_request t slot args
+      | None -> Queue.add args sess.backlog)
+
+(* {2 Event-loop hooks} *)
+
+let drain_retx t =
+  while not (Queue.is_empty t.retxq) do
+    do_retransmit t (Queue.take t.retxq)
+  done
+
+let run_tx_burst t =
+  let budget = ref t.cfg.tx_batch in
+  let n_in_txq = Queue.length t.txq in
+  let serviced = ref 0 in
+  while !budget > 0 && !serviced < n_in_txq && not (Queue.is_empty t.txq) do
+    incr serviced;
+    let slot = Queue.take t.txq in
+    slot.in_txq <- false;
+    service_slot_tx t slot budget
+  done
+
+let has_pending_tx t = (not (Queue.is_empty t.txq)) || not (Queue.is_empty t.retxq)
+
+(* {2 Session table} *)
+
+let n_sessions t = t.n_sessions
+
+let add_session t sess =
+  let sn = sess.sn in
+  if sn >= Array.length t.sessions then begin
+    let cap = max 8 (max (2 * Array.length t.sessions) (sn + 1)) in
+    let grown = Array.make cap None in
+    Array.blit t.sessions 0 grown 0 (Array.length t.sessions);
+    t.sessions <- grown
+  end;
+  t.sessions.(sn) <- Some sess;
+  t.n_sessions <- t.n_sessions + 1
+
+let get_session t sn =
+  if sn >= 0 && sn < Array.length t.sessions then t.sessions.(sn) else None
+
+let remove_session t sn =
+  t.sessions.(sn) <- None;
+  t.n_sessions <- t.n_sessions - 1
+
+let iter_sessions t f =
+  Array.iter (function Some sess -> f sess | None -> ()) t.sessions
+
+let fresh_sn t =
+  let rec go i = if i < Array.length t.sessions && t.sessions.(i) <> None then go (i + 1) else i in
+  go 0
+
+(* Armed RTO timers across all sessions. The chaos harness checks this is
+   zero after quiesce: any armed timer on a completed/failed request is a
+   leak. *)
+let armed_rto_count t =
+  Array.fold_left
+    (fun acc s ->
+      match s with
+      | None -> acc
+      | Some sess ->
+          Array.fold_left
+            (fun acc slot ->
+              match slot with
+              | Some { rto = Some timer; _ } when Sim.Timer.is_armed timer -> acc + 1
+              | _ -> acc)
+            acc sess.slots)
+    0 t.sessions
+
+(* Rate updates performed across all session controllers (both CC
+   algorithms), for the factor-analysis accounting. *)
+let cc_updates t =
+  Array.fold_left
+    (fun acc s ->
+      match s with
+      | Some { cc = Some controller; _ } -> acc + Cc.updates controller
+      | _ -> acc)
+    0 t.sessions
+
+(* Local crash: every session, queued transmission and pending
+   retransmission is lost with the process. *)
+let clear_on_crash t =
+  Array.fill t.sessions 0 (Array.length t.sessions) None;
+  t.n_sessions <- 0;
+  Queue.clear t.txq;
+  Queue.clear t.retxq

@@ -15,25 +15,13 @@ type t = {
   cfg : Config.t;
   cost : Cost_model.t;
   cpu_ : Sim.Cpu.t;
-  nic_ : Nic.t;
-  mutable sessions : Session.session option array;
-  mutable n_sessions : int;
-  txq : Session.sslot Queue.t;
+  transport_ : Transport.Iface.t;
+  proto : Proto.t;
   bgq : (unit -> unit) Queue.t;
-  retxq : Session.sslot Queue.t;
   mutable wheel : wheel_entry Wheel.t option;
   mutable loop_scheduled : bool;
   mutable batch_ts : Sim.Time.t;
-  (* statistics *)
-  mutable st_rx_pkts : int;
-  mutable st_tx_pkts : int;
-  mutable st_retransmits : int;
-  mutable st_completed : int;
-  mutable st_handled : int;
-  mutable st_wheel_inserts : int;
-  mutable st_rx_corrupt : int;
-  mutable st_retx_warnings : int;
-  mutable st_session_resets : int;
+  stats_ : Rpc_stats.t;
   mutable rtt_probe : (int -> unit) option;
 }
 
@@ -42,76 +30,16 @@ let host t = t.host_
 let nexus t = t.nexus_
 let cpu t = t.cpu_
 let config t = t.cfg
-let nic t = t.nic_
-let stat_rx_pkts t = t.st_rx_pkts
-let stat_tx_pkts t = t.st_tx_pkts
-let stat_retransmits t = t.st_retransmits
-let stat_completed t = t.st_completed
-let stat_handled t = t.st_handled
-let stat_wheel_inserts t = t.st_wheel_inserts
-let stat_rx_corrupt t = t.st_rx_corrupt
-let stat_retx_warnings t = t.st_retx_warnings
-let stat_session_resets t = t.st_session_resets
-let stat_session_retransmits (_ : t) (sess : Session.session) = sess.retransmits
-
-let stat_timely_updates t =
-  Array.fold_left
-    (fun acc s ->
-      match s with
-      | Some { cc = Some controller; _ } -> acc + Cc.updates controller
-      | _ -> acc)
-    0 t.sessions
+let transport t = t.transport_
+let stats t = t.stats_
+let cc_updates t = Proto.cc_updates t.proto
+let num_sessions t = Proto.n_sessions t.proto
+let armed_rto_count t = Proto.armed_rto_count t.proto
 
 (* CPU cost charging, scaled to the cluster's CPU speed. *)
 let ch t ns = ignore (Sim.Cpu.charge t.cpu_ (Cost_model.scaled t.cost ns))
 
 let dead t = Nexus.dead t.nexus_
-
-let disarm_rto slot =
-  match slot.rto with Some timer -> Sim.Timer.disarm timer | None -> ()
-
-(* Fail every in-flight and backlogged request of [sess] with [err]:
-   timers are disarmed, rate-limiter references dropped, msgbufs returned
-   to the application, and the session's credits restored to their limit
-   (the session is unusable afterward, so its accounting must balance). *)
-let fail_pending_requests _t sess err =
-  Array.iter
-    (fun s ->
-      match s with
-      | Some ({ busy = true; args = Some args; _ } as slot) when sess.role = Client ->
-          disarm_rto slot;
-          (match slot.cli with
-          | Some c ->
-              c.wheel_refs <- 0;
-              c.retx_in_wheel <- false;
-              c.consec_retx <- 0
-          | None -> ());
-          slot.busy <- false;
-          slot.args <- None;
-          Msgbuf.return_to_app args.req;
-          Msgbuf.return_to_app args.resp;
-          args.cont (Stdlib.Error err)
-      | _ -> ())
-    sess.slots;
-  Queue.iter
-    (fun args ->
-      Msgbuf.return_to_app args.req;
-      Msgbuf.return_to_app args.resp;
-      args.cont (Stdlib.Error err))
-    sess.backlog;
-  Queue.clear sess.backlog;
-  Queue.iter (fun waiter -> waiter.in_credit_waitq <- false) sess.credit_waiters;
-  Queue.clear sess.credit_waiters;
-  sess.credits <- sess.credit_limit
-
-(* Session reset (§4.3): entered after [max_retransmits] consecutive RTOs
-   without progress. In-flight slots complete with [Err.Peer_unreachable],
-   RTO timers are disarmed and msgbufs reclaimed; the session cannot be
-   used again. *)
-let reset_session t sess =
-  t.st_session_resets <- t.st_session_resets + 1;
-  sess.state <- Error "peer unreachable";
-  fail_pending_requests t sess Err.Peer_unreachable
 
 (* {2 Event loop scheduling} *)
 
@@ -135,15 +63,13 @@ and activate t =
     if t.cfg.opts.congestion_control && t.cfg.opts.batched_timestamps then
       ch t (2 * t.cost.rdtsc) (* one timestamp per RX batch, one per TX batch *);
     (* Retransmissions queued by RTO timers. *)
-    while not (Queue.is_empty t.retxq) do
-      do_retransmit t (Queue.take t.retxq)
-    done;
+    Proto.drain_retx t.proto;
     (* RX burst. *)
-    let pkts = Nic.poll_rx t.nic_ ~max:t.cfg.rx_batch in
+    let pkts = Transport.Iface.rx_burst t.transport_ ~max:t.cfg.rx_batch in
     let n_rx = List.length pkts in
     if n_rx > 0 then begin
-      List.iter (fun pkt -> process_pkt t pkt) pkts;
-      ch t (Nic.replenish_rq t.nic_ n_rx)
+      List.iter (fun pkt -> Proto.rx_pkt t.proto pkt) pkts;
+      ch t (Transport.Iface.replenish_rx t.transport_ n_rx)
     end;
     (* Background-thread completions (worker handler responses, failure
        cleanup). *)
@@ -157,21 +83,12 @@ and activate t =
           (Wheel.poll wheel ~now:(Sim.Engine.now t.engine) (fun entry -> wheel_fire t entry))
     | _ -> ());
     (* TX burst. *)
-    let budget = ref t.cfg.tx_batch in
-    let n_in_txq = Queue.length t.txq in
-    let serviced = ref 0 in
-    while !budget > 0 && !serviced < n_in_txq && not (Queue.is_empty t.txq) do
-      incr serviced;
-      let slot = Queue.take t.txq in
-      slot.in_txq <- false;
-      service_slot_tx t slot budget
-    done;
+    Proto.run_tx_burst t.proto;
     (* Re-arm if work remains. *)
     if
-      Nic.rx_ring_depth t.nic_ > 0
-      || (not (Queue.is_empty t.txq))
-      || (not (Queue.is_empty t.bgq))
-      || not (Queue.is_empty t.retxq)
+      Transport.Iface.rx_ring_depth t.transport_ > 0
+      || Proto.has_pending_tx t.proto
+      || not (Queue.is_empty t.bgq)
     then schedule_activation t
   end
 
@@ -201,14 +118,14 @@ and cc_update t sess ~sample_rtt_ns ~marked =
             ~now_ns:(Sim.Engine.now t.engine)
         end
 
-(* Post a packet to the NIC at the time the dispatch thread's charged work
-   completes — the packet leaves the host when the CPU has actually built
-   it. *)
+(* Post a packet to the transport at the time the dispatch thread's charged
+   work completes — the packet leaves the host when the CPU has actually
+   built it. *)
 and post_pkt t pkt =
-  t.st_tx_pkts <- t.st_tx_pkts + 1;
+  t.stats_.Rpc_stats.tx_pkts <- t.stats_.Rpc_stats.tx_pkts + 1;
   let at = Sim.Cpu.next_free t.cpu_ in
-  if at <= Sim.Engine.now t.engine then Nic.post_send t.nic_ pkt
-  else Sim.Engine.schedule t.engine at (fun () -> Nic.post_send t.nic_ pkt)
+  if at <= Sim.Engine.now t.engine then Transport.Iface.tx_burst t.transport_ pkt
+  else Sim.Engine.schedule t.engine at (fun () -> Transport.Iface.tx_burst t.transport_ pkt)
 
 (* Client-side transmission honoring the Carousel rate limiter. *)
 and transmit_cc t slot pkt ~wire_bytes ~tx_item ~is_retx =
@@ -226,14 +143,12 @@ and transmit_cc t slot pkt ~wire_bytes ~tx_item ~is_retx =
           sess.next_tx_ts <-
             Sim.Time.add ts (Cc.pacing_delay_ns controller ~bytes:wire_bytes);
           ch t t.cost.wheel_insert;
-          t.st_wheel_inserts <- t.st_wheel_inserts + 1;
+          t.stats_.Rpc_stats.wheel_inserts <- t.stats_.Rpc_stats.wheel_inserts + 1;
           let wheel =
             match t.wheel with
             | Some w -> w
             | None ->
-                let w =
-                  Wheel.create ~slot_ns:t.cfg.wheel_slot_ns ~num_slots:t.cfg.wheel_num_slots
-                in
+                let w = Wheel.create ~slot_ns:t.cfg.wheel_slot_ns ~num_slots:t.cfg.wheel_num_slots in
                 t.wheel <- Some w;
                 w
           in
@@ -270,427 +185,13 @@ and wheel_fire t entry =
     post_pkt t entry.we_pkt
   end
 
-(* {2 Client TX path} *)
-
-and push_txq t slot =
-  if not slot.in_txq then begin
-    slot.in_txq <- true;
-    Queue.add slot t.txq
-  end
-
-and client_next_item_ready (cli : client_info) =
-  let k = cli.num_tx in
-  if k < cli.n_req_pkts then true
-  else
-    cli.n_resp_pkts > 0
-    && k < cli.n_req_pkts + cli.n_resp_pkts - 1
-    && cli.num_rx >= cli.n_req_pkts
-
-and service_slot_tx t slot budget =
-  let sess = slot.session in
-  if sess.state = Connected && slot.busy then begin
-    match (slot.args, slot.cli) with
-    | Some args, Some cli ->
-        let continue = ref true in
-        while !continue && !budget > 0 && sess.credits > 0 && client_next_item_ready cli do
-          send_tx_item t slot args cli;
-          decr budget
-        done;
-        if client_next_item_ready cli then
-          if sess.credits = 0 then begin
-            (* Blocked on credits: park until a CR/response returns one,
-               so other slots of the session are not starved. *)
-            if not slot.in_credit_waitq then begin
-              slot.in_credit_waitq <- true;
-              Queue.add slot sess.credit_waiters
-            end
-          end
-          else if !budget = 0 then push_txq t slot
-    | _ -> ()
-  end
-
-and send_tx_item t slot args cli =
-  let sess = slot.session in
-  let k = cli.num_tx in
-  let stamp = now_ts t in
-  cli.tx_ts.(k mod Array.length cli.tx_ts) <- stamp;
-  sess.credits <- sess.credits - 1;
-  ch t t.cost.credit_logic;
-  let mtu = t.cfg.mtu in
-  let flow = Wire.flow_hash ~src_host:t.host_ ~dst_host:sess.remote_host ~sn:sess.sn in
-  let pkt, wire_bytes =
-    if k < cli.n_req_pkts then begin
-      let msg_size = Msgbuf.size args.req in
-      let hdr =
-        {
-          Pkthdr.req_type = args.req_type;
-          msg_size;
-          dest_session = sess.remote_sn;
-          pkt_type = Pkthdr.Req;
-          pkt_num = k;
-          req_num = slot.req_num;
-          ecn_echo = false;
-        }
-      in
-      let len = Pkthdr.data_bytes hdr ~mtu in
-      ch t t.cost.tx_data_pkt;
-      let payload = (Msgbuf.unsafe_bytes args.req, Msgbuf.unsafe_offset args.req + (k * mtu), len) in
-      ( Wire.make ~src_host:t.host_ ~dst_host:sess.remote_host ~dst_rpc:sess.remote_rpc_id
-          ~wire_overhead:t.cfg.wire_overhead ~flow ~hdr ~payload (),
-        len + t.cfg.wire_overhead )
-    end
-    else begin
-      (* Request-for-response for response packet (k - N + 1). *)
-      let hdr =
-        {
-          Pkthdr.req_type = args.req_type;
-          msg_size = 0;
-          dest_session = sess.remote_sn;
-          pkt_type = Pkthdr.Rfr;
-          pkt_num = k - cli.n_req_pkts + 1;
-          req_num = slot.req_num;
-          ecn_echo = false;
-        }
-      in
-      ch t t.cost.tx_ctrl_pkt;
-      ( Wire.make ~src_host:t.host_ ~dst_host:sess.remote_host ~dst_rpc:sess.remote_rpc_id
-          ~wire_overhead:t.cfg.wire_overhead ~flow ~hdr (),
-        t.cfg.wire_overhead )
-    end
-  in
-  (* Only retransmitted REQUEST DATA packets reference the request msgbuf
-     from the rate limiter; RFRs are header-only, so they never force
-     response drops (Appendix C). *)
-  let is_retx = k < cli.max_tx && k < cli.n_req_pkts in
-  cli.num_tx <- k + 1;
-  if cli.num_tx > cli.max_tx then cli.max_tx <- cli.num_tx;
-  transmit_cc t slot pkt ~wire_bytes ~tx_item:k ~is_retx
-
-(* {2 Retransmission (go-back-N, §5.3)} *)
-
-and arm_rto t slot =
-  let timer =
-    match slot.rto with
-    | Some timer -> timer
-    | None ->
-        let timer =
-          Sim.Timer.create t.engine ~callback:(fun () ->
-              if slot.busy && not (dead t) then begin
-                slot.needs_retx <- true;
-                Queue.add slot t.retxq;
-                wake t
-              end)
-        in
-        slot.rto <- Some timer;
-        timer
-  in
-  Sim.Timer.arm_after timer t.cfg.rto_ns
-
-and do_retransmit t slot =
-  slot.needs_retx <- false;
-  if slot.busy then
-    match slot.cli with
-    | None -> ()
-    | Some cli ->
-        let sess = slot.session in
-        cli.consec_retx <- cli.consec_retx + 1;
-        if cli.consec_retx >= t.cfg.max_retransmits then begin
-          (* Retry budget exhausted: the peer is gone (crashed, restarted
-             without our session state, or partitioned). Reset the session
-             instead of retransmitting forever. *)
-          ch t (Nic.flush_time_ns t.nic_);
-          reset_session t sess
-        end
-        else begin
-          if 2 * cli.consec_retx > t.cfg.max_retransmits then
-            t.st_retx_warnings <- t.st_retx_warnings + 1;
-          t.st_retransmits <- t.st_retransmits + 1;
-          cli.retransmits <- cli.retransmits + 1;
-          sess.retransmits <- sess.retransmits + 1;
-          (* Roll back wire state and reclaim credits. *)
-          sess.credits <- sess.credits + (cli.num_tx - cli.num_rx);
-          cli.num_tx <- cli.num_rx;
-          (* Flush the TX DMA queue so no stale reference to the request
-             msgbuf survives (§4.2.2): expensive, but only on loss. *)
-          ch t (Nic.flush_time_ns t.nic_);
-          arm_rto t slot;
-          push_txq t slot
-        end
-
-(* {2 RX demultiplexing} *)
-
-and process_pkt t pkt =
-  match pkt.Netsim.Packet.body with
-  | Wire.Pkt _ when not (Wire.verify pkt) ->
-      (* Failed wire checksum: the packet was corrupted in flight. Drop it;
-         the sender's RTO recovers it like a loss. *)
-      t.st_rx_pkts <- t.st_rx_pkts + 1;
-      t.st_rx_corrupt <- t.st_rx_corrupt + 1;
-      ch t t.cost.rx_pkt
-  | Wire.Pkt { hdr; data; _ } -> (
-      t.st_rx_pkts <- t.st_rx_pkts + 1;
-      ch t t.cost.rx_pkt;
-      let ecn = pkt.Netsim.Packet.ecn in
-      let sn = hdr.Pkthdr.dest_session in
-      if sn >= 0 && sn < Array.length t.sessions then
-        match t.sessions.(sn) with
-        | None -> ()
-        | Some sess -> (
-            let slot = Session.slot sess (hdr.req_num mod t.cfg.req_window) in
-            match (hdr.pkt_type, sess.role) with
-            | (Pkthdr.Cr | Pkthdr.Resp), Client -> client_rx t sess slot hdr data ~ecn
-            | (Pkthdr.Req | Pkthdr.Rfr), Server -> server_rx t sess slot hdr data ~ecn
-            | _ -> () (* role mismatch: corrupt/stale packet *)))
-  | _ -> ()
-
-(* {2 Client RX} *)
-
-and accept_rx_item t slot (cli : client_info) ~marked =
-  let sess = slot.session in
-  let i = cli.num_rx in
-  cli.num_rx <- i + 1;
-  cli.consec_retx <- 0 (* progress: the retry budget is consecutive RTOs *);
-  sess.credits <- sess.credits + 1;
-  ch t t.cost.credit_logic;
-  (* A credit became available: unpark slots blocked on credits. *)
-  while not (Queue.is_empty sess.credit_waiters) do
-    let waiter = Queue.take sess.credit_waiters in
-    waiter.in_credit_waitq <- false;
-    if waiter.busy then push_txq t waiter
-  done;
-  let stamp = now_ts t in
-  let sample = Sim.Time.sub stamp cli.tx_ts.(i mod Array.length cli.tx_ts) in
-  (match t.rtt_probe with Some probe -> probe sample | None -> ());
-  if t.cfg.opts.congestion_control then begin
-    ch t t.cost.cc_check;
-    cc_update t sess ~sample_rtt_ns:sample ~marked
-  end;
-  arm_rto t slot
-
-and client_rx t sess slot hdr data ~ecn =
-  (* Congestion signal: this packet was marked on the reverse path, or it
-     acknowledges a marked forward-path packet. *)
-  let marked = ecn || hdr.Pkthdr.ecn_echo in
-  if slot.busy && hdr.Pkthdr.req_num = slot.req_num then
-    match (slot.args, slot.cli) with
-    | Some args, Some cli -> (
-        match hdr.pkt_type with
-        | Pkthdr.Cr ->
-            (* CR for request packet [pkt_num] is RX item [pkt_num]. In
-               cumulative mode one CR acknowledges every request packet up
-               to [pkt_num]. *)
-            let acceptable =
-              if t.cfg.opts.cumulative_crs then
-                hdr.pkt_num >= cli.num_rx && hdr.pkt_num < cli.n_req_pkts - 1
-              else hdr.pkt_num = cli.num_rx
-            in
-            if acceptable then begin
-              (* Intermediate items return credits without separate RTT
-                 samples; the newest item carries the sample. *)
-              while cli.num_rx < hdr.pkt_num do
-                cli.num_rx <- cli.num_rx + 1;
-                sess.credits <- sess.credits + 1
-              done;
-              accept_rx_item t slot cli ~marked;
-              if client_next_item_ready cli && sess.credits > 0 then begin
-                push_txq t slot;
-                wake t
-              end
-            end
-        | Pkthdr.Resp ->
-            let item = cli.n_req_pkts - 1 + hdr.pkt_num in
-            if item = cli.num_rx then begin
-              if cli.retx_in_wheel then
-                (* A retransmitted packet of this request sits in the rate
-                   limiter: drop the response (Appendix C). *)
-                ()
-              else begin
-                if hdr.pkt_num = 0 then begin
-                  if hdr.msg_size > Msgbuf.max_size args.resp then
-                    invalid_arg "eRPC: response larger than client's response msgbuf";
-                  Msgbuf.unsafe_set_size args.resp hdr.msg_size;
-                  cli.n_resp_pkts <- max 1 ((hdr.msg_size + t.cfg.mtu - 1) / t.cfg.mtu)
-                end;
-                (* Copy response data into the client's response msgbuf
-                   (§3.1); this copy is a real CPU cost (§6.4). *)
-                let len = Bytes.length data in
-                if len > 0 then begin
-                  Msgbuf.blit_from_bytes data ~src_off:0 args.resp
-                    ~dst_off:(hdr.pkt_num * t.cfg.mtu) ~len;
-                  ignore (Sim.Cpu.charge t.cpu_ (Cost_model.memcpy_cost t.cost len))
-                end;
-                accept_rx_item t slot cli ~marked;
-                if cli.num_rx = cli.n_req_pkts - 1 + cli.n_resp_pkts then
-                  complete_request t slot args
-                else if client_next_item_ready cli && sess.credits > 0 then begin
-                  push_txq t slot;
-                  wake t
-                end
-              end
-            end
-        | Pkthdr.Req | Pkthdr.Rfr -> ())
-    | _ -> ()
-
-and complete_request t slot args =
-  let sess = slot.session in
-  disarm_rto slot;
-  t.st_completed <- t.st_completed + 1;
-  slot.busy <- false;
-  slot.args <- None;
-  Msgbuf.return_to_app args.req;
-  Msgbuf.return_to_app args.resp;
-  ch t t.cost.continuation;
-  args.cont (Ok ());
-  (* Admit backlogged requests into freed slots. *)
-  let continue = ref true in
-  while !continue && not (Queue.is_empty sess.backlog) do
-    match Session.free_slot sess ~req_window:t.cfg.req_window with
-    | Some free -> start_request t free (Queue.take sess.backlog)
-    | None -> continue := false
-  done
-
-(* {2 Server RX} *)
-
-and send_server_pkt t sess slot ~pkt_type ~pkt_num ~msg_size ~payload ~req_type ~ecn_echo =
-  let hdr =
-    {
-      Pkthdr.req_type;
-      msg_size;
-      dest_session = sess.remote_sn;
-      pkt_type;
-      pkt_num;
-      req_num = slot.req_num;
-      ecn_echo;
-    }
-  in
-  let flow = Wire.flow_hash ~src_host:t.host_ ~dst_host:sess.remote_host ~sn:sess.remote_sn in
-  let pkt =
-    Wire.make ~src_host:t.host_ ~dst_host:sess.remote_host ~dst_rpc:sess.remote_rpc_id
-      ~wire_overhead:t.cfg.wire_overhead ~flow ~hdr ?payload ()
-  in
-  (match pkt_type with
-  | Pkthdr.Cr -> ch t t.cost.tx_ctrl_pkt
-  | _ -> ch t t.cost.tx_data_pkt);
-  post_pkt t pkt
-
-and send_cr t sess slot ~pkt_num ~req_type ~ecn_echo =
-  send_server_pkt t sess slot ~pkt_type:Pkthdr.Cr ~pkt_num ~msg_size:0 ~payload:None ~req_type
-    ~ecn_echo
-
-and send_resp_pkt t sess slot ~pkt_num ~ecn_echo =
-  match slot.srv with
-  | Some ({ resp_buf = Some resp; _ } as srv) when srv.handler_done ->
-      let msg_size = Msgbuf.size resp in
-      let mtu = t.cfg.mtu in
-      let len =
-        let off = pkt_num * mtu in
-        if off >= msg_size then 0 else min mtu (msg_size - off)
-      in
-      let payload =
-        Some (Msgbuf.unsafe_bytes resp, Msgbuf.unsafe_offset resp + (pkt_num * mtu), len)
-      in
-      send_server_pkt t sess slot ~pkt_type:Pkthdr.Resp ~pkt_num ~msg_size ~payload
-        ~req_type:0 ~ecn_echo
-  | _ -> ()
-
-and begin_new_request t sess slot hdr =
-  let srv = Session.server_info slot in
-  assert (not srv.handler_running);
-  (* The previous response buffer is released: the client has completed the
-     previous request, or it would not have issued a new one on this slot. *)
-  (match srv.resp_buf with
-  | Some resp when Msgbuf.owner resp = Msgbuf.Owned_by_erpc -> Msgbuf.return_to_app resp
-  | _ -> ());
-  srv.resp_buf <- None;
-  srv.req_buf <- None;
-  srv.handler_done <- false;
-  srv.num_rx <- 0;
-  srv.n_req_pkts <- max 1 ((hdr.Pkthdr.msg_size + t.cfg.mtu - 1) / t.cfg.mtu);
-  slot.req_num <- hdr.req_num;
-  slot.busy <- true;
-  ignore sess
-
-and server_rx t sess slot hdr data ~ecn =
-  match hdr.Pkthdr.pkt_type with
-  | Pkthdr.Req ->
-      if hdr.req_num < slot.req_num then () (* stale request: already superseded *)
-      else begin
-        if hdr.req_num > slot.req_num then begin_new_request t sess slot hdr;
-        let srv = Session.server_info slot in
-        let p = hdr.pkt_num in
-        if p < srv.num_rx then begin
-          (* Duplicate from a client rollback: re-ack idempotently; the
-             handler is never run twice (at-most-once). Cumulative mode
-             re-acks everything received so far. *)
-          if p < srv.n_req_pkts - 1 then begin
-            let ack =
-              if t.cfg.opts.cumulative_crs then min (srv.num_rx - 1) (srv.n_req_pkts - 2)
-              else p
-            in
-            send_cr t sess slot ~pkt_num:ack ~req_type:hdr.req_type ~ecn_echo:ecn
-          end
-          else if srv.handler_done then send_resp_pkt t sess slot ~pkt_num:0 ~ecn_echo:ecn
-        end
-        else if p > srv.num_rx then () (* reordered: treated as loss *)
-        else begin
-          srv.num_rx <- p + 1;
-          store_req_data t slot srv hdr data;
-          if p < srv.n_req_pkts - 1 then begin
-            let send_now =
-              (not t.cfg.opts.cumulative_crs)
-              || (p + 1) mod t.cfg.cr_stride = 0
-              || p = srv.n_req_pkts - 2
-            in
-            if send_now then send_cr t sess slot ~pkt_num:p ~req_type:hdr.req_type ~ecn_echo:ecn
-          end
-          else begin
-            (* The echo for the last request packet rides on response
-               packet 0, sent when the handler responds. *)
-            srv.ecn_pending <- ecn;
-            invoke_handler t sess slot srv hdr.req_type
-          end
-        end
-      end
-  | Pkthdr.Rfr ->
-      if hdr.req_num = slot.req_num then
-        send_resp_pkt t sess slot ~pkt_num:hdr.pkt_num ~ecn_echo:ecn
-  | Pkthdr.Cr | Pkthdr.Resp -> ()
-
-and store_req_data t _slot srv hdr data =
-  let single_pkt = srv.n_req_pkts = 1 in
-  let zero_copy_ok =
-    single_pkt && t.cfg.opts.zero_copy_rx
-    &&
-    match Nexus.handler t.nexus_ hdr.Pkthdr.req_type with
-    | Some (Nexus.Dispatch, _) -> true
-    | _ -> false
-  in
-  if zero_copy_ok then
-    (* Dispatch handler runs directly on the RX ring buffer (§4.2.3). *)
-    srv.req_buf <- Some (Msgbuf.view data ~off:0 ~len:(Bytes.length data))
-  else begin
-    (match srv.req_buf with
-    | Some _ -> ()
-    | None ->
-        ch t t.cost.dyn_alloc;
-        let buf = Msgbuf.alloc ~max_size:hdr.msg_size in
-        Msgbuf.take_for_erpc buf;
-        srv.req_buf <- Some buf);
-    let len = Bytes.length data in
-    if len > 0 then begin
-      match srv.req_buf with
-      | Some buf ->
-          Msgbuf.blit_from_bytes data ~src_off:0 buf ~dst_off:(hdr.pkt_num * t.cfg.mtu) ~len;
-          ignore (Sim.Cpu.charge t.cpu_ (Cost_model.memcpy_cost t.cost len))
-      | None -> assert false
-    end
-  end
+(* {2 Handler dispatch (§3.2)} *)
 
 and invoke_handler t sess slot srv req_type =
   match Nexus.handler t.nexus_ req_type with
   | None -> () (* unknown request type: drop *)
   | Some (mode, handler_fn) -> (
-      t.st_handled <- t.st_handled + 1;
+      t.stats_.Rpc_stats.handled <- t.stats_.Rpc_stats.handled + 1;
       let req =
         match srv.req_buf with Some b -> b | None -> Msgbuf.view Bytes.empty ~off:0 ~len:0
       in
@@ -714,7 +215,7 @@ and invoke_handler t sess slot srv req_type =
             Msgbuf.alloc ~max_size:size
           end);
       handle.Req_handle.enqueue_fn <-
-        (fun h resp -> do_enqueue_response t sess slot srv h resp);
+        (fun _h resp -> Proto.enqueue_response t.proto sess slot srv resp);
       srv.handler_running <- true;
       match mode with
       | Nexus.Dispatch ->
@@ -731,112 +232,32 @@ and invoke_handler t sess slot srv req_type =
               handle.Req_handle.charge_fn <-
                 (fun ns -> ignore (Sim.Cpu.charge wcpu (Cost_model.scaled t.cost ns)));
               handle.Req_handle.enqueue_fn <-
-                (fun h resp ->
+                (fun _h resp ->
                   let at = Sim.Cpu.next_free wcpu in
                   Sim.Engine.schedule t.engine at (fun () ->
                       Queue.add
                         (fun () ->
                           ch t (t.cost.worker_handoff / 2);
-                          do_enqueue_response t sess slot srv h resp)
+                          Proto.enqueue_response t.proto sess slot srv resp)
                         t.bgq;
                       wake t));
               handler_fn handle))
 
-and do_enqueue_response t sess slot srv handle resp =
-  ignore handle;
-  srv.handler_running <- false;
-  srv.handler_done <- true;
-  if Msgbuf.owner resp = Msgbuf.Owned_by_app then Msgbuf.take_for_erpc resp;
-  srv.resp_buf <- Some resp;
-  send_resp_pkt t sess slot ~pkt_num:0 ~ecn_echo:srv.ecn_pending
-
-(* {2 Client request admission} *)
-
-and start_request t slot args =
-  let sess = slot.session in
-  slot.req_num <- slot.req_num + t.cfg.req_window;
-  slot.busy <- true;
-  slot.args <- Some args;
-  slot.issue_time <- Sim.Engine.now t.engine;
-  let cli = Session.client_info slot ~credits:sess.credit_limit in
-  (* Completion is blocked while a retransmitted copy is wheeled, so a new
-     request can only start once no rate-limiter reference to the previous
-     request's buffers exists. *)
-  assert (not cli.retx_in_wheel);
-  cli.num_tx <- 0;
-  cli.num_rx <- 0;
-  cli.max_tx <- 0;
-  cli.consec_retx <- 0;
-  cli.n_req_pkts <- Msgbuf.num_pkts args.req ~mtu:t.cfg.mtu;
-  cli.n_resp_pkts <- -1;
-  arm_rto t slot;
-  push_txq t slot;
-  wake t
+(* {2 Client API} *)
 
 let enqueue_request t sess ~req_type ~req ~resp ~cont =
-  if sess.role <> Client then invalid_arg "Rpc.enqueue_request: not a client session";
-  if Msgbuf.size req > t.cfg.max_msg_size then
-    invalid_arg "Rpc.enqueue_request: request exceeds the maximum message size";
-  ch t t.cost.enqueue_request;
-  Msgbuf.take_for_erpc req;
-  Msgbuf.take_for_erpc resp;
-  let args = { req_type; req; resp; cont } in
-  match sess.state with
-  | Error _ | Destroyed ->
-      Msgbuf.return_to_app req;
-      Msgbuf.return_to_app resp;
-      Sim.Engine.schedule_after t.engine 0 (fun () ->
-          cont (Stdlib.Error (Err.Session_error "session closed")))
-  | Connect_pending -> Queue.add args sess.backlog
-  | Connected -> (
-      match Session.free_slot sess ~req_window:t.cfg.req_window with
-      | Some slot -> start_request t slot args
-      | None -> Queue.add args sess.backlog)
+  Proto.enqueue_request t.proto sess ~req_type ~req ~resp ~cont
 
 (* {2 Sessions and session management} *)
 
-let num_sessions t = t.n_sessions
-
-(* Armed RTO timers across all sessions. The chaos harness checks this is
-   zero after quiesce: any armed timer on a completed/failed request is a
-   leak. *)
-let armed_rto_count t =
-  Array.fold_left
-    (fun acc s ->
-      match s with
-      | None -> acc
-      | Some sess ->
-          Array.fold_left
-            (fun acc slot ->
-              match slot with
-              | Some { rto = Some timer; _ } when Sim.Timer.is_armed timer -> acc + 1
-              | _ -> acc)
-            acc sess.slots)
-    0 t.sessions
-
-let add_session t sess =
-  let sn = sess.sn in
-  if sn >= Array.length t.sessions then begin
-    let cap = max 8 (max (2 * Array.length t.sessions) (sn + 1)) in
-    let grown = Array.make cap None in
-    Array.blit t.sessions 0 grown 0 (Array.length t.sessions);
-    t.sessions <- grown
-  end;
-  t.sessions.(sn) <- Some sess;
-  t.n_sessions <- t.n_sessions + 1
-
 let check_session_budget t =
   (* Credits per session must never exceed RQ descriptors (§4.3.1). *)
-  let rq = (Nic.config t.nic_).rq_size in
-  if (t.n_sessions + 1) * t.cfg.session_credits > rq then
+  let rq = Transport.Iface.rq_size t.transport_ in
+  if (Proto.n_sessions t.proto + 1) * t.cfg.session_credits > rq then
     invalid_arg
       (Printf.sprintf
          "Rpc.create_session: session limit reached (%d sessions x %d credits vs RQ size %d)"
-         (t.n_sessions + 1) t.cfg.session_credits rq)
-
-let fresh_sn t =
-  let rec go i = if i < Array.length t.sessions && t.sessions.(i) <> None then go (i + 1) else i in
-  go 0
+         (Proto.n_sessions t.proto + 1) t.cfg.session_credits rq)
 
 let make_cc t ~sn =
   if t.cfg.opts.congestion_control then
@@ -847,30 +268,28 @@ let make_cc t ~sn =
 
 let create_session t ~remote_host ~remote_rpc_id ?(on_connect = fun _ -> ()) () =
   check_session_budget t;
-  let sn = fresh_sn t in
+  let sn = Proto.fresh_sn t.proto in
   let sess =
     Session.create ~sn ~role:Client ~remote_host ~remote_rpc_id
       ~credits:t.cfg.session_credits ~req_window:t.cfg.req_window
   in
   sess.cc <- make_cc t ~sn;
   sess.connect_cb <- on_connect;
-  add_session t sess;
-  Fabric.send_sm
-    (Nexus.fabric t.nexus_)
-    ~dst_host:remote_host ~dst_rpc:remote_rpc_id
+  Proto.add_session t.proto sess;
+  Fabric.send_sm (Nexus.fabric t.nexus_) ~dst_host:remote_host ~dst_rpc:remote_rpc_id
     (Sm.Connect_req
        { client_host = t.host_; client_rpc = t.rpc_id; client_sn = sn; credits = t.cfg.session_credits });
   sess
 
 let accept_session t ~client_host ~client_rpc ~client_sn =
-  let sn = fresh_sn t in
+  let sn = Proto.fresh_sn t.proto in
   let sess =
     Session.create ~sn ~role:Server ~remote_host:client_host ~remote_rpc_id:client_rpc
       ~credits:t.cfg.session_credits ~req_window:t.cfg.req_window
   in
   sess.remote_sn <- client_sn;
   sess.state <- Connected;
-  add_session t sess;
+  Proto.add_session t.proto sess;
   sn
 
 let handle_sm t msg =
@@ -883,7 +302,7 @@ let handle_sm t msg =
       Fabric.send_sm (Nexus.fabric t.nexus_) ~dst_host:client_host ~dst_rpc:client_rpc
         (Sm.Connect_resp { client_sn; result })
   | Sm.Connect_resp { client_sn; result } -> (
-      match t.sessions.(client_sn) with
+      match Proto.get_session t.proto client_sn with
       | None -> ()
       | Some sess -> (
           match result with
@@ -892,79 +311,66 @@ let handle_sm t msg =
               sess.state <- Connected;
               sess.connect_cb (Ok ());
               (* Admit requests enqueued while connecting. *)
-              let continue = ref true in
-              while !continue && not (Queue.is_empty sess.backlog) do
-                match Session.free_slot sess ~req_window:t.cfg.req_window with
-                | Some slot -> start_request t slot (Queue.take sess.backlog)
-                | None -> continue := false
-              done
+              Proto.admit_backlog t.proto sess
           | Error e ->
               sess.state <- Error e;
               sess.connect_cb (Stdlib.Error (Err.Session_error e));
-              fail_pending_requests t sess (Err.Session_error e)))
+              Proto.fail_pending_requests sess (Err.Session_error e)))
   | Sm.Disconnect { server_sn; client_sn } -> (
-      match if server_sn < Array.length t.sessions then t.sessions.(server_sn) else None with
+      match Proto.get_session t.proto server_sn with
       | Some sess when sess.role = Server ->
           sess.state <- Destroyed;
-          t.sessions.(server_sn) <- None;
-          t.n_sessions <- t.n_sessions - 1;
+          Proto.remove_session t.proto server_sn;
           Fabric.send_sm (Nexus.fabric t.nexus_) ~dst_host:sess.remote_host
             ~dst_rpc:sess.remote_rpc_id
             (Sm.Disconnect_ack { client_sn })
       | _ -> ())
   | Sm.Disconnect_ack { client_sn } -> (
-      match if client_sn < Array.length t.sessions then t.sessions.(client_sn) else None with
+      match Proto.get_session t.proto client_sn with
       | Some sess when sess.role = Client ->
           sess.state <- Destroyed;
-          t.sessions.(client_sn) <- None;
-          t.n_sessions <- t.n_sessions - 1
+          Proto.remove_session t.proto client_sn
       | _ -> ())
 
 (* Node-failure handling (Appendix B): flush the TX DMA queue, then fail
    pending requests of sessions to the dead host with error codes. *)
 let handle_peer_failure t failed_host =
   let touched = ref false in
-  Array.iter
-    (fun s ->
-      match s with
-      | Some sess when sess.remote_host = failed_host && sess.state <> Destroyed ->
-          if not !touched then begin
-            touched := true;
-            ch t (Nic.flush_time_ns t.nic_)
-          end;
-          sess.state <- Error "peer failed";
-          if sess.role = Client then fail_pending_requests t sess Err.Server_failure
-      | _ -> ())
-    t.sessions
+  Proto.iter_sessions t.proto (fun sess ->
+      if sess.remote_host = failed_host && sess.state <> Destroyed then begin
+        if not !touched then begin
+          touched := true;
+          ch t (Transport.Iface.flush_time_ns t.transport_)
+        end;
+        sess.state <- Error "peer failed";
+        if sess.role = Client then Proto.fail_pending_requests sess Err.Server_failure
+      end)
 
 (* Local crash (crash-with-restart): the process dies, losing every
-   session, queue and in-flight request. Continuations of lost requests are
+   session, queue and in-flight request; continuations of lost requests are
    failed rather than leaked so callers observe each request exactly once.
-   A restarted host keeps its handler registry (a restarted process would
-   re-register) but comes back with no sessions: peers retransmitting into
-   it get silence and recover via their own bounded-retransmission reset. *)
+   A restarted host keeps its handler registry but comes back with no
+   sessions; peers recover via their own bounded-retransmission reset. *)
 let handle_local_crash t =
-  Array.iter
-    (fun s ->
-      match s with
-      | Some sess when sess.state <> Destroyed ->
-          sess.state <- Error "local host crashed";
-          if sess.role = Client then
-            fail_pending_requests t sess (Err.Session_error "local host crashed")
-      | _ -> ())
-    t.sessions;
-  Array.fill t.sessions 0 (Array.length t.sessions) None;
-  t.n_sessions <- 0;
-  Queue.clear t.txq;
+  Proto.iter_sessions t.proto (fun sess ->
+      if sess.state <> Destroyed then begin
+        sess.state <- Error "local host crashed";
+        if sess.role = Client then
+          Proto.fail_pending_requests sess (Err.Session_error "local host crashed")
+      end);
+  Proto.clear_on_crash t.proto;
   Queue.clear t.bgq;
-  Queue.clear t.retxq;
   t.wheel <- None;
-  Nic.clear_rx t.nic_
+  Transport.Iface.reset_rx t.transport_
 
 let destroy_session t sess =
   if sess.role <> Client then invalid_arg "Rpc.destroy_session: not a client session";
   (match sess.state with
   | Destroyed -> invalid_arg "Rpc.destroy_session: already destroyed"
+  | Connect_pending ->
+      (* The server-side session number is unknown until the handshake
+         completes: a disconnect now could not name the peer state to free. *)
+      invalid_arg "Rpc.destroy_session: handshake still in flight"
   | _ -> ());
   let pending =
     Array.exists (function Some { busy = true; _ } -> true | _ -> false) sess.slots
@@ -981,41 +387,58 @@ let create nexus_ ~rpc_id =
   let host_ = Nexus.host nexus_ in
   let cfg = Fabric.config fabric in
   let cluster = Fabric.cluster fabric in
-  let nic_cfg =
-    { cluster.nic_config with multi_packet_rq = cfg.opts.multi_packet_rq }
+  let cpu_ = Sim.Cpu.create engine ~name:(Printf.sprintf "h%d-rpc%d" host_ rpc_id) in
+  let transport_ =
+    match cfg.transport with
+    | Config.Raw_eth ->
+        let nic_cfg = { cluster.nic_config with multi_packet_rq = cfg.opts.multi_packet_rq } in
+        Transport.Nic_udp.create engine (Fabric.net fabric) ~host:host_ ~mtu:cfg.mtu nic_cfg
+    | Config.Rdma_rc -> Rdma.Rc_transport.create engine (Fabric.net fabric) ~host:host_ cluster
+  in
+  (* The protocol core and this endpoint reference each other; the [env]
+     closures only run once the simulation does, after [self] is set. *)
+  let self = ref None in
+  let get () = match !self with Some t -> t | None -> assert false in
+  let env =
+    {
+      Proto.ch = (fun ns -> ch (get ()) ns);
+      charge_memcpy =
+        (fun len ->
+          let t = get () in ignore (Sim.Cpu.charge t.cpu_ (Cost_model.memcpy_cost t.cost len)));
+      now_ts = (fun () -> now_ts (get ()));
+      cc_sample = (fun sess ~sample_rtt_ns ~marked -> cc_update (get ()) sess ~sample_rtt_ns ~marked);
+      transmit =
+        (fun slot pkt ~wire_bytes ~tx_item ~is_retx ->
+          transmit_cc (get ()) slot pkt ~wire_bytes ~tx_item ~is_retx);
+      post = (fun pkt -> post_pkt (get ()) pkt);
+      wake = (fun () -> wake (get ()));
+      alive = (fun () -> not (dead (get ())));
+      rtt_sample =
+        (fun s -> match (get ()).rtt_probe with Some probe -> probe s | None -> ());
+      zero_copy_dispatch =
+        (fun req_type ->
+          match Nexus.handler nexus_ req_type with Some (Nexus.Dispatch, _) -> true | _ -> false);
+      invoke = (fun sess slot srv req_type -> invoke_handler (get ()) sess slot srv req_type);
+    }
+  in
+  let stats_ = Rpc_stats.create () in
+  let cost = Fabric.cost fabric in
+  let proto =
+    Proto.create ~env ~engine ~host:host_ ~cfg ~cost ~transport:transport_ ~stats:stats_
   in
   let t =
     {
-      nexus_;
-      rpc_id;
-      host_;
-      engine;
-      cfg;
-      cost = Fabric.cost fabric;
-      cpu_ = Sim.Cpu.create engine ~name:(Printf.sprintf "h%d-rpc%d" host_ rpc_id);
-      nic_ = Nic.create engine (Fabric.net fabric) ~host:host_ nic_cfg;
-      sessions = Array.make 4 None;
-      n_sessions = 0;
-      txq = Queue.create ();
+      nexus_; rpc_id; host_; engine; cfg; cost; cpu_; transport_; proto; stats_;
       bgq = Queue.create ();
-      retxq = Queue.create ();
       wheel = None;
       loop_scheduled = false;
       batch_ts = Sim.Time.zero;
-      st_rx_pkts = 0;
-      st_tx_pkts = 0;
-      st_retransmits = 0;
-      st_completed = 0;
-      st_handled = 0;
-      st_wheel_inserts = 0;
-      st_rx_corrupt = 0;
-      st_retx_warnings = 0;
-      st_session_resets = 0;
       rtt_probe = None;
     }
   in
-  Nexus.register_rx nexus_ ~rpc_id ~rx:(fun pkt -> Nic.receive t.nic_ pkt);
-  Nic.set_rx_notify t.nic_ (fun () -> wake t);
+  self := Some t;
+  Nexus.register_rx nexus_ ~rpc_id ~rx:(fun pkt -> Transport.Iface.receive t.transport_ pkt);
+  Transport.Iface.set_rx_notify t.transport_ (fun () -> wake t);
   Fabric.register_sm fabric ~host:host_ ~rpc_id (fun msg ->
       if not (dead t) then handle_sm t msg);
   Fabric.on_host_failure fabric (fun failed ->

@@ -1,12 +1,13 @@
 (** An Rpc endpoint: one user thread's RPC interface (paper §3.1).
 
-    Owns a dispatch-thread CPU timeline, NIC TX/RX queues, sessions, the
-    Timely/Carousel congestion-control machinery and the client-driven wire
-    protocol with go-back-N loss recovery. The "event loop" the paper's
-    user threads run is driven by the simulation: any arriving work wakes
-    the loop, which then runs activations back-to-back (charging modeled
-    CPU) until idle — equivalent to busy polling, without simulating empty
-    polls.
+    Owns a dispatch-thread CPU timeline, a pluggable transport
+    ({!Transport.Iface}), and the Timely/Carousel congestion-control
+    machinery; the client-driven wire protocol with go-back-N loss
+    recovery lives in {!Proto}, written against the transport signature.
+    The "event loop" the paper's user threads run is driven by the
+    simulation: any arriving work wakes the loop, which then runs
+    activations back-to-back (charging modeled CPU) until idle —
+    equivalent to busy polling, without simulating empty polls.
 
     Guarantees reproduced from the paper:
     - RPCs execute at most once (per-slot request numbers; duplicate and
@@ -29,6 +30,9 @@ val nexus : t -> Nexus.t
 val cpu : t -> Sim.Cpu.t
 val config : t -> Config.t
 
+(** The endpoint's datapath, selected by [Config.transport]. *)
+val transport : t -> Transport.Iface.t
+
 (** {2 Sessions} *)
 
 (** Start connecting to a remote Rpc. Raises if the session-credit budget
@@ -45,8 +49,9 @@ val create_session :
 val num_sessions : t -> int
 
 (** Tear down a connected client session (frees its credit budget on both
-    endpoints). Raises if any request is still outstanding. The session
-    reaches [Destroyed] once the server acknowledges. *)
+    endpoints). Raises if any request is still outstanding, or if the
+    connection handshake has not completed yet. The session reaches
+    [Destroyed] once the server acknowledges. *)
 val destroy_session : t -> Session.session -> unit
 
 (** {2 Client API} *)
@@ -65,33 +70,13 @@ val enqueue_request :
 
 (** {2 Statistics} *)
 
-val stat_rx_pkts : t -> int
-val stat_tx_pkts : t -> int
-val stat_retransmits : t -> int
+(** The endpoint's counters (shared with the protocol core; live — reads
+    always see the current values). *)
+val stats : t -> Rpc_stats.t
 
-(** Client RPCs completed. *)
-val stat_completed : t -> int
-
-(** Server requests handled. *)
-val stat_handled : t -> int
-
-val stat_timely_updates : t -> int
-val stat_wheel_inserts : t -> int
-
-(** Received packets dropped for checksum failure (wire corruption). *)
-val stat_rx_corrupt : t -> int
-
-(** Times any slot's consecutive-RTO count crossed half the
-    [Config.max_retransmits] budget — an early-warning signal that a peer
-    is close to being declared unreachable. *)
-val stat_retx_warnings : t -> int
-
-(** Sessions reset after [Config.max_retransmits] consecutive RTOs
-    without progress (§4.3). *)
-val stat_session_resets : t -> int
-
-(** Cumulative retransmissions on one session. *)
-val stat_session_retransmits : t -> Session.session -> int
+(** Rate updates performed across all session controllers (both CC
+    algorithms), for the factor-analysis accounting. *)
+val cc_updates : t -> int
 
 (** Number of currently armed RTO timers across all sessions. Zero once
     every request has completed or failed — anything else is a timer
@@ -101,5 +86,3 @@ val armed_rto_count : t -> int
 (** Install a probe invoked with every per-packet RTT sample (ns) measured
     at this client — the paper's proxy for switch queue length (§6.5). *)
 val set_rtt_probe : t -> (int -> unit) -> unit
-
-val nic : t -> Nic.t

@@ -1,0 +1,31 @@
+type t = {
+  mutable rx_pkts : int;
+  mutable tx_pkts : int;
+  mutable rx_corrupt : int;
+  mutable retransmits : int;
+  mutable retx_warnings : int;
+  mutable session_resets : int;
+  mutable completed : int;
+  mutable handled : int;
+  mutable wheel_inserts : int;
+}
+
+let create () =
+  {
+    rx_pkts = 0;
+    tx_pkts = 0;
+    rx_corrupt = 0;
+    retransmits = 0;
+    retx_warnings = 0;
+    session_resets = 0;
+    completed = 0;
+    handled = 0;
+    wheel_inserts = 0;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "rx=%d tx=%d corrupt=%d retx=%d retx_warn=%d resets=%d completed=%d handled=%d \
+     wheel=%d"
+    t.rx_pkts t.tx_pkts t.rx_corrupt t.retransmits t.retx_warnings t.session_resets
+    t.completed t.handled t.wheel_inserts

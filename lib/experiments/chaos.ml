@@ -103,13 +103,13 @@ let run_one ?(hosts = 10) ?(events = 12) ?(requests = 120) ?(horizon_ns = 60_000
            violate "session sn=%d: credits %d <> limit %d (leak)" sess.sn sess.credits
              sess.credit_limit))
     sessions;
-  let handled = List.fold_left (fun acc r -> acc + Erpc.Rpc.stat_handled r) 0 all_rpcs in
+  let stat f = List.fold_left (fun acc r -> acc + f (Erpc.Rpc.stats r)) 0 all_rpcs in
+  let handled = stat (fun s -> s.Erpc.Rpc_stats.handled) in
   if handled > requests then
     violate "handlers ran %d times for %d requests (at-most-once broken)" handled requests;
-  let stat f = List.fold_left (fun acc r -> acc + f r) 0 all_rpcs in
-  let retransmits = stat Erpc.Rpc.stat_retransmits in
-  let session_resets = stat Erpc.Rpc.stat_session_resets in
-  let rx_corrupt = stat Erpc.Rpc.stat_rx_corrupt in
+  let retransmits = stat (fun s -> s.Erpc.Rpc_stats.retransmits) in
+  let session_resets = stat (fun s -> s.Erpc.Rpc_stats.session_resets) in
+  let rx_corrupt = stat (fun s -> s.Erpc.Rpc_stats.rx_corrupt) in
   Faults.Trace.record trace
     ~at_ns:(Sim.Engine.now engine)
     (Printf.sprintf "quiesce ok=%d failed=%d retx=%d resets=%d corrupt=%d" !ok !failed

@@ -45,7 +45,7 @@ let erpc_goodput ?(credits = 32) ?(requests = 8) ?(loss = 0.) ?seed ~req_size ()
   {
     req_size;
     goodput_gbps = (if elapsed <= 0 then 0. else bits /. float_of_int elapsed);
-    retransmits = Erpc.Rpc.stat_retransmits client;
+    retransmits = (Erpc.Rpc.stats client).Erpc.Rpc_stats.retransmits;
   }
 
 let rdma_write_goodput ?(requests = 8) ~req_size () =

@@ -46,7 +46,7 @@ let run ?seed ?(nodes = 100) ?(credits = 32) ?(warmup_us = 300.) ?(measure_us = 
   let retx0 =
     Array.fold_left
       (fun acc per_host ->
-        Array.fold_left (fun acc rpc -> acc + Erpc.Rpc.stat_retransmits rpc) acc per_host)
+        Array.fold_left (fun acc rpc -> acc + (Erpc.Rpc.stats rpc).Erpc.Rpc_stats.retransmits) acc per_host)
       0 d.rpcs
   in
   Harness.run_us d measure_us;
@@ -54,7 +54,7 @@ let run ?seed ?(nodes = 100) ?(credits = 32) ?(warmup_us = 300.) ?(measure_us = 
   let retx1 =
     Array.fold_left
       (fun acc per_host ->
-        Array.fold_left (fun acc rpc -> acc + Erpc.Rpc.stat_retransmits rpc) acc per_host)
+        Array.fold_left (fun acc rpc -> acc + (Erpc.Rpc.stats rpc).Erpc.Rpc_stats.retransmits) acc per_host)
       0 d.rpcs
   in
   let secs = measure_us /. 1e6 in

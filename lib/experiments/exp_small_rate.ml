@@ -38,7 +38,7 @@ let run ?seed ?config ?cost ?(window = 60) ?(warmup_ms = 1.0) ?(measure_ms = 4.0
   let total = after - before in
   let retransmits =
     Array.fold_left
-      (fun acc per_host -> acc + Erpc.Rpc.stat_retransmits per_host.(0))
+      (fun acc per_host -> acc + (Erpc.Rpc.stats per_host.(0)).Erpc.Rpc_stats.retransmits)
       0 d.rpcs
   in
   {

@@ -143,5 +143,5 @@ let driver_completed t = t.completed
 let total_completed d =
   Array.fold_left
     (fun acc per_host ->
-      Array.fold_left (fun acc rpc -> acc + Erpc.Rpc.stat_completed rpc) acc per_host)
+      Array.fold_left (fun acc rpc -> acc + (Erpc.Rpc.stats rpc).Erpc.Rpc_stats.completed) acc per_host)
     0 d.rpcs

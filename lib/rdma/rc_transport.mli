@@ -1,0 +1,19 @@
+(** Lossless RC transport ([Transport.Iface.S] over the RDMA machinery).
+
+    The InfiniBand-style datapath (paper §3): deterministic TX/RX pipeline
+    latencies derived from {!Qp.default_config}, a {!Conn_cache} lookup on
+    every TX (a miss adds [conn_miss_ns] while connection state is fetched
+    over PCIe — the Figure-1 connection-scalability effect), and link-level
+    flow control, so the transport itself never drops a packet.
+
+    [cache] shares a connection cache between endpoints on the same NIC;
+    by default each endpoint gets its own 450-entry cache. *)
+
+val create :
+  ?conn_miss_ns:int ->
+  ?cache:Conn_cache.t ->
+  Sim.Engine.t ->
+  Netsim.Network.t ->
+  host:int ->
+  Transport.Cluster.t ->
+  Transport.Iface.t

@@ -1,0 +1,91 @@
+(** The transport seam (paper §3, "transport layer").
+
+    eRPC's portability rests on a narrow transport API: the same protocol
+    and dispatch code runs over InfiniBand, RoCE and DPDK raw Ethernet
+    because each datapath only has to provide packet TX/RX, a flush
+    primitive, and its geometry (MTU-sized data budget per packet and the
+    receive-descriptor count the credit system is sized against). [S] is
+    that API; the wire protocol ({!Erpc.Proto}) is written against it
+    alone and never names a concrete device.
+
+    Implementations:
+    - {!Nic_udp}: the lossy raw-Ethernet path over the userspace-NIC model
+      (pre-posted RQ descriptors, drops on exhaustion, RX jitter);
+    - [Rdma.Rc_transport]: the lossless RC path over the QP/connection-cache
+      machinery (link-level flow control — no drops — but TX stalls on
+      NIC connection-cache misses). *)
+
+module type S = sig
+  type t
+
+  (** Short transport name for diagnostics ("raw_eth", "rdma_rc"). *)
+  val kind : string
+
+  (** True when the fabric guarantees no congestion drops (link-level flow
+      control); the protocol still retransmits on corruption or failure. *)
+  val lossless : bool
+
+  (** Maximum application payload bytes in one packet (the MTU). *)
+  val max_data_per_pkt : t -> int
+
+  (** Receive-descriptor budget: sessions are limited so that
+      [sessions * credits <= rq_size] can never overflow the RQ (§4.3.1). *)
+  val rq_size : t -> int
+
+  (** Post one packet for transmission (unsignaled descriptor). *)
+  val tx_burst : t -> Netsim.Packet.t -> unit
+
+  (** TX descriptors whose DMA has not completed yet. *)
+  val tx_pending : t -> int
+
+  (** Simulated time to flush the TX DMA queue now (used on retransmission
+      and node failure, §4.2.2); the caller charges it to its CPU. *)
+  val flush_time_ns : t -> int
+
+  (** Poll up to [max] packets from the RX ring. *)
+  val rx_burst : t -> max:int -> Netsim.Packet.t list
+
+  val rx_ring_depth : t -> int
+
+  (** Simulation stand-in for busy polling: invoked when a packet lands in
+      an empty RX ring. *)
+  val set_rx_notify : t -> (unit -> unit) -> unit
+
+  (** Re-post [n] receive descriptors; returns the modeled CPU cost (ns). *)
+  val replenish_rx : t -> int -> int
+
+  (** Ingress from the network (the owning endpoint's flow-steering hook). *)
+  val receive : t -> Netsim.Packet.t -> unit
+
+  (** Drop the RX ring and restore full descriptor count (host restart). *)
+  val reset_rx : t -> unit
+
+  val rx_packets : t -> int
+  val tx_packets : t -> int
+
+  (** Packets dropped for want of a receive descriptor (always 0 on a
+      lossless transport). *)
+  val rx_dropped : t -> int
+end
+
+(** A packed transport instance: implementation module + its state. *)
+type t = T : (module S with type t = 'a) * 'a -> t
+
+(** Wrappers dispatching through the packed module. *)
+
+val kind : t -> string
+val lossless : t -> bool
+val max_data_per_pkt : t -> int
+val rq_size : t -> int
+val tx_burst : t -> Netsim.Packet.t -> unit
+val tx_pending : t -> int
+val flush_time_ns : t -> int
+val rx_burst : t -> max:int -> Netsim.Packet.t list
+val rx_ring_depth : t -> int
+val set_rx_notify : t -> (unit -> unit) -> unit
+val replenish_rx : t -> int -> int
+val receive : t -> Netsim.Packet.t -> unit
+val reset_rx : t -> unit
+val rx_packets : t -> int
+val tx_packets : t -> int
+val rx_dropped : t -> int

@@ -1,0 +1,29 @@
+(* Lossy raw-Ethernet transport: a thin adapter over the userspace-NIC
+   model. Every operation maps 1:1 onto the NIC so the datapath behaves
+   exactly as it did before the transport seam existed. *)
+
+module Impl = struct
+  type t = { nic : Nic.t; mtu : int }
+
+  let kind = "raw_eth"
+  let lossless = false
+  let max_data_per_pkt t = t.mtu
+  let rq_size t = (Nic.config t.nic).Nic.rq_size
+  let tx_burst t pkt = Nic.post_send t.nic pkt
+  let tx_pending t = Nic.tx_pending t.nic
+  let flush_time_ns t = Nic.flush_time_ns t.nic
+  let rx_burst t ~max = Nic.poll_rx t.nic ~max
+  let rx_ring_depth t = Nic.rx_ring_depth t.nic
+  let set_rx_notify t f = Nic.set_rx_notify t.nic f
+  let replenish_rx t n = Nic.replenish_rq t.nic n
+  let receive t pkt = Nic.receive t.nic pkt
+  let reset_rx t = Nic.clear_rx t.nic
+  let rx_packets t = Nic.rx_packets t.nic
+  let tx_packets t = Nic.tx_packets t.nic
+  let rx_dropped t = Nic.rx_dropped_no_desc t.nic
+end
+
+let create engine net ~host ~mtu cfg =
+  Iface.T
+    ( (module Impl : Iface.S with type t = Impl.t),
+      { Impl.nic = Nic.create engine net ~host cfg; mtu } )

@@ -1,0 +1,10 @@
+(** Lossy raw-Ethernet transport ({!Iface.S} over the {!Nic} model).
+
+    The paper's DPDK-style datapath: pre-posted receive descriptors that
+    drop packets when exhausted, bounded RX jitter, unsignaled TX with an
+    explicit flush. [mtu] is the data budget per packet; [cfg] the NIC
+    timing/queue geometry (usually the cluster profile's, with the
+    multi-packet-RQ optimization toggled by the eRPC config). *)
+
+val create :
+  Sim.Engine.t -> Netsim.Network.t -> host:int -> mtu:int -> Nic.config -> Iface.t

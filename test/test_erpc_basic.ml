@@ -56,8 +56,8 @@ let test_small_echo () =
   Alcotest.(check string)
     "echoed" "hello eRPC, this is 32 bytes!!!!"
     (Erpc.Msgbuf.read_string resp ~off:0 ~len:32);
-  Alcotest.(check int) "server handled one" 1 (Erpc.Rpc.stat_handled server);
-  Alcotest.(check int) "client completed one" 1 (Erpc.Rpc.stat_completed client);
+  Alcotest.(check int) "server handled one" 1 ((Erpc.Rpc.stats server).Erpc.Rpc_stats.handled);
+  Alcotest.(check int) "client completed one" 1 ((Erpc.Rpc.stats client).Erpc.Rpc_stats.completed);
   (* Buffers returned to the app. *)
   Alcotest.(check bool) "req returned" true (Erpc.Msgbuf.owner req = Erpc.Msgbuf.Owned_by_app)
 

@@ -106,7 +106,7 @@ let test_cumulative_cr_packet_reduction () =
     (* Count CRs via the client's RX: total client RX = CRs + response
        pkts. Response is 8 packets (echo); requests acked... count via
        stat. *)
-    Erpc.Rpc.stat_rx_pkts client
+    (Erpc.Rpc.stats client).Erpc.Rpc_stats.rx_pkts
   in
   let per_packet = count_server_pkts false in
   let cumulative = count_server_pkts true in

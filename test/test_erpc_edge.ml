@@ -6,9 +6,15 @@ let check_bool = Alcotest.(check bool)
 
 let echo = Test_erpc_basic.(echo_req_type)
 
-let deploy ?config () =
+let with_transport transport (cfg : Erpc.Config.t) = { cfg with Erpc.Config.transport }
+
+let deploy ?(transport = Erpc.Config.Raw_eth) ?config () =
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
-  let fabric = Erpc.Fabric.create ?config cluster in
+  let config =
+    with_transport transport
+      (match config with Some c -> c | None -> Erpc.Config.of_cluster cluster)
+  in
+  let fabric = Erpc.Fabric.create ~config cluster in
   let handler_runs = ref 0 in
   let nx0 = Erpc.Nexus.create fabric ~host:0 () in
   let nx1 = Erpc.Nexus.create fabric ~host:1 () in
@@ -31,10 +37,10 @@ let run fabric ms =
 (* An RTO far below the RTT produces false loss positives on every RPC:
    duplicates flood the server, yet at-most-once semantics and completion
    must survive (§5.3's "induced loss" discussion). *)
-let test_spurious_rto_at_most_once () =
+let test_spurious_rto_at_most_once tp () =
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
   let config = { (Erpc.Config.of_cluster cluster) with rto_ns = 1_000 (* 1 us << RTT *) } in
-  let fabric, client, _server, handler_runs = deploy ~config () in
+  let fabric, client, _server, handler_runs = deploy ~transport:tp ~config () in
   let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
   run fabric 1.0;
   let n = 20 in
@@ -51,11 +57,11 @@ let test_spurious_rto_at_most_once () =
   issue 0;
   run fabric 100.0;
   check_int "all completed" n !completed;
-  check_bool "spurious retransmissions occurred" true (Erpc.Rpc.stat_retransmits client > 0);
+  check_bool "spurious retransmissions occurred" true ((Erpc.Rpc.stats client).Erpc.Rpc_stats.retransmits > 0);
   check_int "handlers still ran exactly once each" n !handler_runs
 
-let test_zero_length_request () =
-  let fabric, client, _server, _ = deploy () in
+let test_zero_length_request tp () =
+  let fabric, client, _server, _ = deploy ~transport:tp () in
   let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
   run fabric 1.0;
   let req = Erpc.Msgbuf.alloc ~max_size:16 in
@@ -68,10 +74,12 @@ let test_zero_length_request () =
   check_bool "zero-length RPC completes" true !ok;
   check_int "zero-length response" 0 (Erpc.Msgbuf.size resp)
 
-let test_same_host_session () =
+let test_same_host_session tp () =
   (* Two Rpc endpoints on one host talking through the ToR and back. *)
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
-  let fabric = Erpc.Fabric.create cluster in
+  let fabric =
+    Erpc.Fabric.create ~config:(with_transport tp (Erpc.Config.of_cluster cluster)) cluster
+  in
   let nx = Erpc.Nexus.create fabric ~host:0 () in
   Erpc.Nexus.register_handler nx ~req_type:echo ~mode:Erpc.Nexus.Dispatch (fun h ->
       Erpc.Req_handle.enqueue_response h (Erpc.Req_handle.init_response h ~size:4));
@@ -108,10 +116,18 @@ let test_determinism_across_runs () =
   in
   check_bool "different seed perturbs the schedule" true (a <> c || fst a > 0)
 
-let suite =
+(* The determinism test exercises the experiment harness, which picks its
+   own transport from the config; it is not parameterized. *)
+let suite_for tp =
   [
-    Alcotest.test_case "spurious RTO keeps at-most-once" `Quick test_spurious_rto_at_most_once;
-    Alcotest.test_case "zero-length request" `Quick test_zero_length_request;
-    Alcotest.test_case "same-host session" `Quick test_same_host_session;
-    Alcotest.test_case "determinism across runs" `Quick test_determinism_across_runs;
+    Alcotest.test_case "spurious RTO keeps at-most-once" `Quick
+      (test_spurious_rto_at_most_once tp);
+    Alcotest.test_case "zero-length request" `Quick (test_zero_length_request tp);
+    Alcotest.test_case "same-host session" `Quick (test_same_host_session tp);
   ]
+
+let suite =
+  suite_for Erpc.Config.Raw_eth
+  @ [ Alcotest.test_case "determinism across runs" `Quick test_determinism_across_runs ]
+
+let suite_rc = suite_for Erpc.Config.Rdma_rc

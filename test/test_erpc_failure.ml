@@ -112,7 +112,7 @@ let test_dead_host_stops_responding () =
       completed := Result.is_ok r);
   run fabric 3.0 (* before the detection timeout *);
   check_bool "no response from dead host" false !completed;
-  check_int "server handled nothing" 0 (Erpc.Rpc.stat_handled rpcs.(1))
+  check_int "server handled nothing" 0 (Erpc.Rpc.stats rpcs.(1)).Erpc.Rpc_stats.handled
 
 let suite =
   [

@@ -6,9 +6,14 @@ let check_bool = Alcotest.(check bool)
 
 let echo = Test_erpc_basic.(echo_req_type)
 
-let make_pair ?(count_handler_runs = ref 0) () =
+let with_transport transport (cfg : Erpc.Config.t) = { cfg with Erpc.Config.transport }
+
+let make_pair ?(transport = Erpc.Config.Raw_eth) ?(count_handler_runs = ref 0) () =
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
-  let fabric = Erpc.Fabric.create cluster in
+  let fabric =
+    Erpc.Fabric.create ~config:(with_transport transport (Erpc.Config.of_cluster cluster))
+      cluster
+  in
   let nx0 = Erpc.Nexus.create fabric ~host:0 () in
   let nx1 = Erpc.Nexus.create fabric ~host:1 () in
   Erpc.Nexus.register_handler nx1 ~req_type:echo ~mode:Erpc.Nexus.Dispatch (fun h ->
@@ -31,8 +36,8 @@ let connect fabric client =
   run fabric 1.0;
   sess
 
-let test_rpc_survives_heavy_loss () =
-  let fabric, client, _server = make_pair () in
+let test_rpc_survives_heavy_loss tp () =
+  let fabric, client, _server = make_pair ~transport:tp () in
   let sess = connect fabric client in
   Netsim.Network.set_loss_prob (Erpc.Fabric.net fabric) 0.2;
   let completed = ref 0 in
@@ -45,11 +50,11 @@ let test_rpc_survives_heavy_loss () =
   (* RTO is 5 ms; heavy loss may need several rounds. *)
   run fabric 500.0;
   check_int "all complete despite 20% loss" 10 !completed;
-  check_bool "retransmissions happened" true (Erpc.Rpc.stat_retransmits client > 0)
+  check_bool "retransmissions happened" true ((Erpc.Rpc.stats client).Erpc.Rpc_stats.retransmits > 0)
 
-let test_at_most_once_execution () =
+let test_at_most_once_execution tp () =
   let handler_runs = ref 0 in
-  let fabric, client, _server = make_pair ~count_handler_runs:handler_runs () in
+  let fabric, client, _server = make_pair ~transport:tp ~count_handler_runs:handler_runs () in
   let sess = connect fabric client in
   Netsim.Network.set_loss_prob (Erpc.Fabric.net fabric) 0.15;
   let completed = ref 0 in
@@ -71,10 +76,10 @@ let test_at_most_once_execution () =
      handler exactly once. *)
   check_int "handlers ran exactly once per request" n !handler_runs;
   check_bool "loss actually exercised retransmission" true
-    (Erpc.Rpc.stat_retransmits client > 0)
+    ((Erpc.Rpc.stats client).Erpc.Rpc_stats.retransmits > 0)
 
-let test_large_transfer_integrity_under_loss () =
-  let fabric, client, _server = make_pair () in
+let test_large_transfer_integrity_under_loss tp () =
+  let fabric, client, _server = make_pair ~transport:tp () in
   let sess = connect fabric client in
   Netsim.Network.set_loss_prob (Erpc.Fabric.net fabric) 0.02;
   let n = 100_000 in
@@ -90,8 +95,8 @@ let test_large_transfer_integrity_under_loss () =
   check_bool "payload intact across retransmissions" true
     (Erpc.Msgbuf.read_string resp ~off:0 ~len:n = pattern)
 
-let test_credits_restored_after_loss () =
-  let fabric, client, _server = make_pair () in
+let test_credits_restored_after_loss tp () =
+  let fabric, client, _server = make_pair ~transport:tp () in
   let sess = connect fabric client in
   Netsim.Network.set_loss_prob (Erpc.Fabric.net fabric) 0.1;
   for _ = 1 to 5 do
@@ -103,8 +108,8 @@ let test_credits_restored_after_loss () =
   check_int "credits restored" sess.Erpc.Session.credit_limit sess.Erpc.Session.credits;
   check_int "nothing outstanding" 0 (Erpc.Session.outstanding_packets sess)
 
-let test_loss_free_run_has_no_retransmits () =
-  let fabric, client, _server = make_pair () in
+let test_loss_free_run_has_no_retransmits tp () =
+  let fabric, client, _server = make_pair ~transport:tp () in
   let sess = connect fabric client in
   for _ = 1 to 100 do
     let req = Erpc.Msgbuf.alloc ~max_size:1_024 in
@@ -112,15 +117,23 @@ let test_loss_free_run_has_no_retransmits () =
     Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun _ -> ())
   done;
   run fabric 100.0;
-  check_int "no spurious retransmissions" 0 (Erpc.Rpc.stat_retransmits client);
-  check_int "all served" 100 (Erpc.Rpc.stat_completed client)
+  check_int "no spurious retransmissions" 0 ((Erpc.Rpc.stats client).Erpc.Rpc_stats.retransmits);
+  check_int "all served" 100 ((Erpc.Rpc.stats client).Erpc.Rpc_stats.completed)
 
-let suite =
+(* Network-level loss (Netsim.Network.set_loss_prob) hits both transports:
+   the lossless RC transport only removes NIC descriptor drops, not fabric
+   loss, so go-back-N recovery must work identically over it. *)
+let suite_for tp =
   [
-    Alcotest.test_case "survives 20% loss" `Quick test_rpc_survives_heavy_loss;
-    Alcotest.test_case "at-most-once execution" `Quick test_at_most_once_execution;
+    Alcotest.test_case "survives 20% loss" `Quick (test_rpc_survives_heavy_loss tp);
+    Alcotest.test_case "at-most-once execution" `Quick (test_at_most_once_execution tp);
     Alcotest.test_case "large transfer integrity under loss" `Quick
-      test_large_transfer_integrity_under_loss;
-    Alcotest.test_case "credits restored after loss" `Quick test_credits_restored_after_loss;
-    Alcotest.test_case "no spurious retransmits" `Quick test_loss_free_run_has_no_retransmits;
+      (test_large_transfer_integrity_under_loss tp);
+    Alcotest.test_case "credits restored after loss" `Quick
+      (test_credits_restored_after_loss tp);
+    Alcotest.test_case "no spurious retransmits" `Quick
+      (test_loss_free_run_has_no_retransmits tp);
   ]
+
+let suite = suite_for Erpc.Config.Raw_eth
+let suite_rc = suite_for Erpc.Config.Rdma_rc

@@ -1,14 +1,25 @@
 (* Wire-protocol behaviour: packet counts, credits, session limits,
-   backlog, multi-packet request/response interleaving. *)
+   backlog, multi-packet request/response interleaving.
+
+   The whole suite is parameterized over the transport implementation: the
+   protocol must behave identically over the lossy raw-Ethernet NIC and the
+   lossless RC datapath (network-level loss/corruption still applies to
+   both; "lossless" only removes NIC descriptor drops). *)
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let echo = Test_erpc_basic.(echo_req_type)
 
-let make_pair ?config ?(resp_size = None) () =
+let with_transport transport (cfg : Erpc.Config.t) = { cfg with Erpc.Config.transport }
+
+let make_pair ?(transport = Erpc.Config.Raw_eth) ?config ?(resp_size = None) () =
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
-  let fabric = Erpc.Fabric.create ?config cluster in
+  let config =
+    with_transport transport
+      (match config with Some c -> c | None -> Erpc.Config.of_cluster cluster)
+  in
+  let fabric = Erpc.Fabric.create ~config cluster in
   let nx0 = Erpc.Nexus.create fabric ~host:0 () in
   let nx1 = Erpc.Nexus.create fabric ~host:1 () in
   Erpc.Nexus.register_handler nx1 ~req_type:echo ~mode:Erpc.Nexus.Dispatch (fun h ->
@@ -45,40 +56,40 @@ let do_rpc fabric client sess ~req_size ~resp_cap =
 (* Packet counts per the wire protocol (§5.1): an N-packet request with an
    M-packet response costs N + (M-1) RFRs from the client and (N-1) CRs +
    M response packets from the server. *)
-let test_packet_counts_single () =
-  let fabric, client, server = make_pair () in
+let test_packet_counts_single tp () =
+  let fabric, client, server = make_pair ~transport:tp () in
   let sess = connect fabric client in
   ignore (do_rpc fabric client sess ~req_size:32 ~resp_cap:32);
-  check_int "client sent 1 pkt" 1 (Erpc.Rpc.stat_tx_pkts client);
-  check_int "server sent 1 pkt" 1 (Erpc.Rpc.stat_tx_pkts server)
+  check_int "client sent 1 pkt" 1 ((Erpc.Rpc.stats client).Erpc.Rpc_stats.tx_pkts);
+  check_int "server sent 1 pkt" 1 ((Erpc.Rpc.stats server).Erpc.Rpc_stats.tx_pkts)
 
-let test_packet_counts_multi_request () =
-  let fabric, client, server = make_pair ~resp_size:(Some 32) () in
+let test_packet_counts_multi_request tp () =
+  let fabric, client, server = make_pair ~transport:tp ~resp_size:(Some 32) () in
   let sess = connect fabric client in
   (* MTU 1024: 4 KB request = 4 packets; response = 1 packet. *)
   ignore (do_rpc fabric client sess ~req_size:4_096 ~resp_cap:32);
-  check_int "client: 4 request pkts" 4 (Erpc.Rpc.stat_tx_pkts client);
-  check_int "server: 3 CRs + 1 response" 4 (Erpc.Rpc.stat_tx_pkts server)
+  check_int "client: 4 request pkts" 4 ((Erpc.Rpc.stats client).Erpc.Rpc_stats.tx_pkts);
+  check_int "server: 3 CRs + 1 response" 4 ((Erpc.Rpc.stats server).Erpc.Rpc_stats.tx_pkts)
 
-let test_multi_packet_response_rfrs () =
-  let fabric, client, server = make_pair ~resp_size:(Some 4_096) () in
+let test_multi_packet_response_rfrs tp () =
+  let fabric, client, server = make_pair ~transport:tp ~resp_size:(Some 4_096) () in
   let sess = connect fabric client in
   ignore (do_rpc fabric client sess ~req_size:32 ~resp_cap:4_096);
   (* Client: 1 request + 3 RFRs; server: 4 response packets. *)
-  check_int "client: req + 3 RFRs" 4 (Erpc.Rpc.stat_tx_pkts client);
-  check_int "server: 4 response pkts" 4 (Erpc.Rpc.stat_tx_pkts server)
+  check_int "client: req + 3 RFRs" 4 ((Erpc.Rpc.stats client).Erpc.Rpc_stats.tx_pkts);
+  check_int "server: 4 response pkts" 4 ((Erpc.Rpc.stats server).Erpc.Rpc_stats.tx_pkts)
 
-let test_credits_respected () =
+let test_credits_respected tp () =
   (* With C = 2 credits a 6-packet request must still complete, just with
      more round trips. *)
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
   let config = Erpc.Config.of_cluster ~credits:2 cluster in
-  let fabric, client, _server = make_pair ~config ~resp_size:(Some 32) () in
+  let fabric, client, _server = make_pair ~transport:tp ~config ~resp_size:(Some 32) () in
   let sess = connect fabric client in
   ignore (do_rpc fabric client sess ~req_size:(6 * 1024) ~resp_cap:32)
 
-let test_credit_invariant_restored () =
-  let fabric, client, _server = make_pair () in
+let test_credit_invariant_restored tp () =
+  let fabric, client, _server = make_pair ~transport:tp () in
   let sess = connect fabric client in
   for _ = 1 to 10 do
     ignore (do_rpc fabric client sess ~req_size:2_048 ~resp_cap:2_048)
@@ -86,10 +97,10 @@ let test_credit_invariant_restored () =
   check_int "all credits returned" sess.Erpc.Session.credit_limit sess.Erpc.Session.credits;
   check_int "no outstanding packets" 0 (Erpc.Session.outstanding_packets sess)
 
-let test_concurrent_slots_out_of_order_completion () =
+let test_concurrent_slots_out_of_order_completion tp () =
   (* A long (multi-packet) RPC and short RPCs on the same session: the
      short ones complete while the long one is still streaming. *)
-  let fabric, client, _server = make_pair () in
+  let fabric, client, _server = make_pair ~transport:tp () in
   let sess = connect fabric client in
   let order = ref [] in
   let long_req = Erpc.Msgbuf.alloc ~max_size:(512 * 1024) in
@@ -103,10 +114,10 @@ let test_concurrent_slots_out_of_order_completion () =
   run fabric 50.0;
   Alcotest.(check bool) "short completed before long" true (List.rev !order = [ `Short; `Long ])
 
-let test_backlog_beyond_window () =
+let test_backlog_beyond_window tp () =
   (* More outstanding requests than the 8 slots: the rest are backlogged
      and all complete. *)
-  let fabric, client, _server = make_pair () in
+  let fabric, client, _server = make_pair ~transport:tp () in
   let sess = connect fabric client in
   let completed = ref 0 in
   let n = 50 in
@@ -119,9 +130,9 @@ let test_backlog_beyond_window () =
   run fabric 20.0;
   check_int "all completed" n !completed
 
-let test_session_limit_enforced () =
+let test_session_limit_enforced tp () =
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
-  let cfg = Erpc.Config.of_cluster ~credits:8 cluster in
+  let cfg = with_transport tp (Erpc.Config.of_cluster ~credits:8 cluster) in
   (* Shrink the RQ so only 4 sessions fit: 4 * 8 = 32 descriptors. *)
   let cluster = { cluster with nic_config = { cluster.nic_config with rq_size = 32 } } in
   let fabric = Erpc.Fabric.create ~config:cfg cluster in
@@ -137,8 +148,8 @@ let test_session_limit_enforced () =
        false
      with Invalid_argument _ -> true)
 
-let test_max_msg_size_enforced () =
-  let fabric, client, _server = make_pair () in
+let test_max_msg_size_enforced tp () =
+  let fabric, client, _server = make_pair ~transport:tp () in
   let sess = connect fabric client in
   let req = Erpc.Msgbuf.alloc ~max_size:(9 * 1024 * 1024) in
   let resp = Erpc.Msgbuf.alloc ~max_size:32 in
@@ -147,8 +158,8 @@ let test_max_msg_size_enforced () =
     (fun () ->
       Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun _ -> ()))
 
-let test_response_too_large_for_resp_buf () =
-  let fabric, client, _server = make_pair ~resp_size:(Some 1_024) () in
+let test_response_too_large_for_resp_buf tp () =
+  let fabric, client, _server = make_pair ~transport:tp ~resp_size:(Some 1_024) () in
   let sess = connect fabric client in
   let req = Erpc.Msgbuf.alloc ~max_size:32 in
   let resp = Erpc.Msgbuf.alloc ~max_size:16 (* too small for 1 KB response *) in
@@ -159,12 +170,12 @@ let test_response_too_large_for_resp_buf () =
        false
      with Invalid_argument _ -> true)
 
-let test_data_integrity_random_sizes =
+let test_data_integrity_random_sizes tp =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name:"echo integrity across sizes" ~count:20
        QCheck2.Gen.(int_range 1 20_000)
        (fun size ->
-         let fabric, client, _server = make_pair () in
+         let fabric, client, _server = make_pair ~transport:tp () in
          let sess = connect fabric client in
          let req = Erpc.Msgbuf.alloc ~max_size:size in
          let pattern = String.init size (fun i -> Char.chr ((i * 31 + size) land 0xff)) in
@@ -176,8 +187,8 @@ let test_data_integrity_random_sizes =
          run fabric 50.0;
          !ok && Erpc.Msgbuf.read_string resp ~off:0 ~len:size = pattern))
 
-let test_unknown_req_type_never_completes () =
-  let fabric, client, _server = make_pair () in
+let test_unknown_req_type_never_completes tp () =
+  let fabric, client, _server = make_pair ~transport:tp () in
   let sess = connect fabric client in
   let req = Erpc.Msgbuf.alloc ~max_size:32 in
   let resp = Erpc.Msgbuf.alloc ~max_size:32 in
@@ -186,11 +197,13 @@ let test_unknown_req_type_never_completes () =
   run fabric 3.0;
   check_bool "no continuation for dropped unknown type" false !called
 
-let test_two_rpcs_per_host_demux () =
+let test_two_rpcs_per_host_demux tp () =
   (* Two Rpc endpoints per host: flow steering by rpc id must route each
      session's packets to the right endpoint. *)
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
-  let fabric = Erpc.Fabric.create cluster in
+  let fabric =
+    Erpc.Fabric.create ~config:(with_transport tp (Erpc.Config.of_cluster cluster)) cluster
+  in
   let nx0 = Erpc.Nexus.create fabric ~host:0 () in
   let nx1 = Erpc.Nexus.create fabric ~host:1 () in
   Erpc.Nexus.register_handler nx1 ~req_type:7 ~mode:Erpc.Nexus.Dispatch (fun h ->
@@ -211,25 +224,33 @@ let test_two_rpcs_per_host_demux () =
   Erpc.Rpc.enqueue_request c1 sess1 ~req_type:7 ~req:r1 ~resp:p1 ~cont:(fun _ -> done1 := true);
   run fabric 5.0;
   check_bool "both completed" true (!done0 && !done1);
-  check_int "s0 handled one" 1 (Erpc.Rpc.stat_handled s0);
-  check_int "s1 handled one" 1 (Erpc.Rpc.stat_handled s1)
+  check_int "s0 handled one" 1 ((Erpc.Rpc.stats s0).Erpc.Rpc_stats.handled);
+  check_int "s1 handled one" 1 ((Erpc.Rpc.stats s1).Erpc.Rpc_stats.handled)
 
-let suite =
+(* The whole suite runs against each Transport implementation: the wire
+   protocol in Proto must behave identically over the lossy NIC-model
+   transport and the lossless RC transport. *)
+let suite_for tp =
   [
-    Alcotest.test_case "packet count: single" `Quick test_packet_counts_single;
+    Alcotest.test_case "packet count: single" `Quick (test_packet_counts_single tp);
     Alcotest.test_case "packet count: multi request (CRs)" `Quick
-      test_packet_counts_multi_request;
+      (test_packet_counts_multi_request tp);
     Alcotest.test_case "packet count: multi response (RFRs)" `Quick
-      test_multi_packet_response_rfrs;
-    Alcotest.test_case "tiny credit window" `Quick test_credits_respected;
-    Alcotest.test_case "credit invariant restored" `Quick test_credit_invariant_restored;
+      (test_multi_packet_response_rfrs tp);
+    Alcotest.test_case "tiny credit window" `Quick (test_credits_respected tp);
+    Alcotest.test_case "credit invariant restored" `Quick (test_credit_invariant_restored tp);
     Alcotest.test_case "out-of-order slot completion" `Quick
-      test_concurrent_slots_out_of_order_completion;
-    Alcotest.test_case "backlog beyond window" `Quick test_backlog_beyond_window;
-    Alcotest.test_case "session limit" `Quick test_session_limit_enforced;
-    Alcotest.test_case "max message size" `Quick test_max_msg_size_enforced;
-    Alcotest.test_case "oversized response rejected" `Quick test_response_too_large_for_resp_buf;
-    test_data_integrity_random_sizes;
-    Alcotest.test_case "unknown req type dropped" `Quick test_unknown_req_type_never_completes;
-    Alcotest.test_case "two Rpcs per host demux" `Quick test_two_rpcs_per_host_demux;
+      (test_concurrent_slots_out_of_order_completion tp);
+    Alcotest.test_case "backlog beyond window" `Quick (test_backlog_beyond_window tp);
+    Alcotest.test_case "session limit" `Quick (test_session_limit_enforced tp);
+    Alcotest.test_case "max message size" `Quick (test_max_msg_size_enforced tp);
+    Alcotest.test_case "oversized response rejected" `Quick
+      (test_response_too_large_for_resp_buf tp);
+    test_data_integrity_random_sizes tp;
+    Alcotest.test_case "unknown req type dropped" `Quick
+      (test_unknown_req_type_never_completes tp);
+    Alcotest.test_case "two Rpcs per host demux" `Quick (test_two_rpcs_per_host_demux tp);
   ]
+
+let suite = suite_for Erpc.Config.Raw_eth
+let suite_rc = suite_for Erpc.Config.Rdma_rc

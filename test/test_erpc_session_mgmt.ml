@@ -74,6 +74,67 @@ let test_disconnect_frees_budget () =
    Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.ms 1.0)));
   check_bool "slot reused" true (s3.Erpc.Session.state = Erpc.Session.Connected)
 
+let test_destroy_during_handshake_raises () =
+  let fabric, client, _server = make_pair () in
+  let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  (* No engine run yet: the Connect_resp has not arrived, so the server-side
+     session number is unknown and teardown cannot name the peer state. *)
+  check_bool "still connecting" true (sess.Erpc.Session.state = Erpc.Session.Connect_pending);
+  Alcotest.check_raises "destroy during handshake"
+    (Invalid_argument "Rpc.destroy_session: handshake still in flight") (fun () ->
+      Erpc.Rpc.destroy_session client sess);
+  (* Once the handshake completes, the same call succeeds. *)
+  run fabric 1.0;
+  Erpc.Rpc.destroy_session client sess;
+  run fabric 1.0;
+  check_bool "destroyed after handshake" true
+    (sess.Erpc.Session.state = Erpc.Session.Destroyed)
+
+let test_budget_raise_message () =
+  (* §4.3.1: sessions x credits must fit in the RQ. With credits=8 and
+     rq_size=16 the third session breaks the bound; the diagnostic names
+     the exact arithmetic. *)
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let cfg = Erpc.Config.of_cluster ~credits:8 cluster in
+  let cluster = { cluster with nic_config = { cluster.nic_config with rq_size = 16 } } in
+  let fabric = Erpc.Fabric.create ~config:cfg cluster in
+  let nx0 = Erpc.Nexus.create fabric ~host:0 () in
+  let _nx1 = Erpc.Nexus.create fabric ~host:1 () in
+  let client = Erpc.Rpc.create nx0 ~rpc_id:0 in
+  let _s1 = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  let _s2 = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
+  Alcotest.check_raises "budget diagnostic"
+    (Invalid_argument
+       "Rpc.create_session: session limit reached (3 sessions x 8 credits vs RQ size 16)")
+    (fun () -> ignore (Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 ()))
+
+let test_server_rejects_over_budget_connect () =
+  (* The same budget check runs on the server when accepting a Connect_req;
+     a full server answers Connect_resp Error and the client's session
+     lands in the Error state with its on_connect told why. *)
+  let cluster = Transport.Cluster.cx5 ~nodes:3 () in
+  let cfg = Erpc.Config.of_cluster ~credits:8 cluster in
+  let cluster = { cluster with nic_config = { cluster.nic_config with rq_size = 16 } } in
+  let fabric = Erpc.Fabric.create ~config:cfg cluster in
+  let nx = Array.init 3 (fun host -> Erpc.Nexus.create fabric ~host ()) in
+  let rpc = Array.map (fun n -> Erpc.Rpc.create n ~rpc_id:0) nx in
+  (* Fill host 1's budget with sessions to host 2. *)
+  let _ = Erpc.Rpc.create_session rpc.(1) ~remote_host:2 ~remote_rpc_id:0 () in
+  let _ = Erpc.Rpc.create_session rpc.(1) ~remote_host:2 ~remote_rpc_id:0 () in
+  run fabric 1.0;
+  let result = ref None in
+  let sess =
+    Erpc.Rpc.create_session rpc.(0) ~remote_host:1 ~remote_rpc_id:0
+      ~on_connect:(fun r -> result := Some r)
+      ()
+  in
+  run fabric 1.0;
+  check_bool "on_connect got the rejection" true
+    (match !result with Some (Error (Erpc.Err.Session_error _)) -> true | _ -> false);
+  check_bool "session in error state" true
+    (match sess.Erpc.Session.state with Erpc.Session.Error _ -> true | _ -> false);
+  check_int "server kept its two sessions" 2 (Erpc.Rpc.num_sessions rpc.(1))
+
 let test_reuse_after_disconnect_errors () =
   let fabric, client, _server = make_pair () in
   let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
@@ -104,6 +165,11 @@ let suite =
     Alcotest.test_case "disconnect lifecycle" `Quick test_disconnect_lifecycle;
     Alcotest.test_case "pending blocks disconnect" `Quick test_disconnect_with_pending_raises;
     Alcotest.test_case "disconnect frees budget" `Quick test_disconnect_frees_budget;
+    Alcotest.test_case "destroy during handshake raises" `Quick
+      test_destroy_during_handshake_raises;
+    Alcotest.test_case "budget raise names the arithmetic" `Quick test_budget_raise_message;
+    Alcotest.test_case "server rejects over-budget connect" `Quick
+      test_server_rejects_over_budget_connect;
     Alcotest.test_case "destroyed session rejects requests" `Quick
       test_reuse_after_disconnect_errors;
     Alcotest.test_case "double destroy raises" `Quick test_double_destroy_raises;

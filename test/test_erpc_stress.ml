@@ -7,9 +7,15 @@ let check_bool = Alcotest.(check bool)
 
 let echo = Test_erpc_basic.(echo_req_type)
 
-let deploy ?config () =
+let with_transport transport (cfg : Erpc.Config.t) = { cfg with Erpc.Config.transport }
+
+let deploy ?(transport = Erpc.Config.Raw_eth) ?config () =
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
-  let fabric = Erpc.Fabric.create ?config cluster in
+  let config =
+    with_transport transport
+      (match config with Some c -> c | None -> Erpc.Config.of_cluster cluster)
+  in
+  let fabric = Erpc.Fabric.create ~config cluster in
   let handler_runs = ref 0 in
   let nx0 = Erpc.Nexus.create fabric ~host:0 () in
   let nx1 = Erpc.Nexus.create fabric ~host:1 () in
@@ -35,7 +41,7 @@ let run fabric ms =
    drops responses that arrive while such references exist. Force the
    session through the wheel by congesting it (rate pinned low), inject
    loss, and verify correctness survives the interaction. *)
-let test_rate_limited_retransmissions () =
+let test_rate_limited_retransmissions tp () =
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
   let base = Erpc.Config.of_cluster cluster in
   (* Disable the bypass so every packet goes through the Carousel wheel,
@@ -52,7 +58,7 @@ let test_rate_limited_retransmissions () =
       rto_ns = 600_000;
     }
   in
-  let fabric, client, sess, handler_runs = deploy ~config () in
+  let fabric, client, sess, handler_runs = deploy ~transport:tp ~config () in
   (* Pin the session's rate to 100 Mbps so every packet is wheeled. *)
   (match sess.Erpc.Session.cc with
   | Some (Erpc.Cc.Timely_cc tl) -> Erpc.Timely.set_rate_bps tl 100e6
@@ -77,12 +83,12 @@ let test_rate_limited_retransmissions () =
   run fabric 3_000.0;
   check_int "all complete through the rate limiter" n !completed;
   check_int "at-most-once held" n !handler_runs;
-  check_bool "wheel actually used" true (Erpc.Rpc.stat_wheel_inserts client > 0);
-  check_bool "retransmissions actually happened" true (Erpc.Rpc.stat_retransmits client > 0)
+  check_bool "wheel actually used" true ((Erpc.Rpc.stats client).Erpc.Rpc_stats.wheel_inserts > 0);
+  check_bool "retransmissions actually happened" true ((Erpc.Rpc.stats client).Erpc.Rpc_stats.retransmits > 0)
 
 (* Randomized end-to-end fuzz: loss rate, RTO, credits and sizes all vary;
    the invariants never do. *)
-let protocol_fuzz =
+let protocol_fuzz tp =
   let gen =
     QCheck2.Gen.(
       pair
@@ -99,7 +105,7 @@ let protocol_fuzz =
          let cluster = Transport.Cluster.cx5 ~nodes:2 () in
          let base = Erpc.Config.of_cluster ~credits cluster in
          let config = { base with rto_ns = rto_us * 1_000 } in
-         let fabric, client, sess, handler_runs = deploy ~config () in
+         let fabric, client, sess, handler_runs = deploy ~transport:tp ~config () in
          Netsim.Network.set_loss_prob (Erpc.Fabric.net fabric)
            (float_of_int loss_tenths /. 1_000.);
          let expected = List.length sizes in
@@ -133,9 +139,11 @@ let protocol_fuzz =
 
 (* Sustained bidirectional churn with loss: both endpoints act as client
    and server simultaneously (the Fig 4 pattern) on a lossy link. *)
-let test_bidirectional_churn_with_loss () =
+let test_bidirectional_churn_with_loss tp () =
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
-  let fabric = Erpc.Fabric.create cluster in
+  let fabric =
+    Erpc.Fabric.create ~config:(with_transport tp (Erpc.Config.of_cluster cluster)) cluster
+  in
   let nexuses =
     Array.init 2 (fun host ->
         let nx = Erpc.Nexus.create fabric ~host () in
@@ -169,11 +177,14 @@ let test_bidirectional_churn_with_loss () =
   check_int "direction 0->1 all done" n !done0;
   check_int "direction 1->0 all done" n !done1
 
-let suite =
+let suite_for tp =
   [
     Alcotest.test_case "rate-limited retransmissions (Appendix C path)" `Quick
-      test_rate_limited_retransmissions;
-    protocol_fuzz;
+      (test_rate_limited_retransmissions tp);
+    protocol_fuzz tp;
     Alcotest.test_case "bidirectional churn with loss" `Quick
-      test_bidirectional_churn_with_loss;
+      (test_bidirectional_churn_with_loss tp);
   ]
+
+let suite = suite_for Erpc.Config.Raw_eth
+let suite_rc = suite_for Erpc.Config.Rdma_rc

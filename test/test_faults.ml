@@ -100,7 +100,7 @@ let test_rpc_survives_corruption () =
   check_int "every response intact (corruption never accepted)" n !intact;
   check_int "handlers at most once" n !handler_runs;
   check_bool "corrupted packets were detected and dropped" true
-    (Erpc.Rpc.stat_rx_corrupt client + Erpc.Rpc.stat_rx_corrupt _server > 0)
+    ((Erpc.Rpc.stats client).Erpc.Rpc_stats.rx_corrupt + (Erpc.Rpc.stats _server).Erpc.Rpc_stats.rx_corrupt > 0)
 
 (* {2 Targeted and randomized network faults} *)
 
@@ -119,7 +119,7 @@ let test_drop_nth_deterministic () =
   run fabric 50.0;
   check_bool "request recovered from the targeted drop" true !done_;
   check_int "exactly the armed packet was dropped" 1 (Netsim.Network.targeted_drops net);
-  check_int "one retransmission" 1 (Erpc.Rpc.stat_retransmits client)
+  check_int "one retransmission" 1 ((Erpc.Rpc.stats client).Erpc.Rpc_stats.retransmits)
 
 let test_duplication_at_most_once () =
   let handler_runs = ref 0 in
@@ -176,7 +176,7 @@ let test_link_down_then_up_recovers () =
   run fabric 100.0;
   check_bool "completed after link restored" true (!result = Some (Ok ()));
   check_bool "drops at the downed link" true (Netsim.Network.link_drops net > 0);
-  check_bool "recovered via retransmission" true (Erpc.Rpc.stat_retransmits client > 0)
+  check_bool "recovered via retransmission" true ((Erpc.Rpc.stats client).Erpc.Rpc_stats.retransmits > 0)
 
 let test_partition_heals () =
   let cluster = Transport.Cluster.cx4 ~nodes:10 () in
@@ -233,8 +233,8 @@ let test_bounded_retx_resets_session () =
   check_bool "failed within max_retransmits * rto of issue" true
     (!done_at - issued_at <= (cfg.max_retransmits * cfg.rto_ns) + cfg.rto_ns);
   check_bool "retransmit count bounded" true
-    (Erpc.Rpc.stat_retransmits client < cfg.max_retransmits);
-  check_int "one session reset" 1 (Erpc.Rpc.stat_session_resets client);
+    ((Erpc.Rpc.stats client).Erpc.Rpc_stats.retransmits < cfg.max_retransmits);
+  check_int "one session reset" 1 ((Erpc.Rpc.stats client).Erpc.Rpc_stats.session_resets);
   check_int "no leaked RTO timers" 0 (Erpc.Rpc.armed_rto_count client);
   check_int "credits restored" sess.Erpc.Session.credit_limit sess.Erpc.Session.credits;
   (* Buffers are back with the application. *)
@@ -250,9 +250,9 @@ let test_retx_warning_counter () =
   Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun _ -> ());
   run fabric 200.0;
   check_bool "warned when a slot burned half its retry budget" true
-    (Erpc.Rpc.stat_retx_warnings client > 0);
+    ((Erpc.Rpc.stats client).Erpc.Rpc_stats.retx_warnings > 0);
   check_bool "per-session retransmit counter exposed" true
-    (Erpc.Rpc.stat_session_retransmits client sess > 0)
+    (sess.Erpc.Session.retransmits > 0)
 
 let test_crash_restart_peer_unreachable () =
   let fabric, client, server = make_pair () in

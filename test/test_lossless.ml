@@ -66,7 +66,7 @@ let test_cx3_incast_has_zero_fabric_drops () =
   check_int "no fabric drops on InfiniBand" 0 (Netsim.Network.fabric_drops (Erpc.Fabric.net d.fabric));
   check_int "no retransmissions" 0
     (List.fold_left ( + ) 0
-       (List.init 9 (fun i -> Erpc.Rpc.stat_retransmits d.rpcs.(i + 1).(0))));
+       (List.init 9 (fun i -> (Erpc.Rpc.stats d.rpcs.(i + 1).(0)).Erpc.Rpc_stats.retransmits)));
   check_bool "and real progress was made" true (Experiments.Harness.total_completed d > 0)
 
 let suite =
