@@ -33,6 +33,27 @@ let cluster_arg default =
 let nodes_arg =
   Arg.(value & opt (some int) None & info [ "nodes" ] ~docv:"N" ~doc:"Override node count.")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit machine-readable JSON (the bench BENCH_*.json schema).")
+
+let seed_arg =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+(* The bench BENCH_*.json schema: one object per benchmark with labeled
+   rows. *)
+let print_bench_json ~benchmark ~unit rows =
+  print_string
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("benchmark", Obs.Json.Str benchmark);
+            ("unit", Obs.Json.Str unit);
+            ("rows", Obs.Json.Arr rows);
+          ]));
+  print_newline ()
+
 (* latency *)
 let latency_cmd =
   let run cluster nodes samples =
@@ -50,14 +71,27 @@ let latency_cmd =
 
 (* rate *)
 let rate_cmd =
-  let run cluster nodes batch window fasst =
+  let run cluster nodes batch window fasst json =
     let c = build_cluster ?nodes cluster in
     let r =
       if fasst then Experiments.Exp_small_rate.run_fasst ~cluster:c ~batch ()
       else Experiments.Exp_small_rate.run ~cluster:c ~window ~batch ()
     in
-    Printf.printf "%s B=%d: %.2f Mrps/thread (%d RPCs, %d retransmits)\n" c.name batch
-      r.per_thread_mrps r.total_rpcs r.retransmits
+    if json then
+      print_bench_json ~benchmark:"small_rate" ~unit:"Mrps"
+        [
+          Obs.Json.Obj
+            [
+              ("cluster", Obs.Json.Str c.name);
+              ("batch", Obs.Json.Int batch);
+              ("per_thread_mrps", Obs.Json.Float r.per_thread_mrps);
+              ("total_rpcs", Obs.Json.Int r.total_rpcs);
+              ("retransmits", Obs.Json.Int r.retransmits);
+            ];
+        ]
+    else
+      Printf.printf "%s B=%d: %.2f Mrps/thread (%d RPCs, %d retransmits)\n" c.name batch
+        r.per_thread_mrps r.total_rpcs r.retransmits
   in
   let batch = Arg.(value & opt int 3 & info [ "batch" ] ~docv:"B" ~doc:"Requests per batch.") in
   let window =
@@ -68,14 +102,26 @@ let rate_cmd =
   in
   Cmd.v
     (Cmd.info "rate" ~doc:"Figure 4: single-core small-RPC rate")
-    Term.(const run $ cluster_arg `Cx4 $ nodes_arg $ batch $ window $ fasst)
+    Term.(const run $ cluster_arg `Cx4 $ nodes_arg $ batch $ window $ fasst $ json_arg)
 
 (* bandwidth *)
 let bandwidth_cmd =
-  let run req_size credits loss requests =
+  let run req_size credits loss requests json =
     let p = Experiments.Exp_bandwidth.erpc_goodput ~credits ~requests ~loss ~req_size () in
-    Printf.printf "%d-byte requests: %.1f Gbps (%d retransmissions)\n" req_size p.goodput_gbps
-      p.retransmits
+    if json then
+      print_bench_json ~benchmark:"bandwidth" ~unit:"Gbps"
+        [
+          Obs.Json.Obj
+            [
+              ("req_size", Obs.Json.Int p.req_size);
+              ("loss", Obs.Json.Float loss);
+              ("goodput_gbps", Obs.Json.Float p.goodput_gbps);
+              ("retransmits", Obs.Json.Int p.retransmits);
+            ];
+        ]
+    else
+      Printf.printf "%d-byte requests: %.1f Gbps (%d retransmissions)\n" req_size
+        p.goodput_gbps p.retransmits
   in
   let req_size =
     Arg.(value & opt int (8 * 1024 * 1024) & info [ "size" ] ~docv:"BYTES" ~doc:"Request size.")
@@ -91,17 +137,35 @@ let bandwidth_cmd =
   in
   Cmd.v
     (Cmd.info "bandwidth" ~doc:"Figure 6 / Table 4: large-RPC goodput over 100 Gbps")
-    Term.(const run $ req_size $ credits $ loss $ requests)
+    Term.(const run $ req_size $ credits $ loss $ requests $ json_arg)
 
 (* incast *)
+let incast_row (r : Experiments.Exp_incast.row) =
+  Obs.Json.Obj
+    [
+      ("degree", Obs.Json.Int r.degree);
+      ("cc", Obs.Json.Bool r.cc);
+      ("total_gbps", Obs.Json.Float r.total_gbps);
+      ("rtt_p50_us", Obs.Json.Float r.rtt_p50_us);
+      ("rtt_p99_us", Obs.Json.Float r.rtt_p99_us);
+      ("switch_buffer_peak_bytes", Obs.Json.Int r.switch_buffer_peak_bytes);
+      ("retransmits", Obs.Json.Int r.retransmits);
+    ]
+
 let incast_cmd =
-  let run degree credits cc dcqcn measure_ms =
+  let run degree credits cc dcqcn measure_ms json =
     let algo = if dcqcn then Erpc.Config.Dcqcn else Erpc.Config.Timely in
     let r = Experiments.Exp_incast.run ~credits ~algo ~degree ~cc ~measure_ms () in
-    Printf.printf "%d-way incast (cc=%b%s): %.1f Gbps, RTT p50=%.0f us p99=%.0f us\n" r.degree
-      r.cc
-      (if dcqcn then ", DCQCN" else "")
-      r.total_gbps r.rtt_p50_us r.rtt_p99_us
+    if json then print_bench_json ~benchmark:"incast" ~unit:"Gbps" [ incast_row r ]
+    else
+      Printf.printf
+        "%d-way incast (cc=%b%s): %.1f Gbps, RTT p50=%.0f us p99=%.0f us, buffer peak %d \
+         kB, %d retransmits\n"
+        r.degree r.cc
+        (if dcqcn then ", DCQCN" else "")
+        r.total_gbps r.rtt_p50_us r.rtt_p99_us
+        (r.switch_buffer_peak_bytes / 1024)
+        r.retransmits
   in
   let degree = Arg.(value & opt int 20 & info [ "degree" ] ~docv:"N" ~doc:"Incast degree.") in
   let credits =
@@ -116,7 +180,7 @@ let incast_cmd =
   in
   Cmd.v
     (Cmd.info "incast" ~doc:"Table 5: incast congestion control")
-    Term.(const run $ degree $ credits $ cc $ dcqcn $ measure)
+    Term.(const run $ degree $ credits $ cc $ dcqcn $ measure $ json_arg)
 
 (* scalability *)
 let scalability_cmd =
@@ -190,6 +254,131 @@ let chaos_cmd =
     (Cmd.info "chaos" ~doc:"Fault-injection chaos suite: invariants under seeded fault schedules")
     Term.(const run $ seeds $ events $ requests $ verbose)
 
+(* anatomy *)
+let anatomy_cmd =
+  let run samples req_size seed json =
+    let r = Experiments.Exp_anatomy.run ~seed ~samples ~req_size () in
+    if json then
+      print_bench_json ~benchmark:"anatomy" ~unit:"ns"
+        (List.map
+           (fun (b : Obs.Anatomy.breakdown) ->
+             Obs.Json.Obj
+               (("req", Obs.Json.Int b.req)
+               :: ("total_ns", Obs.Json.Int b.total_ns)
+               :: List.map
+                    (fun (label, v) -> (label, Obs.Json.Int v))
+                    (Obs.Anatomy.components b)))
+           r.breakdowns)
+    else Format.printf "%a" Obs.Anatomy.pp_table r.breakdowns
+  in
+  let samples =
+    Arg.(value & opt int 32 & info [ "samples" ] ~docv:"N" ~doc:"Sequential RPCs to sample.")
+  in
+  let req_size =
+    Arg.(value & opt int 32 & info [ "size" ] ~docv:"BYTES" ~doc:"Request size.")
+  in
+  Cmd.v
+    (Cmd.info "anatomy"
+       ~doc:"Latency anatomy: decompose quiet-network RPC latency into components")
+    Term.(const run $ samples $ req_size $ seed_arg $ json_arg)
+
+(* trace *)
+let trace_cmd =
+  let run exp out capacity seed degree warmup_ms measure_ms =
+    let tr = Obs.Trace.create ~capacity () in
+    (match exp with
+    | `Incast ->
+        let r =
+          Experiments.Exp_incast.run ~seed ~trace:tr ~degree ~warmup_ms ~measure_ms
+            ~cc:true ()
+        in
+        Printf.printf "incast degree=%d: %.1f Gbps, buffer peak %d kB, %d retransmits\n"
+          r.degree r.total_gbps
+          (r.switch_buffer_peak_bytes / 1024)
+          r.retransmits
+    | `Rate ->
+        let c = Transport.Cluster.cx4 ~nodes:11 () in
+        let r =
+          Experiments.Exp_small_rate.run ~seed ~trace:tr ~cluster:c ~batch:3
+            ~measure_ms ()
+        in
+        Printf.printf "rate: %.2f Mrps/thread\n" r.per_thread_mrps
+    | `Bandwidth ->
+        let p =
+          Experiments.Exp_bandwidth.erpc_goodput ~seed ~trace:tr ~requests:4
+            ~req_size:(1024 * 1024) ()
+        in
+        Printf.printf "bandwidth: %.1f Gbps\n" p.goodput_gbps
+    | `Anatomy ->
+        let r = Experiments.Exp_anatomy.run ~seed ~trace:tr () in
+        Format.printf "%a" Obs.Anatomy.pp_table r.breakdowns);
+    Obs.Trace.write_chrome_file tr out;
+    let contents =
+      let ic = open_in_bin out in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    if not (Obs.Json.validate contents) then begin
+      Printf.eprintf "error: %s is not well-formed JSON\n" out;
+      exit 1
+    end;
+    let by_cat = Hashtbl.create 16 in
+    Obs.Trace.iter tr (fun e ->
+        Hashtbl.replace by_cat e.cat
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_cat e.cat)));
+    let cats = Hashtbl.fold (fun c n acc -> (c, n) :: acc) by_cat [] in
+    List.iter
+      (fun (c, n) -> Printf.printf "  %-8s %d events\n" c n)
+      (List.sort compare cats);
+    Printf.printf "wrote %s: %d events (%d evicted), valid JSON\n" out (Obs.Trace.length tr)
+      (Obs.Trace.dropped tr)
+  in
+  let exp_conv =
+    let parse = function
+      | "incast" -> Ok `Incast
+      | "rate" -> Ok `Rate
+      | "bandwidth" -> Ok `Bandwidth
+      | "anatomy" -> Ok `Anatomy
+      | s -> Error (`Msg (Printf.sprintf "unknown experiment %S (incast|rate|bandwidth|anatomy)" s))
+    in
+    let print fmt e =
+      Format.pp_print_string fmt
+        (match e with
+        | `Incast -> "incast"
+        | `Rate -> "rate"
+        | `Bandwidth -> "bandwidth"
+        | `Anatomy -> "anatomy")
+    in
+    Arg.conv (parse, print)
+  in
+  let exp =
+    Arg.(value & opt exp_conv `Incast & info [ "exp" ] ~docv:"NAME" ~doc:"Experiment to trace.")
+  in
+  let out =
+    Arg.(value & opt string "trace.json" & info [ "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "capacity" ] ~docv:"N" ~doc:"Trace ring capacity (events).")
+  in
+  let degree =
+    Arg.(value & opt int 10 & info [ "degree" ] ~docv:"N" ~doc:"Incast degree.")
+  in
+  let warmup =
+    Arg.(value & opt float 5.0 & info [ "warmup-ms" ] ~docv:"MS" ~doc:"Warmup window.")
+  in
+  let measure =
+    Arg.(value & opt float 5.0 & info [ "measure-ms" ] ~docv:"MS" ~doc:"Measured window.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run an experiment with event tracing on and write a Chrome/Perfetto trace")
+    Term.(const run $ exp $ out $ capacity $ seed_arg $ degree $ warmup $ measure)
+
 (* rdma-scalability *)
 let rdma_cmd =
   let run connections =
@@ -217,6 +406,8 @@ let () =
             rate_cmd;
             bandwidth_cmd;
             incast_cmd;
+            anatomy_cmd;
+            trace_cmd;
             scalability_cmd;
             raft_cmd;
             masstree_cmd;

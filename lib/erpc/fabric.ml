@@ -11,8 +11,11 @@ type t = {
   mutable restart_watchers : (int -> unit) list;
 }
 
-let create ?(seed = 42L) ?config ?cost cluster =
+let create ?(seed = 42L) ?config ?cost ?trace cluster =
   let engine = Sim.Engine.create ~seed () in
+  (* The trace must be installed before any component is built: ports, NICs
+     and Rpcs cache [Engine.trace] at creation time. *)
+  (match trace with Some tr -> Sim.Engine.set_trace engine tr | None -> ());
   let net = Transport.Cluster.build engine cluster in
   let cfg = match config with Some c -> c | None -> Config.of_cluster cluster in
   let cost = match cost with Some c -> c | None -> Cost_model.for_cluster cluster in

@@ -11,7 +11,15 @@
 type t
 
 val create :
-  ?seed:int64 -> ?config:Config.t -> ?cost:Cost_model.t -> Transport.Cluster.t -> t
+  ?seed:int64 ->
+  ?config:Config.t ->
+  ?cost:Cost_model.t ->
+  ?trace:Obs.Trace.t ->
+  Transport.Cluster.t ->
+  t
+(** [?trace] installs an event trace on the engine before the network is
+    built, so every component's instrumentation hooks are live. Without it
+    the engine keeps [Obs.Trace.disabled] and hooks are branch-only. *)
 
 val engine : t -> Sim.Engine.t
 val cluster : t -> Transport.Cluster.t

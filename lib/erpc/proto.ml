@@ -35,9 +35,12 @@ type t = {
   mutable n_sessions : int;
   txq : sslot Queue.t;
   retxq : sslot Queue.t;
+  trace : Obs.Trace.t;
+  pid : int;
+  tid : int;  (* the owning endpoint's thread track *)
 }
 
-let create ~env ~engine ~host ~cfg ~cost ~transport ~stats =
+let create ~env ~engine ~host ~cfg ~cost ~transport ~stats ~tid =
   {
     env;
     engine;
@@ -50,7 +53,48 @@ let create ~env ~engine ~host ~cfg ~cost ~transport ~stats =
     n_sessions = 0;
     txq = Queue.create ();
     retxq = Queue.create ();
+    trace = Sim.Engine.trace engine;
+    pid = Obs.Trace.host_pid host;
+    tid;
   }
+
+(* {2 Trace hooks (observe-only; call sites guard on [Obs.Trace.enabled])} *)
+
+(* Packet-kind codes carried in "pkt info" events; must match
+   [Obs.Anatomy.kind_req]/[kind_resp]. *)
+let pkt_kind_code = function
+  | Pkthdr.Req -> 0
+  | Pkthdr.Resp -> 1
+  | Pkthdr.Cr -> 2
+  | Pkthdr.Rfr -> 3
+
+(* Stamp an outgoing packet with a trace id and emit its description once;
+   NIC, port and delivery events reference only the id. [ssn] is the
+   sender's local session number, [hdr.dest_session] the receiver's. *)
+let tag_pkt t ~ssn pkt =
+  match pkt.Netsim.Packet.body with
+  | Wire.Pkt { hdr; _ } ->
+      let id = Obs.Trace.fresh_id t.trace in
+      pkt.Netsim.Packet.trace_id <- id;
+      Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"pkt"
+        ~name:"info" ~pid:t.pid ~tid:t.tid
+        [
+          ("id", Obs.Trace.I id);
+          ("kind", Obs.Trace.I (pkt_kind_code hdr.Pkthdr.pkt_type));
+          ("num", Obs.Trace.I hdr.Pkthdr.pkt_num);
+          ("req", Obs.Trace.I hdr.Pkthdr.req_num);
+          ("src", Obs.Trace.I t.host);
+          ("dst", Obs.Trace.I pkt.Netsim.Packet.dst);
+          ("ssn", Obs.Trace.I ssn);
+          ("dsn", Obs.Trace.I hdr.Pkthdr.dest_session);
+          ("size", Obs.Trace.I pkt.Netsim.Packet.size_bytes);
+        ]
+  | _ -> ()
+
+let trace_sslot t ~name ~sn ~req extra =
+  Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"sslot" ~name
+    ~pid:t.pid ~tid:t.tid
+    (("sn", Obs.Trace.I sn) :: ("req", Obs.Trace.I req) :: extra)
 
 let disarm_rto slot =
   match slot.rto with Some timer -> Sim.Timer.disarm timer | None -> ()
@@ -95,6 +139,8 @@ let fail_pending_requests sess err =
    used again. *)
 let reset_session t sess =
   t.stats.Rpc_stats.session_resets <- t.stats.Rpc_stats.session_resets + 1;
+  if Obs.Trace.enabled t.trace then
+    trace_sslot t ~name:"session_reset" ~sn:sess.sn ~req:(-1) [];
   sess.state <- Error "peer unreachable";
   fail_pending_requests sess Err.Peer_unreachable
 
@@ -192,6 +238,7 @@ and send_tx_item t slot args cli =
   let is_retx = k < cli.max_tx && k < cli.n_req_pkts in
   cli.num_tx <- k + 1;
   if cli.num_tx > cli.max_tx then cli.max_tx <- cli.num_tx;
+  if Obs.Trace.enabled t.trace then tag_pkt t ~ssn:sess.sn pkt;
   t.env.transmit slot pkt ~wire_bytes ~tx_item:k ~is_retx
 
 (* {2 Retransmission (go-back-N, §5.3)} *)
@@ -204,6 +251,9 @@ and arm_rto t slot =
         let timer =
           Sim.Timer.create t.engine ~callback:(fun () ->
               if slot.busy && t.env.alive () then begin
+                if Obs.Trace.enabled t.trace then
+                  trace_sslot t ~name:"rto_fire" ~sn:slot.session.sn
+                    ~req:slot.req_num [];
                 slot.needs_retx <- true;
                 Queue.add slot t.retxq;
                 t.env.wake ()
@@ -235,6 +285,9 @@ and do_retransmit t slot =
           t.stats.Rpc_stats.retransmits <- t.stats.Rpc_stats.retransmits + 1;
           cli.retransmits <- cli.retransmits + 1;
           sess.retransmits <- sess.retransmits + 1;
+          if Obs.Trace.enabled t.trace then
+            trace_sslot t ~name:"retx" ~sn:sess.sn ~req:slot.req_num
+              [ ("consec", Obs.Trace.I cli.consec_retx) ];
           (* Roll back wire state and reclaim credits. *)
           sess.credits <- sess.credits + (cli.num_tx - cli.num_rx);
           cli.num_tx <- cli.num_rx;
@@ -248,6 +301,10 @@ and do_retransmit t slot =
 (* {2 RX demultiplexing} *)
 
 and rx_pkt t pkt =
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"pkt" ~name:"rx"
+      ~pid:t.pid ~tid:t.tid
+      [ ("id", Obs.Trace.I pkt.Netsim.Packet.trace_id) ];
   match pkt.Netsim.Packet.body with
   | Wire.Pkt _ when not (Wire.verify pkt) ->
       (* Failed wire checksum: the packet was corrupted in flight. Drop it;
@@ -363,6 +420,8 @@ and complete_request t slot args =
   let sess = slot.session in
   disarm_rto slot;
   t.stats.Rpc_stats.completed <- t.stats.Rpc_stats.completed + 1;
+  if Obs.Trace.enabled t.trace then
+    trace_sslot t ~name:"req_done" ~sn:sess.sn ~req:slot.req_num [];
   slot.busy <- false;
   slot.args <- None;
   Msgbuf.return_to_app args.req;
@@ -402,6 +461,7 @@ and send_server_pkt t sess slot ~pkt_type ~pkt_num ~msg_size ~payload ~req_type 
   (match pkt_type with
   | Pkthdr.Cr -> t.env.ch t.cost.tx_ctrl_pkt
   | _ -> t.env.ch t.cost.tx_data_pkt);
+  if Obs.Trace.enabled t.trace then tag_pkt t ~ssn:sess.sn pkt;
   t.env.post pkt
 
 and send_cr t sess slot ~pkt_num ~req_type ~ecn_echo =
@@ -521,6 +581,8 @@ and start_request t slot args =
   slot.busy <- true;
   slot.args <- Some args;
   slot.issue_time <- Sim.Engine.now t.engine;
+  if Obs.Trace.enabled t.trace then
+    trace_sslot t ~name:"req_start" ~sn:sess.sn ~req:slot.req_num [];
   let cli = Session.client_info slot ~credits:sess.credit_limit in
   (* Completion is blocked while a retransmitted copy is wheeled, so a new
      request can only start once no rate-limiter reference to the previous
@@ -542,6 +604,8 @@ and start_request t slot args =
 let enqueue_response t sess slot srv resp =
   srv.handler_running <- false;
   srv.handler_done <- true;
+  if Obs.Trace.enabled t.trace then
+    trace_sslot t ~name:"srv_resp" ~sn:sess.sn ~req:slot.req_num [];
   if Msgbuf.owner resp = Msgbuf.Owned_by_app then Msgbuf.take_for_erpc resp;
   srv.resp_buf <- Some resp;
   send_resp_pkt t sess slot ~pkt_num:0 ~ecn_echo:srv.ecn_pending

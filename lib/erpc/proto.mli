@@ -53,7 +53,10 @@ val create :
   cost:Cost_model.t ->
   transport:Transport.Iface.t ->
   stats:Rpc_stats.t ->
+  tid:int ->
   t
+(** [tid] is the owning endpoint's trace thread track (from
+    [Obs.Trace.register_track]; 0 when tracing is disabled). *)
 
 (** {2 Datapath} *)
 

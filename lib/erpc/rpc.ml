@@ -23,6 +23,9 @@ type t = {
   mutable batch_ts : Sim.Time.t;
   stats_ : Rpc_stats.t;
   mutable rtt_probe : (int -> unit) option;
+  trace : Obs.Trace.t;
+  pid : int;
+  tid : int;  (* this endpoint's thread track *)
 }
 
 let id t = t.rpc_id
@@ -58,7 +61,8 @@ and wake t = if not (dead t) then schedule_activation t
 and activate t =
   t.loop_scheduled <- false;
   if not (dead t) then begin
-    t.batch_ts <- Sim.Engine.now t.engine;
+    let act_start = Sim.Engine.now t.engine in
+    t.batch_ts <- act_start;
     ch t t.cost.loop_overhead;
     if t.cfg.opts.congestion_control && t.cfg.opts.batched_timestamps then
       ch t (2 * t.cost.rdtsc) (* one timestamp per RX batch, one per TX batch *);
@@ -89,7 +93,14 @@ and activate t =
       Transport.Iface.rx_ring_depth t.transport_ > 0
       || Proto.has_pending_tx t.proto
       || not (Queue.is_empty t.bgq)
-    then schedule_activation t
+    then schedule_activation t;
+    if Obs.Trace.enabled t.trace then
+      (* One span per event-loop activation, spanning the CPU time this
+         activation charged to the dispatch timeline. *)
+      Obs.Trace.complete t.trace ~ts:act_start
+        ~dur:(max 0 (Sim.Time.sub (Sim.Cpu.next_free t.cpu_) act_start))
+        ~cat:"rpc" ~name:"activate" ~pid:t.pid ~tid:t.tid
+        [ ("rx", Obs.Trace.I n_rx) ]
   end
 
 (* {2 Timestamps and congestion control} *)
@@ -115,7 +126,11 @@ and cc_update t sess ~sample_rtt_ns ~marked =
         else begin
           ch t t.cost.timely_update;
           Cc.on_sample controller ~rtt_ns:sample_rtt_ns ~marked
-            ~now_ns:(Sim.Engine.now t.engine)
+            ~now_ns:(Sim.Engine.now t.engine);
+          if Obs.Trace.enabled t.trace then
+            Obs.Trace.counter t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"cc"
+              ~name:(Printf.sprintf "cc_rate_sn%d" sess.sn) ~pid:t.pid
+              [ ("gbps", Obs.Trace.F (Cc.rate_bps controller /. 1e9)) ]
         end
 
 (* Post a packet to the transport at the time the dispatch thread's charged
@@ -154,6 +169,14 @@ and transmit_cc t slot pkt ~wire_bytes ~tx_item ~is_retx =
           in
           Wheel.insert wheel ~now ~at:ts
             { we_slot = slot; we_req_num = slot.req_num; we_item = tx_item; we_pkt = pkt };
+          if Obs.Trace.enabled t.trace then
+            Obs.Trace.instant t.trace ~ts:now ~cat:"wheel" ~name:"insert"
+              ~pid:t.pid ~tid:t.tid
+              [
+                ("id", Obs.Trace.I pkt.Netsim.Packet.trace_id);
+                ("at", Obs.Trace.I ts);
+                ("depth", Obs.Trace.I (Wheel.pending wheel));
+              ];
           (match slot.cli with
           | Some c ->
               c.wheel_refs <- c.wheel_refs + 1;
@@ -167,6 +190,10 @@ and transmit_cc t slot pkt ~wire_bytes ~tx_item ~is_retx =
 
 and wheel_fire t entry =
   ch t t.cost.wheel_poll_pkt;
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"wheel"
+      ~name:"fire" ~pid:t.pid ~tid:t.tid
+      [ ("id", Obs.Trace.I entry.we_pkt.Netsim.Packet.trace_id) ];
   let slot = entry.we_slot in
   (* The slot's wheel occupancy drains regardless of whether the entry is
      still current; only current entries are transmitted. *)
@@ -221,11 +248,25 @@ and invoke_handler t sess slot srv req_type =
       | Nexus.Dispatch ->
           handle.Req_handle.charge_fn <- (fun ns -> ch t ns);
           ch t t.cost.handler_dispatch;
-          handler_fn handle
+          if Obs.Trace.enabled t.trace then begin
+            (* Span over the CPU time the handler charges to the dispatch
+               timeline, placed where that work begins. *)
+            let h_start = Sim.Cpu.next_free t.cpu_ in
+            handler_fn handle;
+            Obs.Trace.complete t.trace ~ts:h_start
+              ~dur:(max 0 (Sim.Time.sub (Sim.Cpu.next_free t.cpu_) h_start))
+              ~cat:"rpc" ~name:"handler" ~pid:t.pid ~tid:t.tid
+              [ ("type", Obs.Trace.I req_type) ]
+          end
+          else handler_fn handle
       | Nexus.Worker ->
           (* Hand off to a background worker thread; the response comes
              back through the background queue (§3.2). *)
           ch t (t.cost.worker_handoff / 2);
+          if Obs.Trace.enabled t.trace then
+            Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"rpc"
+              ~name:"worker_dispatch" ~pid:t.pid ~tid:t.tid
+              [ ("type", Obs.Trace.I req_type) ];
           Nexus.submit_worker t.nexus_ (fun wcpu ->
               ignore
                 (Sim.Cpu.charge wcpu (Cost_model.scaled t.cost (t.cost.worker_handoff / 2)));
@@ -235,6 +276,10 @@ and invoke_handler t sess slot srv req_type =
                 (fun _h resp ->
                   let at = Sim.Cpu.next_free wcpu in
                   Sim.Engine.schedule t.engine at (fun () ->
+                      if Obs.Trace.enabled t.trace then
+                        Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine)
+                          ~cat:"rpc" ~name:"worker_done" ~pid:t.pid ~tid:t.tid
+                          [ ("type", Obs.Trace.I req_type) ];
                       Queue.add
                         (fun () ->
                           ch t (t.cost.worker_handoff / 2);
@@ -260,10 +305,18 @@ let check_session_budget t =
          (Proto.n_sessions t.proto + 1) t.cfg.session_credits rq)
 
 let make_cc t ~sn =
-  if t.cfg.opts.congestion_control then
-    Some
-      (Cc.create ~phase:((t.host_ * 7) + sn) t.cfg.cc
-         ~link_gbps:(Fabric.cluster (Nexus.fabric t.nexus_)).link_gbps)
+  if t.cfg.opts.congestion_control then begin
+    let controller =
+      Cc.create ~phase:((t.host_ * 7) + sn) t.cfg.cc
+        ~link_gbps:(Fabric.cluster (Nexus.fabric t.nexus_)).link_gbps
+    in
+    Obs.Metrics.gauge
+      (Sim.Engine.metrics t.engine)
+      ~name:"cc.rate_gbps"
+      ~labels:[ ("host", string_of_int t.host_); ("sn", string_of_int sn) ]
+      (fun () -> Cc.rate_bps controller /. 1e9);
+    Some controller
+  end
   else None
 
 let create_session t ~remote_host ~remote_rpc_id ?(on_connect = fun _ -> ()) () =
@@ -423,8 +476,12 @@ let create nexus_ ~rpc_id =
   in
   let stats_ = Rpc_stats.create () in
   let cost = Fabric.cost fabric in
+  let trace = Sim.Engine.trace engine in
+  let pid = Obs.Trace.host_pid host_ in
+  Obs.Trace.register_process trace ~pid (Printf.sprintf "host%d" host_);
+  let tid = Obs.Trace.register_track trace ~pid (Printf.sprintf "rpc%d" rpc_id) in
   let proto =
-    Proto.create ~env ~engine ~host:host_ ~cfg ~cost ~transport:transport_ ~stats:stats_
+    Proto.create ~env ~engine ~host:host_ ~cfg ~cost ~transport:transport_ ~stats:stats_ ~tid
   in
   let t =
     {
@@ -434,9 +491,28 @@ let create nexus_ ~rpc_id =
       loop_scheduled = false;
       batch_ts = Sim.Time.zero;
       rtt_probe = None;
+      trace;
+      pid;
+      tid;
     }
   in
   self := Some t;
+  let m = Sim.Engine.metrics engine in
+  let labels = [ ("host", string_of_int host_); ("rpc", string_of_int rpc_id) ] in
+  Obs.Metrics.counter m ~name:"rpc.tx_pkts" ~labels (fun () -> stats_.Rpc_stats.tx_pkts);
+  Obs.Metrics.counter m ~name:"rpc.rx_pkts" ~labels (fun () -> stats_.Rpc_stats.rx_pkts);
+  Obs.Metrics.counter m ~name:"rpc.rx_corrupt" ~labels (fun () -> stats_.Rpc_stats.rx_corrupt);
+  Obs.Metrics.counter m ~name:"rpc.retransmits" ~labels (fun () -> stats_.Rpc_stats.retransmits);
+  Obs.Metrics.counter m ~name:"rpc.retx_warnings" ~labels (fun () ->
+      stats_.Rpc_stats.retx_warnings);
+  Obs.Metrics.counter m ~name:"rpc.session_resets" ~labels (fun () ->
+      stats_.Rpc_stats.session_resets);
+  Obs.Metrics.counter m ~name:"rpc.completed" ~labels (fun () -> stats_.Rpc_stats.completed);
+  Obs.Metrics.counter m ~name:"rpc.handled" ~labels (fun () -> stats_.Rpc_stats.handled);
+  Obs.Metrics.counter m ~name:"rpc.wheel_inserts" ~labels (fun () ->
+      stats_.Rpc_stats.wheel_inserts);
+  Obs.Metrics.gauge m ~name:"rpc.wheel_depth" ~labels (fun () ->
+      match t.wheel with Some w -> float_of_int (Wheel.pending w) | None -> 0.);
   Nexus.register_rx nexus_ ~rpc_id ~rx:(fun pkt -> Transport.Iface.receive t.transport_ pkt);
   Transport.Iface.set_rx_notify t.transport_ (fun () -> wake t);
   Fabric.register_sm fabric ~host:host_ ~rpc_id (fun msg ->

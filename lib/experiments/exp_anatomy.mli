@@ -1,0 +1,22 @@
+(** RPC latency anatomy on a quiet network (Table 3's latency breakdown).
+
+    Two CX5 hosts, one 32 B echo RPC outstanding at a time: every sampled
+    latency decomposes into client/NIC/wire/switch/server components
+    against an idle fabric, so the wire component matches the cost-model
+    prediction exactly and the switch-queue residual is zero. *)
+
+type result = {
+  breakdowns : Obs.Anatomy.breakdown list;
+  trace : Obs.Trace.t;  (** the full event trace, exportable to Chrome JSON *)
+  predicted_wire_ns : int -> int;
+      (** one-direction fabric time for a packet of the given wire size *)
+}
+
+(** [predictor cluster] is the pure one-direction fabric-time model for a
+    single-switch cluster: serialization at the link rate on both the host
+    uplink and the switch downlink, two cable hops, and the switch's
+    cut-through forwarding latency. *)
+val predictor : Transport.Cluster.t -> int -> int
+
+val run :
+  ?seed:int64 -> ?trace:Obs.Trace.t -> ?samples:int -> ?req_size:int -> unit -> result

@@ -4,11 +4,11 @@ type point = {
   retransmits : int;
 }
 
-let erpc_goodput ?(credits = 32) ?(requests = 8) ?(loss = 0.) ?seed ~req_size () =
+let erpc_goodput ?(credits = 32) ?(requests = 8) ?(loss = 0.) ?seed ?trace ~req_size () =
   let cluster = Transport.Cluster.cx5_ib100 () in
   let config = Erpc.Config.of_cluster ~credits cluster in
   let d =
-    Harness.deploy ?seed ~config cluster ~threads_per_host:1
+    Harness.deploy ?seed ?trace ~config cluster ~threads_per_host:1
       ~register:(Harness.register_echo ~resp_size:32)
   in
   Netsim.Network.set_loss_prob (Erpc.Fabric.net d.fabric) loss;

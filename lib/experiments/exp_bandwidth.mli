@@ -15,7 +15,14 @@ type point = {
 (** eRPC goodput for one request size. [requests] round trips are timed
     after one warmup request. *)
 val erpc_goodput :
-  ?credits:int -> ?requests:int -> ?loss:float -> ?seed:int64 -> req_size:int -> unit -> point
+  ?credits:int ->
+  ?requests:int ->
+  ?loss:float ->
+  ?seed:int64 ->
+  ?trace:Obs.Trace.t ->
+  req_size:int ->
+  unit ->
+  point
 
 (** RDMA-write goodput for one request size (one outstanding write). *)
 val rdma_write_goodput : ?requests:int -> req_size:int -> unit -> point

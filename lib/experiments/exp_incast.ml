@@ -4,11 +4,13 @@ type row = {
   total_gbps : float;
   rtt_p50_us : float;
   rtt_p99_us : float;
+  switch_buffer_peak_bytes : int;
+  retransmits : int;
 }
 
 let victim = 0
 
-let setup ?seed ?(credits = 32) ?(algo = Erpc.Config.Timely) ~degree ~cc () =
+let setup ?seed ?trace ?(credits = 32) ?(algo = Erpc.Config.Timely) ~degree ~cc () =
   (* Enough hosts for the victim plus [degree] clients; the CX4 profile
      spreads them over 5 ToRs, so most flows cross the spine and converge
      on the victim's ToR downlink. *)
@@ -39,7 +41,7 @@ let setup ?seed ?(credits = 32) ?(algo = Erpc.Config.Timely) ~degree ~cc () =
     }
   in
   let d =
-    Harness.deploy ?seed ~config cluster ~threads_per_host:1
+    Harness.deploy ?seed ?trace ~config cluster ~threads_per_host:1
       ~register:(fun nx ->
         Harness.register_echo ~resp_size:32 nx;
         (* Full-size echo used by the background latency-sensitive RPCs. *)
@@ -47,8 +49,9 @@ let setup ?seed ?(credits = 32) ?(algo = Erpc.Config.Timely) ~degree ~cc () =
   in
   d
 
-let run ?seed ?credits ?algo ?(warmup_ms = 20.0) ?(measure_ms = 40.0) ~degree ~cc () =
-  let d = setup ?seed ?credits ?algo ~degree ~cc () in
+let run ?seed ?trace ?credits ?algo ?(warmup_ms = 20.0) ?(measure_ms = 40.0) ~degree ~cc
+    () =
+  let d = setup ?seed ?trace ?credits ?algo ~degree ~cc () in
   let engine = Erpc.Fabric.engine d.fabric in
   let rng = Sim.Rng.split (Sim.Engine.rng engine) in
   let rtt_hist = Stats.Hist.create () in
@@ -69,12 +72,25 @@ let run ?seed ?credits ?algo ?(warmup_ms = 20.0) ?(measure_ms = 40.0) ~degree ~c
   let bytes0 = Netsim.Port.tx_bytes port in
   Harness.run_ms d measure_ms;
   let bytes1 = Netsim.Port.tx_bytes port in
+  (* Pull congestion evidence from the metrics registry: the deepest any
+     switch buffer pool got, and total client retransmissions. *)
+  let metrics = Sim.Engine.metrics engine in
+  let switch_buffer_peak_bytes =
+    int_of_float (Obs.Metrics.max_gauge metrics ~name:"switch.buffer_max")
+  in
+  let retransmits =
+    Obs.Metrics.fold_counters metrics ~name:"rpc.retransmits"
+      (fun acc _labels v -> acc + v)
+      0
+  in
   {
     degree;
     cc;
     total_gbps = float_of_int ((bytes1 - bytes0) * 8) /. (measure_ms *. 1e6);
     rtt_p50_us = float_of_int (Stats.Hist.median rtt_hist) /. 1e3;
     rtt_p99_us = float_of_int (Stats.Hist.percentile rtt_hist 99.) /. 1e3;
+    switch_buffer_peak_bytes;
+    retransmits;
   }
 
 let table5 ?measure_ms () =

@@ -15,10 +15,14 @@ type row = {
   total_gbps : float;  (** aggregate delivery rate at the victim *)
   rtt_p50_us : float;
   rtt_p99_us : float;
+  switch_buffer_peak_bytes : int;
+      (** deepest any switch buffer pool got, via the metrics registry *)
+  retransmits : int;  (** total client retransmissions across all Rpcs *)
 }
 
 val run :
   ?seed:int64 ->
+  ?trace:Obs.Trace.t ->
   ?credits:int ->
   ?algo:Erpc.Config.cc_algo ->
   ?warmup_ms:float ->
@@ -27,6 +31,8 @@ val run :
   cc:bool ->
   unit ->
   row
+(** [?trace] installs an event trace on the deployment's engine, capturing
+    packet/sslot/CC/switch-buffer events for the whole run. *)
 
 (** The six Table 5 rows: 20/50/100-way, cc and no-cc. *)
 val table5 : ?measure_ms:float -> unit -> row list

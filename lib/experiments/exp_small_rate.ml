@@ -4,10 +4,10 @@ type result = {
   retransmits : int;
 }
 
-let run ?seed ?config ?cost ?(window = 60) ?(warmup_ms = 1.0) ?(measure_ms = 4.0)
+let run ?seed ?config ?cost ?trace ?(window = 60) ?(warmup_ms = 1.0) ?(measure_ms = 4.0)
     ?(per_batch_cost_ns = 0) ~(cluster : Transport.Cluster.t) ~batch () =
   let d =
-    Harness.deploy ?seed ?config ?cost cluster ~threads_per_host:1
+    Harness.deploy ?seed ?config ?cost ?trace cluster ~threads_per_host:1
       ~register:(Harness.register_echo ~resp_size:32)
   in
   let n = cluster.num_hosts in
@@ -63,14 +63,15 @@ let fasst_cost (cluster : Transport.Cluster.t) =
     credit_logic = 2;
   }
 
-let run_fasst ?seed ?window ?warmup_ms ?measure_ms ~(cluster : Transport.Cluster.t) ~batch () =
+let run_fasst ?seed ?trace ?window ?warmup_ms ?measure_ms
+    ~(cluster : Transport.Cluster.t) ~batch () =
   let config =
     let base = Erpc.Config.of_cluster cluster in
     { base with opts = { base.opts with congestion_control = false } }
   in
   (* FaSST rings one doorbell per batch of B requests; the fixed cost
      amortizes with B, which is why its rate grows with batch size. *)
-  run ?seed ~config ~cost:(fasst_cost cluster) ?window ?warmup_ms ?measure_ms
+  run ?seed ~config ~cost:(fasst_cost cluster) ?trace ?window ?warmup_ms ?measure_ms
     ~per_batch_cost_ns:210 ~cluster ~batch ()
 
 let factor_analysis ?seed ?measure_ms () =

@@ -15,6 +15,7 @@ val run :
   ?seed:int64 ->
   ?config:Erpc.Config.t ->
   ?cost:Erpc.Cost_model.t ->
+  ?trace:Obs.Trace.t ->
   ?window:int ->
   ?warmup_ms:float ->
   ?measure_ms:float ->
@@ -29,6 +30,7 @@ val run :
     machinery, no CC hooks, no preallocation checks). *)
 val run_fasst :
   ?seed:int64 ->
+  ?trace:Obs.Trace.t ->
   ?window:int ->
   ?warmup_ms:float ->
   ?measure_ms:float ->

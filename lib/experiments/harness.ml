@@ -5,9 +5,9 @@ type deployment = {
   rpcs : Erpc.Rpc.t array array;
 }
 
-let deploy ?seed ?config ?cost ?(workers_per_host = 1) ?(register = fun _ -> ())
+let deploy ?seed ?config ?cost ?trace ?(workers_per_host = 1) ?(register = fun _ -> ())
     (cluster : Transport.Cluster.t) ~threads_per_host =
-  let fabric = Erpc.Fabric.create ?seed ?config ?cost cluster in
+  let fabric = Erpc.Fabric.create ?seed ?config ?cost ?trace cluster in
   let nexuses =
     Array.init cluster.num_hosts (fun host ->
         let nx = Erpc.Nexus.create fabric ~host ~num_workers:workers_per_host () in

@@ -15,6 +15,7 @@ val deploy :
   ?seed:int64 ->
   ?config:Erpc.Config.t ->
   ?cost:Erpc.Cost_model.t ->
+  ?trace:Obs.Trace.t ->
   ?workers_per_host:int ->
   ?register:(Erpc.Nexus.t -> unit) ->
   Transport.Cluster.t ->

@@ -1,23 +1,42 @@
-type t = { mutable entries : (int * string) list; mutable n : int }
+(* The fault trace is now a view over the unified Obs event log: fault
+   applications/reversions and harness checkpoints are instants in the
+   "faults" category, so a chaos run's fault timeline and its packet-level
+   trace share one buffer and one code path. The canonical [to_string]
+   rendering (one "<ns> <message>" line per entry) is unchanged, preserving
+   the byte-identical-trace determinism contract chaos reruns compare. *)
 
-let create () = { entries = []; n = 0 }
+type t = Obs.Trace.t
+
+(* Large enough that no chaos scenario evicts fault entries; eviction would
+   silently break byte-equality between runs of different lengths. *)
+let create ?(capacity = 1 lsl 16) () = Obs.Trace.create ~capacity ()
+
+let of_obs t = t
+let to_obs t = t
 
 let record t ~at_ns msg =
-  t.entries <- (at_ns, msg) :: t.entries;
-  t.n <- t.n + 1
+  Obs.Trace.instant t ~ts:at_ns ~cat:"faults" ~name:msg ~pid:0 ~tid:0 []
 
-let length t = t.n
-let entries t = List.rev t.entries
+let entries t =
+  List.filter_map
+    (fun (e : Obs.Trace.ev) ->
+      if e.cat = "faults" then Some (e.ts, e.name) else None)
+    (Obs.Trace.events t)
+
+let length t =
+  let n = ref 0 in
+  Obs.Trace.iter t (fun e -> if e.cat = "faults" then incr n);
+  !n
 
 let to_string t =
-  let buf = Buffer.create (64 * t.n) in
-  List.iter
-    (fun (at, msg) ->
-      Buffer.add_string buf (string_of_int at);
-      Buffer.add_char buf ' ';
-      Buffer.add_string buf msg;
-      Buffer.add_char buf '\n')
-    (entries t);
+  let buf = Buffer.create 1024 in
+  Obs.Trace.iter t (fun e ->
+      if e.cat = "faults" then begin
+        Buffer.add_string buf (string_of_int e.ts);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf e.name;
+        Buffer.add_char buf '\n'
+      end);
   Buffer.contents buf
 
 let pp fmt t =

@@ -1,18 +1,29 @@
-(** Append-only event trace with simulated-time stamps.
+(** Fault-event trace with simulated-time stamps — a "faults"-category view
+    over the unified {!Obs.Trace} event log.
 
     The determinism contract of the fault framework is expressed over
     traces: running the same schedule against the same seeded deployment
     must produce a byte-identical [to_string]. Both the {!Injector} (fault
     applications and reversions) and harnesses (request completions,
-    invariant checkpoints) write into the same trace. *)
+    invariant checkpoints) write into the same trace; because the type is
+    an {!Obs.Trace.t}, the same buffer can simultaneously collect packet,
+    sslot and CC events and export everything as one Chrome trace. *)
 
-type t
+type t = Obs.Trace.t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** An enabled event trace (default capacity 2^16 events). *)
+
+val of_obs : Obs.Trace.t -> t
+val to_obs : t -> Obs.Trace.t
+
 val record : t -> at_ns:int -> string -> unit
-val length : t -> int
+(** Record a fault event: an instant in category ["faults"]. *)
 
-(** Entries in recording order. *)
+val length : t -> int
+(** Number of fault entries (other categories are not counted). *)
+
+(** Fault entries in recording order. *)
 val entries : t -> (int * string) list
 
 (** Canonical one-entry-per-line rendering, used for byte equality. *)

@@ -73,6 +73,22 @@ let partitioned t src dst =
   && Hashtbl.mem t.partitions
        (tor_pair t.hosts.(src).tor_index t.hosts.(dst).tor_index)
 
+(* Observe-only delivery/drop events; tid 0 of the network pid is the
+   delivery track. *)
+let trace_drop t pkt reason =
+  let tr = Sim.Engine.trace t.engine in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.instant tr ~ts:(Sim.Engine.now t.engine) ~cat:"net" ~name:"drop"
+      ~pid:Obs.Trace.net_pid ~tid:0
+      [ ("id", Obs.Trace.I pkt.Packet.trace_id); ("reason", Obs.Trace.S reason) ]
+
+let trace_deliver t host_id pkt =
+  let tr = Sim.Engine.trace t.engine in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.instant tr ~ts:(Sim.Engine.now t.engine) ~cat:"net" ~name:"deliver"
+      ~pid:Obs.Trace.net_pid ~tid:0
+      [ ("id", Obs.Trace.I pkt.Packet.trace_id); ("dst", Obs.Trace.I host_id) ]
+
 (* Final-delivery fault pipeline. Order is fixed so that a given seed and
    fault schedule always consume the RNG identically: targeted drop, link
    state, partition, Bernoulli loss, corruption, then reorder/jitter delay
@@ -83,14 +99,21 @@ let deliver t host_id pkt =
   let n = t.delivery_count in
   if List.mem n t.armed_drops then begin
     t.armed_drops <- List.filter (fun m -> m <> n) t.armed_drops;
-    t.targeted_drops <- t.targeted_drops + 1
+    t.targeted_drops <- t.targeted_drops + 1;
+    trace_drop t pkt "targeted"
   end
-  else if not (t.link_up.(pkt.Packet.src) && t.link_up.(host_id)) then
-    t.link_drops <- t.link_drops + 1
-  else if partitioned t pkt.Packet.src host_id then
-    t.partition_drops <- t.partition_drops + 1
-  else if t.loss_prob > 0. && Sim.Rng.bool_with_prob t.rng t.loss_prob then
-    t.injected_losses <- t.injected_losses + 1
+  else if not (t.link_up.(pkt.Packet.src) && t.link_up.(host_id)) then begin
+    t.link_drops <- t.link_drops + 1;
+    trace_drop t pkt "link"
+  end
+  else if partitioned t pkt.Packet.src host_id then begin
+    t.partition_drops <- t.partition_drops + 1;
+    trace_drop t pkt "partition"
+  end
+  else if t.loss_prob > 0. && Sim.Rng.bool_with_prob t.rng t.loss_prob then begin
+    t.injected_losses <- t.injected_losses + 1;
+    trace_drop t pkt "loss"
+  end
   else begin
     if t.corrupt_prob > 0. && Sim.Rng.bool_with_prob t.rng t.corrupt_prob then begin
       t.corrupter pkt;
@@ -103,13 +126,21 @@ let deliver t host_id pkt =
       t.injected_reorders <- t.injected_reorders + 1;
       delay := !delay + 1 + Sim.Rng.int t.rng (max 1 t.reorder_max_ns)
     end;
-    if !delay = 0 then h.rx pkt
-    else Sim.Engine.schedule_after t.engine !delay (fun () -> h.rx pkt);
+    if !delay = 0 then begin
+      trace_deliver t host_id pkt;
+      h.rx pkt
+    end
+    else
+      Sim.Engine.schedule_after t.engine !delay (fun () ->
+          trace_deliver t host_id pkt;
+          h.rx pkt);
     if t.dup_prob > 0. && Sim.Rng.bool_with_prob t.rng t.dup_prob then begin
       (* The duplicate trails the original by a hair, like a replayed
          frame arriving back-to-back. *)
       t.injected_dups <- t.injected_dups + 1;
-      Sim.Engine.schedule_after t.engine (!delay + 50) (fun () -> h.rx pkt)
+      Sim.Engine.schedule_after t.engine (!delay + 50) (fun () ->
+          trace_deliver t host_id pkt;
+          h.rx pkt)
     end
   end
 
@@ -260,7 +291,10 @@ let config t = t.cfg
 let attach t ~host ~rx = t.hosts.(host).rx <- rx
 
 let send t pkt =
-  if not t.link_up.(pkt.Packet.src) then t.link_drops <- t.link_drops + 1
+  if not t.link_up.(pkt.Packet.src) then begin
+    t.link_drops <- t.link_drops + 1;
+    trace_drop t pkt "link_tx"
+  end
   else begin
     pkt.Packet.sent_at <- Sim.Engine.now t.engine;
     ignore (Port.send t.hosts.(pkt.Packet.src).tx_port pkt)

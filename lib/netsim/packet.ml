@@ -12,6 +12,9 @@ type t = {
   mutable corrupted : bool;
       (* physical-layer bit errors outside the typed payload (header bits);
          receivers treat it as a checksum mismatch *)
+  mutable trace_id : int;
+      (* 0 = untraced; otherwise an Obs.Trace.fresh_id stamped by the
+         sender so per-layer trace events can be joined per packet *)
 }
 
 let make ~src ~dst ~size_bytes ~flow_hash body =
@@ -25,4 +28,5 @@ let make ~src ~dst ~size_bytes ~flow_hash body =
     sent_at = Sim.Time.zero;
     ecn = false;
     corrupted = false;
+    trace_id = 0;
   }

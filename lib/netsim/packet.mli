@@ -19,6 +19,10 @@ type t = {
       (** physical-layer bit errors that hit bits outside the typed payload
           (e.g. header fields); receivers must treat the packet as failing
           its wire checksum *)
+  mutable trace_id : int;
+      (** 0 = untraced; otherwise a trace-scoped id stamped by the sender so
+          NIC/port/delivery trace events can be joined back to the
+          protocol-level packet description *)
 }
 
 val make : src:int -> dst:int -> size_bytes:int -> flow_hash:int -> body -> t

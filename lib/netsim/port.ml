@@ -19,29 +19,58 @@ type t = {
   mutable dropped_bytes : int;
   mutable pause_events : int;
   mutable max_queued_bytes : int;
+  trace : Obs.Trace.t;
+  tid : int;  (* this port's thread track under the network pid *)
 }
 
 let create engine ~name ~rate_gbps ~extra_delay_ns ?pool ?ecn ?(lossless = false) ~sink () =
-  {
-    engine;
-    name;
-    rate_gbps;
-    extra_delay_ns;
-    pool;
-    ecn;
-    lossless;
-    rng = Sim.Rng.split (Sim.Engine.rng engine);
-    sink;
-    queue = Queue.create ();
-    queued_bytes = 0;
-    draining = false;
-    tx_packets = 0;
-    tx_bytes = 0;
-    dropped_packets = 0;
-    dropped_bytes = 0;
-    pause_events = 0;
-    max_queued_bytes = 0;
-  }
+  let trace = Sim.Engine.trace engine in
+  Obs.Trace.register_process trace ~pid:Obs.Trace.net_pid "network";
+  let tid = Obs.Trace.register_track trace ~pid:Obs.Trace.net_pid name in
+  let t =
+    {
+      engine;
+      name;
+      rate_gbps;
+      extra_delay_ns;
+      pool;
+      ecn;
+      lossless;
+      rng = Sim.Rng.split (Sim.Engine.rng engine);
+      sink;
+      queue = Queue.create ();
+      queued_bytes = 0;
+      draining = false;
+      tx_packets = 0;
+      tx_bytes = 0;
+      dropped_packets = 0;
+      dropped_bytes = 0;
+      pause_events = 0;
+      max_queued_bytes = 0;
+      trace;
+      tid;
+    }
+  in
+  let m = Sim.Engine.metrics engine in
+  let labels = [ ("port", name) ] in
+  Obs.Metrics.counter m ~name:"port.tx_pkts" ~labels (fun () -> t.tx_packets);
+  Obs.Metrics.counter m ~name:"port.dropped_pkts" ~labels (fun () -> t.dropped_packets);
+  Obs.Metrics.counter m ~name:"port.pause_events" ~labels (fun () -> t.pause_events);
+  Obs.Metrics.gauge m ~name:"port.queued_bytes" ~labels (fun () ->
+      float_of_int t.queued_bytes);
+  Obs.Metrics.gauge m ~name:"port.max_queued_bytes" ~labels (fun () ->
+      float_of_int t.max_queued_bytes);
+  t
+
+(* Queue-occupancy counter sample; rendered by Perfetto as a per-port area
+   chart (switch-buffer occupancy under incast, Table 5's "buffer"). *)
+let trace_queue t ts =
+  Obs.Trace.counter t.trace ~ts ~cat:"net" ~name:t.name ~pid:Obs.Trace.net_pid
+    [
+      ("queued_bytes", Obs.Trace.I t.queued_bytes);
+      ( "pool_used",
+        Obs.Trace.I (match t.pool with Some p -> Buffer_pool.used p | None -> 0) );
+    ]
 
 let serialization t pkt = Sim.Time.of_bytes_at_gbps pkt.Packet.size_bytes t.rate_gbps
 
@@ -55,6 +84,7 @@ let rec drain t =
           (match t.pool with Some pool -> Buffer_pool.release pool pkt.Packet.size_bytes | None -> ());
           t.tx_packets <- t.tx_packets + 1;
           t.tx_bytes <- t.tx_bytes + pkt.Packet.size_bytes;
+          if Obs.Trace.enabled t.trace then trace_queue t (Sim.Engine.now t.engine);
           Sim.Engine.schedule_after t.engine t.extra_delay_ns (fun () -> t.sink pkt);
           drain t)
 
@@ -70,6 +100,10 @@ let send t pkt =
              modeled as forced admission with the pause counted. Pause
              propagation (HOL blocking, deadlocks) is out of scope. *)
           t.pause_events <- t.pause_events + 1;
+          if Obs.Trace.enabled t.trace then
+            Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"net"
+              ~name:"pause" ~pid:Obs.Trace.net_pid ~tid:t.tid
+              [ ("id", Obs.Trace.I pkt.Packet.trace_id) ];
           Buffer_pool.admit ~force:true pool ~port_queued_bytes:t.queued_bytes ~size
         end
         else ok
@@ -93,6 +127,13 @@ let send t pkt =
     Queue.add pkt t.queue;
     t.queued_bytes <- t.queued_bytes + size;
     if t.queued_bytes > t.max_queued_bytes then t.max_queued_bytes <- t.queued_bytes;
+    if Obs.Trace.enabled t.trace then begin
+      let ts = Sim.Engine.now t.engine in
+      Obs.Trace.instant t.trace ~ts ~cat:"net" ~name:"enq"
+        ~pid:Obs.Trace.net_pid ~tid:t.tid
+        [ ("id", Obs.Trace.I pkt.Packet.trace_id); ("size", Obs.Trace.I size) ];
+      trace_queue t ts
+    end;
     if not t.draining then begin
       t.draining <- true;
       drain t
@@ -102,6 +143,14 @@ let send t pkt =
   else begin
     t.dropped_packets <- t.dropped_packets + 1;
     t.dropped_bytes <- t.dropped_bytes + size;
+    if Obs.Trace.enabled t.trace then
+      Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"net"
+        ~name:"drop" ~pid:Obs.Trace.net_pid ~tid:t.tid
+        [
+          ("id", Obs.Trace.I pkt.Packet.trace_id);
+          ("size", Obs.Trace.I size);
+          ("reason", Obs.Trace.S "buffer");
+        ];
     false
   end
 

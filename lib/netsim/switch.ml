@@ -9,15 +9,24 @@ type t = {
 }
 
 let create engine ~name ~latency_ns ~buffer_bytes ~alpha =
-  {
-    engine;
-    name;
-    latency_ns;
-    pool = Buffer_pool.create ~capacity_bytes:buffer_bytes ~alpha;
-    ports = [||];
-    num_ports = 0;
-    routes = Hashtbl.create 64;
-  }
+  let t =
+    {
+      engine;
+      name;
+      latency_ns;
+      pool = Buffer_pool.create ~capacity_bytes:buffer_bytes ~alpha;
+      ports = [||];
+      num_ports = 0;
+      routes = Hashtbl.create 64;
+    }
+  in
+  let m = Sim.Engine.metrics engine in
+  let labels = [ ("switch", name) ] in
+  Obs.Metrics.gauge m ~name:"switch.buffer_used" ~labels (fun () ->
+      float_of_int (Buffer_pool.used t.pool));
+  Obs.Metrics.gauge m ~name:"switch.buffer_max" ~labels (fun () ->
+      float_of_int (Buffer_pool.max_used t.pool));
+  t
 
 let name t = t.name
 let pool t = t.pool

@@ -37,6 +37,9 @@ type t = {
   mutable rx_packets : int;
   mutable tx_packets : int;
   mutable rx_dropped_no_desc : int;
+  trace : Obs.Trace.t;
+  pid : int;
+  tid : int;  (* the host's "nic" thread track *)
 }
 
 let on_network_rx t pkt =
@@ -48,33 +51,62 @@ let on_network_rx t pkt =
   let at = max (now + t.cfg.rx_latency_ns + jitter) t.rx_last_delivery in
   t.rx_last_delivery <- at;
   Sim.Engine.schedule t.engine at (fun () ->
-      if t.rq_available <= 0 then t.rx_dropped_no_desc <- t.rx_dropped_no_desc + 1
+      if t.rq_available <= 0 then begin
+        t.rx_dropped_no_desc <- t.rx_dropped_no_desc + 1;
+        if Obs.Trace.enabled t.trace then
+          Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"nic"
+            ~name:"rx_drop" ~pid:t.pid ~tid:t.tid
+            [
+              ("id", Obs.Trace.I pkt.Netsim.Packet.trace_id);
+              ("reason", Obs.Trace.S "no_desc");
+            ]
+      end
       else begin
         t.rq_available <- t.rq_available - 1;
         t.rx_packets <- t.rx_packets + 1;
+        if Obs.Trace.enabled t.trace then
+          Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"nic"
+            ~name:"rx" ~pid:t.pid ~tid:t.tid
+            [ ("id", Obs.Trace.I pkt.Netsim.Packet.trace_id) ];
         let was_empty = Queue.is_empty t.rx_ring in
         Queue.add pkt t.rx_ring;
         if was_empty then t.rx_notify ()
       end)
 
 let create engine net ~host cfg =
-  {
-    engine;
-    net;
-    host;
-    cfg;
-    rng = Sim.Rng.split (Sim.Engine.rng engine);
-    rx_last_delivery = Sim.Time.zero;
-    tx_pending = 0;
-    tx_last_done = Sim.Time.zero;
-    rx_ring = Queue.create ();
-    rx_notify = (fun () -> ());
-    rq_available = cfg.rq_size;
-    replenish_partial = 0;
-    rx_packets = 0;
-    tx_packets = 0;
-    rx_dropped_no_desc = 0;
-  }
+  let trace = Sim.Engine.trace engine in
+  let pid = Obs.Trace.host_pid host in
+  Obs.Trace.register_process trace ~pid (Printf.sprintf "host%d" host);
+  let tid = Obs.Trace.register_track trace ~pid "nic" in
+  let t =
+    {
+      engine;
+      net;
+      host;
+      cfg;
+      rng = Sim.Rng.split (Sim.Engine.rng engine);
+      rx_last_delivery = Sim.Time.zero;
+      tx_pending = 0;
+      tx_last_done = Sim.Time.zero;
+      rx_ring = Queue.create ();
+      rx_notify = (fun () -> ());
+      rq_available = cfg.rq_size;
+      replenish_partial = 0;
+      rx_packets = 0;
+      tx_packets = 0;
+      rx_dropped_no_desc = 0;
+      trace;
+      pid;
+      tid;
+    }
+  in
+  let m = Sim.Engine.metrics engine in
+  let labels = [ ("host", string_of_int host) ] in
+  Obs.Metrics.counter m ~name:"nic.rx_pkts" ~labels (fun () -> t.rx_packets);
+  Obs.Metrics.counter m ~name:"nic.tx_pkts" ~labels (fun () -> t.tx_packets);
+  Obs.Metrics.counter m ~name:"nic.rx_dropped_no_desc" ~labels (fun () ->
+      t.rx_dropped_no_desc);
+  t
 
 let receive t pkt = on_network_rx t pkt
 
@@ -84,6 +116,10 @@ let config t = t.cfg
 let post_send t pkt =
   t.tx_pending <- t.tx_pending + 1;
   t.tx_packets <- t.tx_packets + 1;
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"nic" ~name:"tx"
+      ~pid:t.pid ~tid:t.tid
+      [ ("id", Obs.Trace.I pkt.Netsim.Packet.trace_id) ];
   let done_at = Sim.Time.add (Sim.Engine.now t.engine) t.cfg.tx_latency_ns in
   if done_at > t.tx_last_done then t.tx_last_done <- done_at;
   Sim.Engine.schedule_after t.engine t.cfg.tx_latency_ns (fun () ->

@@ -1,0 +1,195 @@
+(* RPC latency anatomy: decompose sampled end-to-end request latencies into
+   Table-3-style components by post-processing a trace.
+
+   Milestones joined per request (client pid/tid, session sn, req number):
+
+     T0 req_start        client sslot begins the request
+     N1 nic tx (req)     client posts the request packet to the NIC
+     A1 net enq (req)    packet admitted to the first fabric port
+     B1 net deliver      packet handed to the server host
+     R1 nic rx (req)     server NIC fills the RX descriptor
+     N2 nic tx (resp)    server posts the response packet
+     A2/B2/R2            same stations for the response
+     T6 req_done         client completes the request
+
+   Components (all in ns):
+     client_tx = N1 - T0 - pacing    client software until NIC post
+     pacing    = wheel fire - insert pacing-wheel residency (0 if bypassed)
+     nic       = (A1-N1)+(R1-B1)+(A2-N2)+(R2-B2)   NIC tx/rx latency
+     wire      = predicted serialization + propagation + switch latency
+     switch_q  = (B1-A1)+(B2-A2) - wire            fabric queueing residual
+     server    = N2 - R1             server software incl. handler
+     client_rx = T6 - R2             client software after NIC rx
+
+   The sum telescopes exactly to T6 - T0: every component is a difference
+   of adjacent milestones except wire/switch_q, which split the two
+   in-fabric intervals without remainder. *)
+
+type breakdown = {
+  host : int;  (** client host *)
+  sn : int;  (** client session number *)
+  req : int;  (** request number *)
+  total_ns : int;
+  client_tx_ns : int;
+  pacing_ns : int;
+  nic_ns : int;
+  wire_ns : int;
+  switch_ns : int;
+  server_ns : int;
+  client_rx_ns : int;
+}
+
+(* Packet-kind codes used in "pkt info" events (see Erpc.Proto). *)
+let kind_req = 0
+let kind_resp = 1
+
+let ai k args =
+  match List.assoc_opt k args with Some (Trace.I n) -> Some n | _ -> None
+
+let aie k args = match ai k args with Some n -> n | None -> -1
+
+type pkt_info = { p_ts : int; p_id : int; p_size : int }
+
+let analyze ~wire_ns evs =
+  (* Milestone tables keyed by trace packet id. *)
+  let nic_tx = Hashtbl.create 256 in
+  let nic_rx = Hashtbl.create 256 in
+  let net_enq = Hashtbl.create 256 in
+  let net_del = Hashtbl.create 256 in
+  let wh_ins = Hashtbl.create 64 in
+  let wh_fire = Hashtbl.create 64 in
+  let first tbl id ts = if not (Hashtbl.mem tbl id) then Hashtbl.add tbl id ts in
+  (* Request packets keyed (pid, tid, sn, req); responses keyed
+     (dst host, dest session, req). Multi-packet requests/responses are
+     excluded — a single latency can't be attributed to one wire crossing. *)
+  let req_pkt = Hashtbl.create 256 in
+  let resp_pkt = Hashtbl.create 256 in
+  let multi = Hashtbl.create 16 in
+  let starts = Hashtbl.create 256 in
+  let dones = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Trace.ev) ->
+      match (e.cat, e.name) with
+      | "nic", "tx" -> first nic_tx (aie "id" e.args) e.ts
+      | "nic", "rx" -> first nic_rx (aie "id" e.args) e.ts
+      | "net", "enq" -> first net_enq (aie "id" e.args) e.ts
+      | "net", "deliver" -> first net_del (aie "id" e.args) e.ts
+      | "wheel", "insert" -> first wh_ins (aie "id" e.args) e.ts
+      | "wheel", "fire" -> first wh_fire (aie "id" e.args) e.ts
+      | "pkt", "info" ->
+          let id = aie "id" e.args
+          and kind = aie "kind" e.args
+          and num = aie "num" e.args
+          and req = aie "req" e.args
+          and dst = aie "dst" e.args
+          and ssn = aie "ssn" e.args
+          and dsn = aie "dsn" e.args
+          and size = aie "size" e.args in
+          let info = { p_ts = e.ts; p_id = id; p_size = size } in
+          if kind = kind_req then
+            if num = 0 then
+              first req_pkt (e.pid, e.tid, ssn, req) info
+            else Hashtbl.replace multi (`Req (e.pid, e.tid, ssn, req)) ()
+          else if kind = kind_resp then
+            if num = 0 then first resp_pkt (dst, dsn, req) info
+            else Hashtbl.replace multi (`Resp (dst, dsn, req)) ()
+      | "sslot", "req_start" ->
+          first starts (e.pid, e.tid, aie "sn" e.args, aie "req" e.args) e.ts
+      | "sslot", "req_done" ->
+          first dones (e.pid, e.tid, aie "sn" e.args, aie "req" e.args) e.ts
+      | _ -> ())
+    evs;
+  let out = ref [] in
+  Hashtbl.iter
+    (fun ((pid, tid, sn, req) as key) t0 ->
+      let ( let* ) o f = match o with Some v -> f v | None -> () in
+      let* t6 = Hashtbl.find_opt dones key in
+      let* rq = Hashtbl.find_opt req_pkt key in
+      let host = pid - 1 in
+      let* rp = Hashtbl.find_opt resp_pkt (host, sn, req) in
+      if
+        Hashtbl.mem multi (`Req (pid, tid, sn, req))
+        || Hashtbl.mem multi (`Resp (host, sn, req))
+      then ()
+      else begin
+        let* n1 = Hashtbl.find_opt nic_tx rq.p_id in
+        let* a1 = Hashtbl.find_opt net_enq rq.p_id in
+        let* b1 = Hashtbl.find_opt net_del rq.p_id in
+        let* r1 = Hashtbl.find_opt nic_rx rq.p_id in
+        let* n2 = Hashtbl.find_opt nic_tx rp.p_id in
+        let* a2 = Hashtbl.find_opt net_enq rp.p_id in
+        let* b2 = Hashtbl.find_opt net_del rp.p_id in
+        let* r2 = Hashtbl.find_opt nic_rx rp.p_id in
+        let pacing =
+          match
+            (Hashtbl.find_opt wh_ins rq.p_id, Hashtbl.find_opt wh_fire rq.p_id)
+          with
+          | Some i, Some f -> f - i
+          | _ -> 0
+        in
+        let wire = wire_ns rq.p_size + wire_ns rp.p_size in
+        let fabric = b1 - a1 + (b2 - a2) in
+        out :=
+          {
+            host;
+            sn;
+            req;
+            total_ns = t6 - t0;
+            client_tx_ns = n1 - t0 - pacing;
+            pacing_ns = pacing;
+            nic_ns = a1 - n1 + (r1 - b1) + (a2 - n2) + (r2 - b2);
+            wire_ns = wire;
+            switch_ns = fabric - wire;
+            server_ns = n2 - r1;
+            client_rx_ns = t6 - r2;
+          }
+          :: !out
+      end)
+    starts;
+  List.sort
+    (fun a b ->
+      match compare a.host b.host with
+      | 0 -> ( match compare a.sn b.sn with 0 -> compare a.req b.req | c -> c)
+      | c -> c)
+    !out
+
+let components b =
+  [
+    ("client tx", b.client_tx_ns);
+    ("pacing wheel", b.pacing_ns);
+    ("NIC", b.nic_ns);
+    ("wire", b.wire_ns);
+    ("switch queue", b.switch_ns);
+    ("server", b.server_ns);
+    ("client rx", b.client_rx_ns);
+  ]
+
+let sum_components b =
+  List.fold_left (fun acc (_, v) -> acc + v) 0 (components b)
+
+let pp_table fmt bds =
+  let n = List.length bds in
+  if n = 0 then Format.fprintf fmt "(no complete RPCs in trace)@."
+  else begin
+    let mean f =
+      float_of_int (List.fold_left (fun acc b -> acc + f b) 0 bds) /. float_of_int n
+    in
+    let total = mean (fun b -> b.total_ns) in
+    Format.fprintf fmt "Latency anatomy over %d sampled RPCs (mean %.0f ns):@." n total;
+    Format.fprintf fmt "  %-14s %10s %7s@." "component" "mean(ns)" "share";
+    List.iter
+      (fun (label, f) ->
+        let m = mean f in
+        Format.fprintf fmt "  %-14s %10.1f %6.1f%%@." label m
+          (if total > 0. then 100. *. m /. total else 0.))
+      [
+        ("client tx", fun b -> b.client_tx_ns);
+        ("pacing wheel", fun b -> b.pacing_ns);
+        ("NIC", fun b -> b.nic_ns);
+        ("wire", fun b -> b.wire_ns);
+        ("switch queue", fun b -> b.switch_ns);
+        ("server", fun b -> b.server_ns);
+        ("client rx", fun b -> b.client_rx_ns);
+      ];
+    Format.fprintf fmt "  %-14s %10.1f %6.1f%%@." "total" total 100.
+  end

@@ -1,0 +1,43 @@
+(** RPC latency anatomy: decompose sampled end-to-end request latencies into
+    queueing / pacing / NIC / wire / switch-queue / server components by
+    post-processing a trace (Table 3 of the paper).
+
+    Components of each breakdown sum exactly to [total_ns]: each is a
+    difference of adjacent trace milestones, except the wire/switch-queue
+    pair which split the two in-fabric intervals without remainder. Only
+    single-packet requests with single-packet responses and a complete
+    milestone set are analyzed; others are skipped. *)
+
+type breakdown = {
+  host : int;  (** client host *)
+  sn : int;  (** client session number *)
+  req : int;  (** request number *)
+  total_ns : int;
+  client_tx_ns : int;  (** client software from request start to NIC post *)
+  pacing_ns : int;  (** pacing-wheel residency (0 when bypassed) *)
+  nic_ns : int;  (** NIC tx/rx latency, both directions *)
+  wire_ns : int;  (** predicted serialization + cable + switch latency *)
+  switch_ns : int;  (** fabric queueing residual over the prediction *)
+  server_ns : int;  (** server software including the handler *)
+  client_rx_ns : int;  (** client software from NIC rx to completion *)
+}
+
+val kind_req : int
+val kind_resp : int
+(** Packet-kind codes carried in "pkt info" trace events. *)
+
+val analyze : wire_ns:(int -> int) -> Trace.ev list -> breakdown list
+(** [analyze ~wire_ns evs] joins packet, NIC, network, wheel, and sslot
+    events into per-request breakdowns, sorted by (host, sn, req).
+    [wire_ns size] must predict the pure one-direction fabric time for a
+    packet of [size] bytes on an idle network (serialization + cable +
+    switch forwarding latency). *)
+
+val components : breakdown -> (string * int) list
+(** Labeled components in anatomical order (excludes [total_ns]). *)
+
+val sum_components : breakdown -> int
+(** Always equals [total_ns] for breakdowns produced by {!analyze}. *)
+
+val pp_table : Format.formatter -> breakdown list -> unit
+(** Table-3-style mean breakdown with per-component shares. *)

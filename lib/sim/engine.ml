@@ -3,13 +3,25 @@ type t = {
   mutable clock : Time.t;
   master_rng : Rng.t;
   mutable executed : int;
+  mutable trace : Obs.Trace.t;
+  metrics : Obs.Metrics.t;
 }
 
 let create ?(seed = 42L) () =
-  { queue = Event_queue.create (); clock = Time.zero; master_rng = Rng.create seed; executed = 0 }
+  {
+    queue = Event_queue.create ();
+    clock = Time.zero;
+    master_rng = Rng.create seed;
+    executed = 0;
+    trace = Obs.Trace.disabled;
+    metrics = Obs.Metrics.create ();
+  }
 
 let now t = t.clock
 let rng t = t.master_rng
+let trace t = t.trace
+let set_trace t tr = t.trace <- tr
+let metrics t = t.metrics
 
 let schedule t at f =
   if at < t.clock then

@@ -15,6 +15,17 @@ val now : t -> Time.t
 (** Master RNG; use [Rng.split] to derive per-component streams. *)
 val rng : t -> Rng.t
 
+(** Engine-scoped event trace. Defaults to [Obs.Trace.disabled]; components
+    cache this at creation time and guard hooks with [Obs.Trace.enabled],
+    so install the trace (via [set_trace]) before building the cluster. *)
+val trace : t -> Obs.Trace.t
+
+val set_trace : t -> Obs.Trace.t -> unit
+
+(** Engine-scoped metrics registry; components register counters, gauges
+    and histograms into it at creation time. *)
+val metrics : t -> Obs.Metrics.t
+
 (** [schedule t at f] runs [f] at absolute time [at]. [at] must not be in
     the past. *)
 val schedule : t -> Time.t -> (unit -> unit) -> unit

@@ -27,6 +27,17 @@ val median : t -> int
 (** Merge [src] into [dst]. *)
 val merge : dst:t -> src:t -> unit
 
+(** {2 Bucket layout} — exposed for property tests and exporters. *)
+
+val num_buckets : int
+
+val bucket_index : int -> int
+(** Bucket holding a (non-negative) sample value. *)
+
+val bucket_value : int -> int
+(** Representative (midpoint) value of a bucket; values below 64 are exact,
+    larger ones within [2^-6] relative error of any sample in the bucket. *)
+
 val clear : t -> unit
 
 (** "p50=… p99=… p99.9=… max=…" one-line summary. *)

@@ -1,0 +1,188 @@
+(* Observability subsystem: event-trace ring, Chrome JSON export, the JSON
+   builder/validator, the metrics registry, latency anatomy, and the
+   determinism contract (same seed => byte-identical trace). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let test_ring_eviction () =
+  let tr = Obs.Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Obs.Trace.instant tr ~ts:i ~cat:"t" ~name:"e" ~pid:0 ~tid:0 []
+  done;
+  check_int "length capped" 4 (Obs.Trace.length tr);
+  check_int "dropped counted" 2 (Obs.Trace.dropped tr);
+  let ts = List.map (fun (e : Obs.Trace.ev) -> e.ts) (Obs.Trace.events tr) in
+  Alcotest.(check (list int)) "oldest evicted first" [ 3; 4; 5; 6 ] ts
+
+let test_disabled_trace () =
+  let tr = Obs.Trace.disabled in
+  check_bool "disabled" false (Obs.Trace.enabled tr);
+  Obs.Trace.instant tr ~ts:1 ~cat:"t" ~name:"e" ~pid:0 ~tid:0 [];
+  Obs.Trace.register_process tr ~pid:0 "p";
+  check_int "register_track is a no-op" 0 (Obs.Trace.register_track tr ~pid:0 "x");
+  check_int "nothing recorded" 0 (Obs.Trace.length tr);
+  check_int "nothing dropped" 0 (Obs.Trace.dropped tr)
+
+let test_chrome_export_validates () =
+  let tr = Obs.Trace.create ~capacity:64 () in
+  Obs.Trace.register_process tr ~pid:0 "network";
+  let tid = Obs.Trace.register_track tr ~pid:0 "port \"x\"\\y" in
+  check_int "tids start at 1" 1 tid;
+  Obs.Trace.instant tr ~ts:1_234 ~cat:"net" ~name:"enq" ~pid:0 ~tid
+    [ ("id", Obs.Trace.I 7); ("why", Obs.Trace.S "quote\"back\\slash\ntab\t") ];
+  Obs.Trace.complete tr ~ts:2_000 ~dur:500 ~cat:"rpc" ~name:"handler" ~pid:1 ~tid:0
+    [ ("gbps", Obs.Trace.F 12.5) ];
+  Obs.Trace.counter tr ~ts:3_000 ~cat:"net" ~name:"queue" ~pid:0
+    [ ("bytes", Obs.Trace.I 4096) ];
+  let s = Obs.Trace.to_chrome_string tr in
+  check_bool "chrome trace is well-formed JSON" true (Obs.Json.validate s);
+  check_bool "ns as fixed-point us" true
+    (let sub = {|"ts":1.234|} in
+     let rec find i =
+       i + String.length sub <= String.length s
+       && (String.sub s i (String.length sub) = sub || find (i + 1))
+     in
+     find 0)
+
+let test_json_builder_and_validator () =
+  let j =
+    Obs.Json.(
+      Obj
+        [
+          ("s", Str "a\"b\\c\n\x01");
+          ("n", Int (-42));
+          ("f", Float 0.125);
+          ("nan", Float nan);
+          ("l", Arr [ Null; Bool true; Bool false; Obj [] ]);
+        ])
+  in
+  let s = Obs.Json.to_string j in
+  check_bool "builder output validates" true (Obs.Json.validate s);
+  check_string "non-finite floats clamp to 0" "0" (Obs.Json.float_repr nan);
+  List.iter
+    (fun ok -> check_bool ("valid: " ^ ok) true (Obs.Json.validate ok))
+    [ "null"; " [1,2,3] "; {|{"a":[{"b":-1.5e-3}]}|}; {|""|}; "[]" ];
+  List.iter
+    (fun bad -> check_bool ("invalid: " ^ bad) false (Obs.Json.validate bad))
+    [
+      "";
+      "{";
+      "[1,]";
+      {|{"a":1,}|};
+      {|{"a" 1}|};
+      "tru";
+      "01";
+      "1 2";
+      {|{"a":}|};
+      "[1,2";
+      {|"unterminated|};
+      {|"bad \x escape"|};
+    ]
+
+let test_metrics_registry () =
+  let m = Obs.Metrics.create () in
+  let n = ref 3 in
+  Obs.Metrics.counter m ~name:"c" ~labels:[ ("k", "b") ] (fun () -> !n);
+  Obs.Metrics.counter m ~name:"c" ~labels:[ ("k", "a") ] (fun () -> 10);
+  Obs.Metrics.gauge m ~name:"g" ~labels:[ ("i", "0") ] (fun () -> 1.5);
+  Obs.Metrics.gauge m ~name:"g" ~labels:[ ("i", "1") ] (fun () -> 9.0);
+  let h = Stats.Hist.create () in
+  Stats.Hist.record h 100;
+  Obs.Metrics.histogram m ~name:"h" h;
+  n := 5;
+  (* Pull-based: the snapshot sees the counter's current value, sorted by
+     (name, labels). *)
+  let names =
+    List.map
+      (fun (s : Obs.Metrics.sample) ->
+        (s.s_name, List.map snd s.s_labels))
+      (Obs.Metrics.snapshot m)
+  in
+  Alcotest.(check (list (pair string (list string))))
+    "sorted snapshot"
+    [ ("c", [ "a" ]); ("c", [ "b" ]); ("g", [ "0" ]); ("g", [ "1" ]); ("h", []) ]
+    names;
+  (match Obs.Metrics.find m ~name:"c" ~labels:[ ("k", "b") ] with
+  | Some { s_value = Obs.Metrics.Sample_counter v; _ } -> check_int "live value" 5 v
+  | _ -> Alcotest.fail "counter not found");
+  check_int "fold_counters sums" 15
+    (Obs.Metrics.fold_counters m ~name:"c" (fun acc _ v -> acc + v) 0);
+  Alcotest.(check (float 1e-9)) "max_gauge" 9.0 (Obs.Metrics.max_gauge m ~name:"g");
+  (* Re-registering the same (name, labels) replaces the source. *)
+  Obs.Metrics.counter m ~name:"c" ~labels:[ ("k", "a") ] (fun () -> 11);
+  check_int "replace on re-register" 16
+    (Obs.Metrics.fold_counters m ~name:"c" (fun acc _ v -> acc + v) 0);
+  check_bool "metrics JSON validates" true
+    (Obs.Json.validate (Obs.Json.to_string (Obs.Metrics.to_json m)))
+
+let test_anatomy_sums_exactly () =
+  let r = Experiments.Exp_anatomy.run ~samples:16 () in
+  check_bool "sampled RPCs analyzed" true (List.length r.breakdowns >= 8);
+  List.iter
+    (fun (b : Obs.Anatomy.breakdown) ->
+      check_int
+        (Printf.sprintf "req %d: components sum to end-to-end" b.req)
+        b.total_ns
+        (Obs.Anatomy.sum_components b);
+      (* 32 B request and response both ride 92 B wire packets; on a quiet
+         single-switch net the fabric time is exactly the model's
+         prediction, so the switch-queue residual is zero. *)
+      check_int
+        (Printf.sprintf "req %d: wire matches cost-model prediction" b.req)
+        (2 * r.predicted_wire_ns 92)
+        b.wire_ns;
+      check_int (Printf.sprintf "req %d: no switch queueing" b.req) 0 b.switch_ns;
+      check_int (Printf.sprintf "req %d: no pacing" b.req) 0 b.pacing_ns;
+      check_bool "total positive" true (b.total_ns > 0))
+    r.breakdowns
+
+let test_same_seed_traces_identical () =
+  let run () =
+    let r = Experiments.Exp_anatomy.run ~samples:8 () in
+    Obs.Trace.to_chrome_string r.trace
+  in
+  check_string "same-seed anatomy traces byte-identical" (run ()) (run ())
+
+let test_same_seed_incast_traces_identical () =
+  let run () =
+    let tr = Obs.Trace.create ~capacity:(1 lsl 18) () in
+    let (_ : Experiments.Exp_incast.row) =
+      Experiments.Exp_incast.run ~trace:tr ~degree:3 ~warmup_ms:0.5 ~measure_ms:0.5
+        ~cc:true ()
+    in
+    Obs.Trace.to_chrome_string tr
+  in
+  let a = run () and b = run () in
+  check_bool "trace non-trivial" true (String.length a > 10_000);
+  check_string "same-seed incast traces byte-identical" a b
+
+let test_trace_covers_categories () =
+  let tr = Obs.Trace.create ~capacity:(1 lsl 18) () in
+  (* Degree 4 over >= 2 ms: enough congestion for Timely to take RTT
+     samples, so the "cc" category shows up. *)
+  let r =
+    Experiments.Exp_incast.run ~trace:tr ~degree:4 ~warmup_ms:1.0 ~measure_ms:1.0 ~cc:true
+      ()
+  in
+  check_bool "buffer peak observed" true (r.switch_buffer_peak_bytes > 0);
+  let seen = Hashtbl.create 8 in
+  Obs.Trace.iter tr (fun e -> Hashtbl.replace seen e.cat ());
+  List.iter
+    (fun cat -> check_bool ("category " ^ cat) true (Hashtbl.mem seen cat))
+    [ "pkt"; "sslot"; "cc"; "net"; "nic"; "rpc" ]
+
+let suite =
+  [
+    Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+    Alcotest.test_case "disabled trace" `Quick test_disabled_trace;
+    Alcotest.test_case "chrome export validates" `Quick test_chrome_export_validates;
+    Alcotest.test_case "json builder+validator" `Quick test_json_builder_and_validator;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "anatomy sums exactly" `Quick test_anatomy_sums_exactly;
+    Alcotest.test_case "same-seed trace identical" `Quick test_same_seed_traces_identical;
+    Alcotest.test_case "same-seed incast identical" `Quick
+      test_same_seed_incast_traces_identical;
+    Alcotest.test_case "trace covers categories" `Quick test_trace_covers_categories;
+  ]

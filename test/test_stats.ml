@@ -104,6 +104,45 @@ let test_hist_record_n_and_clear () =
   Stats.Hist.clear h;
   check_int "cleared" 0 (Stats.Hist.count h)
 
+(* Magnitude-uniform generator: exercises every histogram block, not just
+   the small values a uniform int generator lands on. *)
+let gen_any_magnitude =
+  QCheck2.Gen.(
+    int_range 0 55 >>= fun e ->
+    int_range 0 ((1 lsl e) - 1) >|= fun m -> (1 lsl e) lor m)
+
+let test_bucket_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"bucket_value (bucket_index v) within 2^-6 of v" ~count:1_000
+       gen_any_magnitude (fun v ->
+         let got = Stats.Hist.bucket_value (Stats.Hist.bucket_index v) in
+         if v < 64 then got = v else abs (got - v) * 64 <= v))
+
+let test_bucket_value_fixpoint () =
+  (* Every bucket's representative value falls back into that bucket. *)
+  for idx = 0 to Stats.Hist.num_buckets - 1 do
+    let v = Stats.Hist.bucket_value idx in
+    check_int (Printf.sprintf "bucket %d fixpoint" idx) idx (Stats.Hist.bucket_index v)
+  done
+
+let test_hist_merge_preserves =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"merge preserves count/total/min/max" ~count:200
+       QCheck2.Gen.(
+         pair
+           (list_size (int_range 0 80) (int_range 0 10_000_000))
+           (list_size (int_range 0 80) (int_range 0 10_000_000)))
+       (fun (xs, ys) ->
+         let a = Stats.Hist.create () and b = Stats.Hist.create () in
+         List.iter (Stats.Hist.record a) xs;
+         List.iter (Stats.Hist.record b) ys;
+         Stats.Hist.merge ~dst:a ~src:b;
+         let all = xs @ ys in
+         Stats.Hist.count a = List.length all
+         && Stats.Hist.total a = List.fold_left ( + ) 0 all
+         && Stats.Hist.min a = List.fold_left min (if all = [] then 0 else max_int) all
+         && Stats.Hist.max a = List.fold_left max 0 all))
+
 let test_hist_median_approximates_true_median =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name:"median within 2% of true median" ~count:50
@@ -132,5 +171,8 @@ let suite =
     Alcotest.test_case "hist mean/total" `Quick test_hist_mean_total;
     Alcotest.test_case "hist merge" `Quick test_hist_merge;
     Alcotest.test_case "hist record_n/clear" `Quick test_hist_record_n_and_clear;
+    test_bucket_roundtrip;
+    Alcotest.test_case "bucket value fixpoint" `Quick test_bucket_value_fixpoint;
+    test_hist_merge_preserves;
     test_hist_median_approximates_true_median;
   ]
