@@ -379,6 +379,106 @@ let trace_cmd =
        ~doc:"Run an experiment with event tracing on and write a Chrome/Perfetto trace")
     Term.(const run $ exp $ out $ capacity $ seed_arg $ degree $ warmup $ measure)
 
+(* bench-sim *)
+let bench_sim_cmd =
+  let run workloads impls out seed =
+    let impls =
+      List.map
+        (fun s ->
+          match Experiments.Bench_sim.impl_of_name s with
+          | Some i -> i
+          | None -> failwith (Printf.sprintf "unknown impl %S (wheel|binheap)" s))
+        impls
+    in
+    let rows =
+      List.concat_map
+        (fun workload ->
+          List.map
+            (fun impl -> Experiments.Bench_sim.run_one ~workload ~impl ~seed)
+            impls)
+        workloads
+    in
+    List.iter
+      (fun (r : Experiments.Bench_sim.row) ->
+        Printf.printf "%-10s %-8s %8.3f s  %9d events  %10.0f ev/s  %6.1f words/ev\n"
+          r.workload r.impl r.wall_s r.events r.events_per_sec r.minor_words_per_event)
+      rows;
+    (* Speedup summary per workload (production wheel vs binheap baseline). *)
+    List.iter
+      (fun w ->
+        let find impl =
+          List.find_opt
+            (fun (r : Experiments.Bench_sim.row) -> r.workload = w && r.impl = impl)
+            rows
+        in
+        match (find "wheel", find "binheap") with
+        | Some wh, Some bh when bh.events_per_sec > 0. ->
+            Printf.printf "%-10s wheel/binheap speedup: %.2fx\n" w
+              (wh.events_per_sec /. bh.events_per_sec)
+        | _ -> ())
+      workloads;
+    match out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Obs.Json.to_string (Experiments.Bench_sim.to_json rows));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" file
+  in
+  let workloads =
+    Arg.(
+      value
+      & opt (list string) Experiments.Bench_sim.workload_names
+      & info [ "workloads" ] ~docv:"W,.." ~doc:"Workloads to run (incast|rate|bandwidth|chaos).")
+  in
+  let impls =
+    Arg.(
+      value
+      & opt (list string) [ "binheap"; "wheel" ]
+      & info [ "impls" ] ~docv:"I,.." ~doc:"Event-queue implementations (wheel|binheap).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the BENCH_sim_events.json document here.")
+  in
+  Cmd.v
+    (Cmd.info "bench-sim"
+       ~doc:"Simulator throughput: events/s and allocation per event, wheel vs binheap")
+    Term.(const run $ workloads $ impls $ out $ seed_arg)
+
+(* session-scale *)
+let session_scale_cmd =
+  let print_row (r : Experiments.Exp_session_scale.result) =
+    Printf.printf
+      "%6d sessions: %.2f Mrps, p50=%.1f us p99=%.1f us (%d RPCs, %d events, %.2f s)\n"
+      r.sessions r.mrps r.lat_p50_us r.lat_p99_us r.completed r.events r.wall_s
+  in
+  let run sessions sweep measure_ms window seed =
+    if sweep then
+      List.iter print_row
+        (Experiments.Exp_session_scale.sweep ~seed ~window ~measure_ms ())
+    else print_row (Experiments.Exp_session_scale.run ~seed ~window ~measure_ms ~sessions ())
+  in
+  let sessions =
+    Arg.(value & opt int 20_000 & info [ "sessions" ] ~docv:"N" ~doc:"Sessions to open.")
+  in
+  let sweep =
+    Arg.(value & flag & info [ "sweep" ] ~doc:"Sweep 100..20,000 sessions instead.")
+  in
+  let measure =
+    Arg.(value & opt float 2.0 & info [ "measure-ms" ] ~docv:"MS" ~doc:"Measured window.")
+  in
+  let window =
+    Arg.(value & opt int 64 & info [ "window" ] ~docv:"N" ~doc:"Requests in flight.")
+  in
+  Cmd.v
+    (Cmd.info "session-scale"
+       ~doc:"Fig. 7: one Rpc serving up to 20,000 sessions at constant per-session state")
+    Term.(const run $ sessions $ sweep $ measure $ window $ seed_arg)
+
 (* rdma-scalability *)
 let rdma_cmd =
   let run connections =
@@ -412,5 +512,7 @@ let () =
             raft_cmd;
             masstree_cmd;
             chaos_cmd;
+            bench_sim_cmd;
+            session_scale_cmd;
             rdma_cmd;
           ]))

@@ -37,13 +37,14 @@ let create fabric ~host ?(num_workers = 1) () =
     }
   in
   Netsim.Network.attach (Fabric.net fabric) ~host ~rx:(fun pkt ->
-      if not t.dead then
+      if t.dead then Netsim.Packet.free pkt
+      else
         match pkt.Netsim.Packet.body with
         | Wire.Pkt { dst_rpc; _ } -> (
             match Hashtbl.find_opt t.rx_routes dst_rpc with
             | Some rx -> rx pkt
-            | None -> ())
-        | _ -> ());
+            | None -> Netsim.Packet.free pkt)
+        | _ -> Netsim.Packet.free pkt);
   Fabric.on_host_killed fabric (fun h -> if h = host then t.dead <- true);
   Fabric.on_host_restart fabric (fun h -> if h = host then t.dead <- false);
   t

@@ -33,7 +33,7 @@ let pkt_type_code = function Req -> 0 | Cr -> 1 | Rfr -> 2 | Resp -> 3
 (* Wire checksum over every header field and the payload bytes. ECN marks
    are applied by switches in flight, so (like IP's ToS handling) they are
    excluded from the covered fields. *)
-let checksum t ~data =
+let checksum t ~data ~off ~len =
   let h = fnv_offset in
   let h = fnv_step h t.req_type in
   let h = fnv_step h t.msg_size in
@@ -42,7 +42,7 @@ let checksum t ~data =
   let h = fnv_step h t.pkt_num in
   let h = fnv_step h t.req_num in
   let h = fnv_step h (if t.ecn_echo then 1 else 0) in
-  bytes_checksum ~init:h data ~off:0 ~len:(Bytes.length data)
+  bytes_checksum ~init:h data ~off ~len
 
 let pkt_type_to_string = function
   | Req -> "REQ"

@@ -33,12 +33,13 @@ val size : int
 
 (** {2 Wire checksum}
 
-    FNV-1a over all header fields and the payload, computed at packet
-    construction and verified on RX so corrupted packets are detected and
-    dropped (and recovered like losses) instead of delivered. ECN marks are
-    switch-mutated in flight and therefore not covered. *)
+    FNV-1a over all header fields and a payload slice. The checksum the
+    real NIC would compute/verify per packet; in the simulator corruption
+    is modeled as a frame flag (see {!Wire.corrupt}), so this kernel is
+    kept for framing code and microbenchmarks. ECN marks are switch-mutated
+    in flight and therefore not covered. *)
 
-val checksum : t -> data:bytes -> int
+val checksum : t -> data:bytes -> off:int -> len:int -> int
 
 (** FNV-1a over a byte range — the same kernel, reusable by higher-level
     framing (see [Codec.with_checksum]). *)

@@ -31,8 +31,12 @@ type t = {
   cost : Cost_model.t;
   transport : Transport.Iface.t;
   stats : Rpc_stats.t;
+  pool : Wire.pool;  (* free-list of recycled TX packet records *)
   mutable sessions : session option array;
   mutable n_sessions : int;
+  mutable sn_hint : int;
+      (* every index < sn_hint is occupied, so [fresh_sn] scans from here;
+         keeps opening N sessions O(N) instead of O(N^2) *)
   txq : sslot Queue.t;
   retxq : sslot Queue.t;
   trace : Obs.Trace.t;
@@ -49,8 +53,10 @@ let create ~env ~engine ~host ~cfg ~cost ~transport ~stats ~tid =
     cost;
     transport;
     stats;
+    pool = Wire.create_pool ();
     sessions = Array.make 4 None;
     n_sessions = 0;
+    sn_hint = 0;
     txq = Queue.create ();
     retxq = Queue.create ();
     trace = Sim.Engine.trace engine;
@@ -209,8 +215,8 @@ and send_tx_item t slot args cli =
       let len = Pkthdr.data_bytes hdr ~mtu in
       t.env.ch t.cost.tx_data_pkt;
       let payload = (Msgbuf.unsafe_bytes args.req, Msgbuf.unsafe_offset args.req + (k * mtu), len) in
-      ( Wire.make ~src_host:t.host ~dst_host:sess.remote_host ~dst_rpc:sess.remote_rpc_id
-          ~wire_overhead:t.cfg.wire_overhead ~flow ~hdr ~payload (),
+      ( Wire.make ~pool:t.pool ~src_host:t.host ~dst_host:sess.remote_host
+          ~dst_rpc:sess.remote_rpc_id ~wire_overhead:t.cfg.wire_overhead ~flow ~hdr ~payload (),
         len + t.cfg.wire_overhead )
     end
     else begin
@@ -227,8 +233,8 @@ and send_tx_item t slot args cli =
         }
       in
       t.env.ch t.cost.tx_ctrl_pkt;
-      ( Wire.make ~src_host:t.host ~dst_host:sess.remote_host ~dst_rpc:sess.remote_rpc_id
-          ~wire_overhead:t.cfg.wire_overhead ~flow ~hdr (),
+      ( Wire.make ~pool:t.pool ~src_host:t.host ~dst_host:sess.remote_host
+          ~dst_rpc:sess.remote_rpc_id ~wire_overhead:t.cfg.wire_overhead ~flow ~hdr (),
         t.cfg.wire_overhead )
     end
   in
@@ -305,14 +311,14 @@ and rx_pkt t pkt =
     Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"pkt" ~name:"rx"
       ~pid:t.pid ~tid:t.tid
       [ ("id", Obs.Trace.I pkt.Netsim.Packet.trace_id) ];
-  match pkt.Netsim.Packet.body with
+  (match pkt.Netsim.Packet.body with
   | Wire.Pkt _ when not (Wire.verify pkt) ->
       (* Failed wire checksum: the packet was corrupted in flight. Drop it;
          the sender's RTO recovers it like a loss. *)
       t.stats.Rpc_stats.rx_pkts <- t.stats.Rpc_stats.rx_pkts + 1;
       t.stats.Rpc_stats.rx_corrupt <- t.stats.Rpc_stats.rx_corrupt + 1;
       t.env.ch t.cost.rx_pkt
-  | Wire.Pkt { hdr; data; _ } -> (
+  | Wire.Pkt { hdr; data; off; len; _ } -> (
       t.stats.Rpc_stats.rx_pkts <- t.stats.Rpc_stats.rx_pkts + 1;
       t.env.ch t.cost.rx_pkt;
       let ecn = pkt.Netsim.Packet.ecn in
@@ -323,10 +329,14 @@ and rx_pkt t pkt =
         | Some sess -> (
             let slot = Session.slot sess (hdr.req_num mod t.cfg.req_window) in
             match (hdr.pkt_type, sess.role) with
-            | (Pkthdr.Cr | Pkthdr.Resp), Client -> client_rx t sess slot hdr data ~ecn
-            | (Pkthdr.Req | Pkthdr.Rfr), Server -> server_rx t sess slot hdr data ~ecn
+            | (Pkthdr.Cr | Pkthdr.Resp), Client -> client_rx t sess slot hdr data off len ~ecn
+            | (Pkthdr.Req | Pkthdr.Rfr), Server -> server_rx t sess slot hdr data off len ~ecn
             | _ -> () (* role mismatch: corrupt/stale packet *)))
-  | _ -> ()
+  | _ -> ());
+  (* RX is the end of the packet's life: the payload has been copied into a
+     msgbuf (or viewed out of the backing bytes), so the record itself can
+     return to its sender's free-list. *)
+  Netsim.Packet.free pkt
 
 (* {2 Client RX} *)
 
@@ -352,7 +362,7 @@ and accept_rx_item t slot (cli : client_info) ~marked =
   end;
   arm_rto t slot
 
-and client_rx t sess slot hdr data ~ecn =
+and client_rx t sess slot hdr data off len ~ecn =
   (* Congestion signal: this packet was marked on the reverse path, or it
      acknowledges a marked forward-path packet. *)
   let marked = ecn || hdr.Pkthdr.ecn_echo in
@@ -398,9 +408,8 @@ and client_rx t sess slot hdr data ~ecn =
                 end;
                 (* Copy response data into the client's response msgbuf
                    (§3.1); this copy is a real CPU cost (§6.4). *)
-                let len = Bytes.length data in
                 if len > 0 then begin
-                  Msgbuf.blit_from_bytes data ~src_off:0 args.resp
+                  Msgbuf.blit_from_bytes data ~src_off:off args.resp
                     ~dst_off:(hdr.pkt_num * t.cfg.mtu) ~len;
                   t.env.charge_memcpy len
                 end;
@@ -455,8 +464,8 @@ and send_server_pkt t sess slot ~pkt_type ~pkt_num ~msg_size ~payload ~req_type 
   in
   let flow = Wire.flow_hash ~src_host:t.host ~dst_host:sess.remote_host ~sn:sess.remote_sn in
   let pkt =
-    Wire.make ~src_host:t.host ~dst_host:sess.remote_host ~dst_rpc:sess.remote_rpc_id
-      ~wire_overhead:t.cfg.wire_overhead ~flow ~hdr ?payload ()
+    Wire.make ~pool:t.pool ~src_host:t.host ~dst_host:sess.remote_host
+      ~dst_rpc:sess.remote_rpc_id ~wire_overhead:t.cfg.wire_overhead ~flow ~hdr ?payload ()
   in
   (match pkt_type with
   | Pkthdr.Cr -> t.env.ch t.cost.tx_ctrl_pkt
@@ -493,6 +502,12 @@ and begin_new_request t sess slot hdr =
   | Some resp when Msgbuf.owner resp = Msgbuf.Owned_by_erpc -> Msgbuf.return_to_app resp
   | _ -> ());
   srv.resp_buf <- None;
+  (* Recycle the assembly buffer: the completed request's bytes are dead,
+     and the next multi-packet request on this slot can blit into the same
+     storage instead of allocating. Views alias the RX ring — never kept. *)
+  (match srv.req_buf with
+  | Some b when not (Msgbuf.is_view b) -> srv.spare_req_buf <- Some b
+  | _ -> ());
   srv.req_buf <- None;
   srv.handler_done <- false;
   srv.num_rx <- 0;
@@ -501,7 +516,7 @@ and begin_new_request t sess slot hdr =
   slot.busy <- true;
   ignore sess
 
-and server_rx t sess slot hdr data ~ecn =
+and server_rx t sess slot hdr data off len ~ecn =
   match hdr.Pkthdr.pkt_type with
   | Pkthdr.Req ->
       if hdr.req_num < slot.req_num then () (* stale request: already superseded *)
@@ -525,7 +540,7 @@ and server_rx t sess slot hdr data ~ecn =
         else if p > srv.num_rx then () (* reordered: treated as loss *)
         else begin
           srv.num_rx <- p + 1;
-          store_req_data t slot srv hdr data;
+          store_req_data t slot srv hdr data off len;
           if p < srv.n_req_pkts - 1 then begin
             let send_now =
               (not t.cfg.opts.cumulative_crs)
@@ -547,27 +562,38 @@ and server_rx t sess slot hdr data ~ecn =
         send_resp_pkt t sess slot ~pkt_num:hdr.pkt_num ~ecn_echo:ecn
   | Pkthdr.Cr | Pkthdr.Resp -> ()
 
-and store_req_data t _slot srv hdr data =
+and store_req_data t _slot srv hdr data off len =
   let single_pkt = srv.n_req_pkts = 1 in
   let zero_copy_ok =
     single_pkt && t.cfg.opts.zero_copy_rx && t.env.zero_copy_dispatch hdr.Pkthdr.req_type
   in
   if zero_copy_ok then
     (* Dispatch handler runs directly on the RX ring buffer (§4.2.3). *)
-    srv.req_buf <- Some (Msgbuf.view data ~off:0 ~len:(Bytes.length data))
+    srv.req_buf <- Some (Msgbuf.view data ~off ~len)
   else begin
     (match srv.req_buf with
     | Some _ -> ()
     | None ->
+        (* The modeled allocation cost is charged whether or not the
+           host-level buffer is recycled, so traces are identical either
+           way. *)
         t.env.ch t.cost.dyn_alloc;
-        let buf = Msgbuf.alloc ~max_size:hdr.msg_size in
-        Msgbuf.take_for_erpc buf;
+        let buf =
+          match srv.spare_req_buf with
+          | Some spare when Msgbuf.max_size spare >= hdr.msg_size ->
+              srv.spare_req_buf <- None;
+              Msgbuf.unsafe_set_size spare hdr.msg_size;
+              spare
+          | _ ->
+              let b = Msgbuf.alloc ~max_size:hdr.msg_size in
+              Msgbuf.take_for_erpc b;
+              b
+        in
         srv.req_buf <- Some buf);
-    let len = Bytes.length data in
     if len > 0 then begin
       match srv.req_buf with
       | Some buf ->
-          Msgbuf.blit_from_bytes data ~src_off:0 buf ~dst_off:(hdr.pkt_num * t.cfg.mtu) ~len;
+          Msgbuf.blit_from_bytes data ~src_off:off buf ~dst_off:(hdr.pkt_num * t.cfg.mtu) ~len;
           t.env.charge_memcpy len
       | None -> assert false
     end
@@ -670,14 +696,20 @@ let get_session t sn =
 
 let remove_session t sn =
   t.sessions.(sn) <- None;
-  t.n_sessions <- t.n_sessions - 1
+  t.n_sessions <- t.n_sessions - 1;
+  if sn < t.sn_hint then t.sn_hint <- sn
 
 let iter_sessions t f =
   Array.iter (function Some sess -> f sess | None -> ()) t.sessions
 
+(* Lowest free sn. The hint invariant (no free index below [sn_hint])
+   makes the amortized cost O(1); the result is identical to scanning
+   from 0. *)
 let fresh_sn t =
   let rec go i = if i < Array.length t.sessions && t.sessions.(i) <> None then go (i + 1) else i in
-  go 0
+  let sn = go t.sn_hint in
+  t.sn_hint <- sn;
+  sn
 
 (* Armed RTO timers across all sessions. The chaos harness checks this is
    zero after quiesce: any armed timer on a completed/failed request is a
@@ -711,5 +743,6 @@ let cc_updates t =
 let clear_on_crash t =
   Array.fill t.sessions 0 (Array.length t.sessions) None;
   t.n_sessions <- 0;
+  t.sn_hint <- 0;
   Queue.clear t.txq;
   Queue.clear t.retxq

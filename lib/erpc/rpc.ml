@@ -23,6 +23,13 @@ type t = {
   mutable batch_ts : Sim.Time.t;
   stats_ : Rpc_stats.t;
   mutable rtt_probe : (int -> unit) option;
+  (* Preallocated hot-path closures and the deferred-TX FIFO, so the
+     steady-state loop schedules no fresh closures per packet. *)
+  mutable activate_ev : unit -> unit;
+  mutable wake_ev : unit -> unit;
+  mutable rx_each : Netsim.Packet.t -> unit;
+  tx_deferred : Netsim.Packet.t Sim.Ring.t;
+  mutable tx_deferred_ev : unit -> unit;
   trace : Obs.Trace.t;
   pid : int;
   tid : int;  (* this endpoint's thread track *)
@@ -50,7 +57,7 @@ let rec schedule_activation t =
   if not t.loop_scheduled then begin
     t.loop_scheduled <- true;
     let at = Sim.Cpu.start_slice t.cpu_ in
-    Sim.Engine.schedule t.engine at (fun () -> activate t)
+    Sim.Engine.schedule t.engine at t.activate_ev
   end
 
 and wake t = if not (dead t) then schedule_activation t
@@ -68,13 +75,9 @@ and activate t =
       ch t (2 * t.cost.rdtsc) (* one timestamp per RX batch, one per TX batch *);
     (* Retransmissions queued by RTO timers. *)
     Proto.drain_retx t.proto;
-    (* RX burst. *)
-    let pkts = Transport.Iface.rx_burst t.transport_ ~max:t.cfg.rx_batch in
-    let n_rx = List.length pkts in
-    if n_rx > 0 then begin
-      List.iter (fun pkt -> Proto.rx_pkt t.proto pkt) pkts;
-      ch t (Transport.Iface.replenish_rx t.transport_ n_rx)
-    end;
+    (* RX burst: callback iteration straight off the ring, no list. *)
+    let n_rx = Transport.Iface.rx_burst t.transport_ ~max:t.cfg.rx_batch t.rx_each in
+    if n_rx > 0 then ch t (Transport.Iface.replenish_rx t.transport_ n_rx);
     (* Background-thread completions (worker handler responses, failure
        cleanup). *)
     while not (Queue.is_empty t.bgq) do
@@ -140,7 +143,12 @@ and post_pkt t pkt =
   t.stats_.Rpc_stats.tx_pkts <- t.stats_.Rpc_stats.tx_pkts + 1;
   let at = Sim.Cpu.next_free t.cpu_ in
   if at <= Sim.Engine.now t.engine then Transport.Iface.tx_burst t.transport_ pkt
-  else Sim.Engine.schedule t.engine at (fun () -> Transport.Iface.tx_burst t.transport_ pkt)
+  else begin
+    (* [next_free] is nondecreasing across calls, so deferred posts fire
+       in FIFO order and a preallocated event can pop from the ring. *)
+    Sim.Ring.push t.tx_deferred pkt;
+    Sim.Engine.schedule t.engine at t.tx_deferred_ev
+  end
 
 (* Client-side transmission honoring the Carousel rate limiter. *)
 and transmit_cc t slot pkt ~wire_bytes ~tx_item ~is_retx =
@@ -185,7 +193,7 @@ and transmit_cc t slot pkt ~wire_bytes ~tx_item ~is_retx =
                  request's msgbuf (Appendix C). *)
               if is_retx then c.retx_in_wheel <- true
           | None -> ());
-          Sim.Engine.schedule t.engine ts (fun () -> wake t)
+          Sim.Engine.schedule t.engine ts t.wake_ev
         end
 
 and wheel_fire t entry =
@@ -211,6 +219,10 @@ and wheel_fire t entry =
     | None -> ());
     post_pkt t entry.we_pkt
   end
+  else
+    (* Stale entry (its request was superseded or failed): the packet is
+       never transmitted, so its only reference dies here. *)
+    Netsim.Packet.free entry.we_pkt
 
 (* {2 Handler dispatch (§3.2)} *)
 
@@ -491,12 +503,22 @@ let create nexus_ ~rpc_id =
       loop_scheduled = false;
       batch_ts = Sim.Time.zero;
       rtt_probe = None;
+      activate_ev = (fun () -> ());
+      wake_ev = (fun () -> ());
+      rx_each = (fun _ -> ());
+      tx_deferred = Sim.Ring.create ~capacity:32 ~dummy:Netsim.Packet.nil ();
+      tx_deferred_ev = (fun () -> ());
       trace;
       pid;
       tid;
     }
   in
   self := Some t;
+  t.activate_ev <- (fun () -> activate t);
+  t.wake_ev <- (fun () -> wake t);
+  t.rx_each <- (fun pkt -> Proto.rx_pkt t.proto pkt);
+  t.tx_deferred_ev <-
+    (fun () -> Transport.Iface.tx_burst t.transport_ (Sim.Ring.take t.tx_deferred));
   let m = Sim.Engine.metrics engine in
   let labels = [ ("host", string_of_int host_); ("rpc", string_of_int rpc_id) ] in
   Obs.Metrics.counter m ~name:"rpc.tx_pkts" ~labels (fun () -> stats_.Rpc_stats.tx_pkts);

@@ -27,6 +27,7 @@ type server_info = {
   mutable handler_done : bool;
   mutable handler_running : bool;
   mutable req_buf : Msgbuf.t option;
+  mutable spare_req_buf : Msgbuf.t option;
   mutable resp_buf : Msgbuf.t option;
   mutable ecn_pending : bool;
 }
@@ -143,6 +144,7 @@ let server_info sslot =
           handler_done = false;
           handler_running = false;
           req_buf = None;
+          spare_req_buf = None;
           resp_buf = None;
           ecn_pending = false;
         }

@@ -56,6 +56,10 @@ type server_info = {
   mutable handler_done : bool;  (** response enqueued *)
   mutable handler_running : bool;
   mutable req_buf : Msgbuf.t option;
+  mutable spare_req_buf : Msgbuf.t option;
+      (** the previous request's assembly buffer, recycled for the next
+          request on this slot when large enough (eRPC pre-allocates
+          per-sslot msgbufs rather than allocating per request) *)
   mutable resp_buf : Msgbuf.t option;
   mutable ecn_pending : bool;
       (** the request packet that triggered the handler carried an ECN

@@ -1,0 +1,156 @@
+(* Simulator-throughput bench: how fast does the discrete-event engine
+   chew through events, and how much does each event allocate?
+
+   Unlike the paper experiments (which measure *simulated* metrics —
+   Gbps, Mrps, RTTs), this bench measures the simulator itself: CPU
+   seconds, events per wall-clock second, and minor-heap words per event.
+   Each workload runs under both event-queue implementations
+   ({!Sim.Event_queue.Wheel}, the production timing wheel, and
+   {!Sim.Event_queue.Binheap}, the pre-overhaul boxed binary heap kept as
+   baseline); both execute identical event sequences, so the simulated
+   results agree and any delta is pure scheduler cost. *)
+
+type row = {
+  workload : string;
+  impl : string;  (* "wheel" | "binheap" *)
+  wall_s : float;
+  events : int;
+  events_per_sec : float;
+  minor_words_per_event : float;
+}
+
+let impl_name = function Sim.Event_queue.Wheel -> "wheel" | Sim.Event_queue.Binheap -> "binheap"
+
+let impl_of_name = function
+  | "wheel" -> Some Sim.Event_queue.Wheel
+  | "binheap" -> Some Sim.Event_queue.Binheap
+  | _ -> None
+
+(* {2 Workloads}
+
+   Small, fixed-seed deployments chosen to stress different engine
+   behaviours: incast (deep port queues, CC timers), rate (small-RPC
+   pipelining, the Fig. 4 shape), bandwidth (multi-packet messages,
+   credit ping-pong) and chaos (fault schedules: retransmission timers,
+   crashes, partitions). Each returns the number of events executed. *)
+
+let connect_all d ~(pairs : (Erpc.Rpc.t * int) array) =
+  Array.map
+    (fun (rpc, remote_host) -> Harness.connect d rpc ~remote_host ~remote_rpc_id:0)
+    pairs
+
+let incast ~seed () =
+  let degree = 10 in
+  let cluster = Transport.Cluster.cx4 ~nodes:(degree + 1) () in
+  let d =
+    Harness.deploy ~seed cluster ~threads_per_host:1
+      ~register:(Harness.register_echo ~resp_size:32)
+  in
+  let victim = degree in
+  let drivers =
+    Array.init degree (fun h ->
+        let rpc = d.rpcs.(h).(0) in
+        let sessions = connect_all d ~pairs:[| (rpc, victim) |] in
+        Harness.make_driver
+          ~rng:(Sim.Rng.split (Sim.Engine.rng (Erpc.Fabric.engine d.fabric)))
+          ~rpc ~sessions ~window:16 ~req_size:1024 ())
+  in
+  Array.iter Harness.start_driver drivers;
+  Harness.run_ms d 5.0;
+  Sim.Engine.events_processed (Erpc.Fabric.engine d.fabric)
+
+let rate ~seed () =
+  let cluster = Transport.Cluster.cx4 ~nodes:2 () in
+  let d =
+    Harness.deploy ~seed cluster ~threads_per_host:1 ~register:Harness.register_echo
+  in
+  let rpc = d.rpcs.(0).(0) in
+  let sessions = connect_all d ~pairs:[| (rpc, 1) |] in
+  let driver =
+    Harness.make_driver
+      ~rng:(Sim.Rng.split (Sim.Engine.rng (Erpc.Fabric.engine d.fabric)))
+      ~rpc ~sessions ~window:60 ~batch:3 ~req_size:32 ()
+  in
+  Harness.start_driver driver;
+  Harness.run_ms d 5.0;
+  Sim.Engine.events_processed (Erpc.Fabric.engine d.fabric)
+
+let bandwidth ~seed () =
+  let cluster = Transport.Cluster.cx4 ~nodes:2 () in
+  let d =
+    Harness.deploy ~seed cluster ~threads_per_host:1
+      ~register:(Harness.register_echo ~resp_size:32)
+  in
+  let rpc = d.rpcs.(0).(0) in
+  let sessions = connect_all d ~pairs:[| (rpc, 1) |] in
+  let driver =
+    Harness.make_driver
+      ~rng:(Sim.Rng.split (Sim.Engine.rng (Erpc.Fabric.engine d.fabric)))
+      ~rpc ~sessions ~window:2 ~req_size:(256 * 1024) ()
+  in
+  Harness.start_driver driver;
+  Harness.run_ms d 5.0;
+  Sim.Engine.events_processed (Erpc.Fabric.engine d.fabric)
+
+let chaos ~seed () =
+  let total = ref 0 in
+  for i = 0 to 2 do
+    let r = Chaos.run_one ~seed:(Int64.add seed (Int64.of_int (7_919 * i))) () in
+    total := !total + r.Chaos.events
+  done;
+  !total
+
+let workloads =
+  [ ("incast", incast); ("rate", rate); ("bandwidth", bandwidth); ("chaos", chaos) ]
+
+let workload_names = List.map fst workloads
+
+(* {2 Measurement} *)
+
+let run_one ~workload ~impl ~seed =
+  let f =
+    match List.assoc_opt workload workloads with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "Bench_sim.run_one: unknown workload %S" workload)
+  in
+  Sim.Event_queue.set_default_impl impl;
+  Fun.protect ~finally:(fun () -> Sim.Event_queue.set_default_impl Sim.Event_queue.Wheel)
+  @@ fun () ->
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  let t0 = Sys.time () in
+  let events = f ~seed () in
+  let wall_s = Sys.time () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  {
+    workload;
+    impl = impl_name impl;
+    wall_s;
+    events;
+    events_per_sec = (if wall_s > 0. then float_of_int events /. wall_s else 0.);
+    minor_words_per_event = (if events > 0 then words /. float_of_int events else 0.);
+  }
+
+let run_all ?(seed = 42L) ?(impls = [ Sim.Event_queue.Binheap; Sim.Event_queue.Wheel ]) () =
+  List.concat_map
+    (fun (workload, _) -> List.map (fun impl -> run_one ~workload ~impl ~seed) impls)
+    workloads
+
+let row_json r =
+  Obs.Json.Obj
+    [
+      ("workload", Obs.Json.Str r.workload);
+      ("impl", Obs.Json.Str r.impl);
+      ("wall_s", Obs.Json.Float r.wall_s);
+      ("events", Obs.Json.Int r.events);
+      ("events_per_sec", Obs.Json.Float r.events_per_sec);
+      ("minor_words_per_event", Obs.Json.Float r.minor_words_per_event);
+    ]
+
+let to_json rows =
+  Obs.Json.Obj
+    [
+      ("benchmark", Obs.Json.Str "sim_events");
+      ("unit", Obs.Json.Str "events/s");
+      ("rows", Obs.Json.Arr (List.map row_json rows));
+    ]

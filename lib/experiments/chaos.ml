@@ -10,6 +10,7 @@ type run_result = {
   rx_corrupt : int;
   violations : string list;
   trace : string;
+  events : int;
 }
 
 let topology_tors (cluster : Transport.Cluster.t) =
@@ -126,6 +127,7 @@ let run_one ?(hosts = 10) ?(events = 12) ?(requests = 120) ?(horizon_ns = 60_000
     rx_corrupt;
     violations = List.rev !violations;
     trace = Faults.Trace.to_string trace;
+    events = Sim.Engine.events_processed engine;
   }
 
 type suite_result = {

@@ -29,6 +29,7 @@ type run_result = {
   rx_corrupt : int;  (** packets dropped by wire-checksum verification *)
   violations : string list;  (** empty iff all invariants held *)
   trace : string;
+  events : int;  (** simulator events executed by the run (for [bench-sim]) *)
 }
 
 val run_one :

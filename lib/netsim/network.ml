@@ -100,19 +100,23 @@ let deliver t host_id pkt =
   if List.mem n t.armed_drops then begin
     t.armed_drops <- List.filter (fun m -> m <> n) t.armed_drops;
     t.targeted_drops <- t.targeted_drops + 1;
-    trace_drop t pkt "targeted"
+    trace_drop t pkt "targeted";
+    Packet.free pkt
   end
   else if not (t.link_up.(pkt.Packet.src) && t.link_up.(host_id)) then begin
     t.link_drops <- t.link_drops + 1;
-    trace_drop t pkt "link"
+    trace_drop t pkt "link";
+    Packet.free pkt
   end
   else if partitioned t pkt.Packet.src host_id then begin
     t.partition_drops <- t.partition_drops + 1;
-    trace_drop t pkt "partition"
+    trace_drop t pkt "partition";
+    Packet.free pkt
   end
   else if t.loss_prob > 0. && Sim.Rng.bool_with_prob t.rng t.loss_prob then begin
     t.injected_losses <- t.injected_losses + 1;
-    trace_drop t pkt "loss"
+    trace_drop t pkt "loss";
+    Packet.free pkt
   end
   else begin
     if t.corrupt_prob > 0. && Sim.Rng.bool_with_prob t.rng t.corrupt_prob then begin
@@ -126,6 +130,12 @@ let deliver t host_id pkt =
       t.injected_reorders <- t.injected_reorders + 1;
       delay := !delay + 1 + Sim.Rng.int t.rng (max 1 t.reorder_max_ns)
     end;
+    (* Decide duplication before the first delivery: a direct [h.rx] may
+       free (and recycle) the packet synchronously, so the duplicate's
+       extra reference must be taken while ours is still live. [h.rx]
+       never consumes this RNG stream, so the draw order is unchanged. *)
+    let dup = t.dup_prob > 0. && Sim.Rng.bool_with_prob t.rng t.dup_prob in
+    if dup then Packet.retain pkt;
     if !delay = 0 then begin
       trace_deliver t host_id pkt;
       h.rx pkt
@@ -134,9 +144,10 @@ let deliver t host_id pkt =
       Sim.Engine.schedule_after t.engine !delay (fun () ->
           trace_deliver t host_id pkt;
           h.rx pkt);
-    if t.dup_prob > 0. && Sim.Rng.bool_with_prob t.rng t.dup_prob then begin
+    if dup then begin
       (* The duplicate trails the original by a hair, like a replayed
-         frame arriving back-to-back. *)
+         frame arriving back-to-back; the extra reference taken above is
+         released by the second RX. *)
       t.injected_dups <- t.injected_dups + 1;
       Sim.Engine.schedule_after t.engine (!delay + 50) (fun () ->
           trace_deliver t host_id pkt;
@@ -293,7 +304,8 @@ let attach t ~host ~rx = t.hosts.(host).rx <- rx
 let send t pkt =
   if not t.link_up.(pkt.Packet.src) then begin
     t.link_drops <- t.link_drops + 1;
-    trace_drop t pkt "link_tx"
+    trace_drop t pkt "link_tx";
+    Packet.free pkt
   end
   else begin
     pkt.Packet.sent_at <- Sim.Engine.now t.engine;

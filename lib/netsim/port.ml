@@ -10,7 +10,15 @@ type t = {
   lossless : bool;
   rng : Sim.Rng.t;
   sink : Packet.t -> unit;
-  queue : Packet.t Queue.t;
+  queue : Packet.t Sim.Ring.t;
+  (* FIFO stages consumed by the preallocated [on_ser_done]/[on_arrive]
+     events: at most one packet serializes at a time, and cable flight
+     times are constant, so both stages pop in scheduling order and no
+     per-packet closure is ever allocated. *)
+  ser_fly : Packet.t Sim.Ring.t;
+  out_fly : Packet.t Sim.Ring.t;
+  mutable on_ser_done : unit -> unit;
+  mutable on_arrive : unit -> unit;
   mutable queued_bytes : int;
   mutable draining : bool;
   mutable tx_packets : int;
@@ -22,6 +30,40 @@ type t = {
   trace : Obs.Trace.t;
   tid : int;  (* this port's thread track under the network pid *)
 }
+
+(* Queue-occupancy counter sample; rendered by Perfetto as a per-port area
+   chart (switch-buffer occupancy under incast, Table 5's "buffer"). *)
+let trace_queue t ts =
+  Obs.Trace.counter t.trace ~ts ~cat:"net" ~name:t.name ~pid:Obs.Trace.net_pid
+    [
+      ("queued_bytes", Obs.Trace.I t.queued_bytes);
+      ( "pool_used",
+        Obs.Trace.I (match t.pool with Some p -> Buffer_pool.used p | None -> 0) );
+    ]
+
+let serialization t pkt = Sim.Time.of_bytes_at_gbps pkt.Packet.size_bytes t.rate_gbps
+
+let rec drain t =
+  if Sim.Ring.is_empty t.queue then t.draining <- false
+  else begin
+    let pkt = Sim.Ring.take t.queue in
+    let ser = serialization t pkt in
+    Sim.Ring.push t.ser_fly pkt;
+    Sim.Engine.schedule_after t.engine ser t.on_ser_done
+  end
+
+and ser_done t =
+  let pkt = Sim.Ring.take t.ser_fly in
+  t.queued_bytes <- t.queued_bytes - pkt.Packet.size_bytes;
+  (match t.pool with Some pool -> Buffer_pool.release pool pkt.Packet.size_bytes | None -> ());
+  t.tx_packets <- t.tx_packets + 1;
+  t.tx_bytes <- t.tx_bytes + pkt.Packet.size_bytes;
+  if Obs.Trace.enabled t.trace then trace_queue t (Sim.Engine.now t.engine);
+  Sim.Ring.push t.out_fly pkt;
+  Sim.Engine.schedule_after t.engine t.extra_delay_ns t.on_arrive;
+  drain t
+
+and arrive t = t.sink (Sim.Ring.take t.out_fly)
 
 let create engine ~name ~rate_gbps ~extra_delay_ns ?pool ?ecn ?(lossless = false) ~sink () =
   let trace = Sim.Engine.trace engine in
@@ -38,7 +80,11 @@ let create engine ~name ~rate_gbps ~extra_delay_ns ?pool ?ecn ?(lossless = false
       lossless;
       rng = Sim.Rng.split (Sim.Engine.rng engine);
       sink;
-      queue = Queue.create ();
+      queue = Sim.Ring.create ~capacity:64 ~dummy:Packet.nil ();
+      ser_fly = Sim.Ring.create ~capacity:4 ~dummy:Packet.nil ();
+      out_fly = Sim.Ring.create ~capacity:16 ~dummy:Packet.nil ();
+      on_ser_done = (fun () -> ());
+      on_arrive = (fun () -> ());
       queued_bytes = 0;
       draining = false;
       tx_packets = 0;
@@ -51,6 +97,8 @@ let create engine ~name ~rate_gbps ~extra_delay_ns ?pool ?ecn ?(lossless = false
       tid;
     }
   in
+  t.on_ser_done <- (fun () -> ser_done t);
+  t.on_arrive <- (fun () -> arrive t);
   let m = Sim.Engine.metrics engine in
   let labels = [ ("port", name) ] in
   Obs.Metrics.counter m ~name:"port.tx_pkts" ~labels (fun () -> t.tx_packets);
@@ -61,32 +109,6 @@ let create engine ~name ~rate_gbps ~extra_delay_ns ?pool ?ecn ?(lossless = false
   Obs.Metrics.gauge m ~name:"port.max_queued_bytes" ~labels (fun () ->
       float_of_int t.max_queued_bytes);
   t
-
-(* Queue-occupancy counter sample; rendered by Perfetto as a per-port area
-   chart (switch-buffer occupancy under incast, Table 5's "buffer"). *)
-let trace_queue t ts =
-  Obs.Trace.counter t.trace ~ts ~cat:"net" ~name:t.name ~pid:Obs.Trace.net_pid
-    [
-      ("queued_bytes", Obs.Trace.I t.queued_bytes);
-      ( "pool_used",
-        Obs.Trace.I (match t.pool with Some p -> Buffer_pool.used p | None -> 0) );
-    ]
-
-let serialization t pkt = Sim.Time.of_bytes_at_gbps pkt.Packet.size_bytes t.rate_gbps
-
-let rec drain t =
-  match Queue.take_opt t.queue with
-  | None -> t.draining <- false
-  | Some pkt ->
-      let ser = serialization t pkt in
-      Sim.Engine.schedule_after t.engine ser (fun () ->
-          t.queued_bytes <- t.queued_bytes - pkt.Packet.size_bytes;
-          (match t.pool with Some pool -> Buffer_pool.release pool pkt.Packet.size_bytes | None -> ());
-          t.tx_packets <- t.tx_packets + 1;
-          t.tx_bytes <- t.tx_bytes + pkt.Packet.size_bytes;
-          if Obs.Trace.enabled t.trace then trace_queue t (Sim.Engine.now t.engine);
-          Sim.Engine.schedule_after t.engine t.extra_delay_ns (fun () -> t.sink pkt);
-          drain t)
 
 let send t pkt =
   let size = pkt.Packet.size_bytes in
@@ -124,7 +146,7 @@ let send t pkt =
           if Sim.Rng.bool_with_prob t.rng p then pkt.Packet.ecn <- true
         end
     | None -> ());
-    Queue.add pkt t.queue;
+    Sim.Ring.push t.queue pkt;
     t.queued_bytes <- t.queued_bytes + size;
     if t.queued_bytes > t.max_queued_bytes then t.max_queued_bytes <- t.queued_bytes;
     if Obs.Trace.enabled t.trace then begin
@@ -151,12 +173,13 @@ let send t pkt =
           ("size", Obs.Trace.I size);
           ("reason", Obs.Trace.S "buffer");
         ];
+    Packet.free pkt;
     false
   end
 
 let name t = t.name
 let queued_bytes t = t.queued_bytes
-let queued_packets t = Queue.length t.queue
+let queued_packets t = Sim.Ring.length t.queue
 
 let queue_delay t =
   Sim.Time.of_bytes_at_gbps t.queued_bytes t.rate_gbps

@@ -6,7 +6,18 @@ type t = {
   mutable ports : Port.t array;
   mutable num_ports : int;
   routes : (int, int array) Hashtbl.t;
+  (* Packets crossing the switching fabric, paired with their egress port
+     index. The transit latency is constant, so the preallocated [on_hop]
+     event pops in scheduling order — no per-packet closure. *)
+  transit : Packet.t Sim.Ring.t;
+  transit_port : int Sim.Ring.t;
+  mutable on_hop : unit -> unit;
 }
+
+let hop t =
+  let pkt = Sim.Ring.take t.transit in
+  let pi = Sim.Ring.take t.transit_port in
+  ignore (Port.send t.ports.(pi) pkt)
 
 let create engine ~name ~latency_ns ~buffer_bytes ~alpha =
   let t =
@@ -18,8 +29,12 @@ let create engine ~name ~latency_ns ~buffer_bytes ~alpha =
       ports = [||];
       num_ports = 0;
       routes = Hashtbl.create 64;
+      transit = Sim.Ring.create ~capacity:64 ~dummy:Packet.nil ();
+      transit_port = Sim.Ring.create ~capacity:64 ~dummy:0 ();
+      on_hop = (fun () -> ());
     }
   in
+  t.on_hop <- (fun () -> hop t);
   let m = Sim.Engine.metrics engine in
   let labels = [ ("switch", name) ] in
   Obs.Metrics.gauge m ~name:"switch.buffer_used" ~labels (fun () ->
@@ -58,9 +73,9 @@ let receive t pkt =
   | Some candidates ->
       let n = Array.length candidates in
       let idx = if n = 1 then 0 else pkt.Packet.flow_hash mod n in
-      let egress = t.ports.(candidates.(idx)) in
-      Sim.Engine.schedule_after t.engine t.latency_ns (fun () ->
-          ignore (Port.send egress pkt))
+      Sim.Ring.push t.transit pkt;
+      Sim.Ring.push t.transit_port candidates.(idx);
+      Sim.Engine.schedule_after t.engine t.latency_ns t.on_hop
 
 let dropped_packets t =
   let total = ref 0 in

@@ -30,7 +30,14 @@ type t = {
   mutable rx_last_delivery : Sim.Time.t;
   mutable tx_pending : int;
   mutable tx_last_done : Sim.Time.t;
-  rx_ring : Netsim.Packet.t Queue.t;
+  rx_ring : Netsim.Packet.t Sim.Ring.t;
+  (* Packets in the modeled DMA pipelines, consumed FIFO by the
+     preallocated [rx_done]/[tx_done] events so the per-packet hops
+     allocate no closures. *)
+  rx_fly : Netsim.Packet.t Sim.Ring.t;
+  tx_fly : Netsim.Packet.t Sim.Ring.t;
+  mutable rx_done : unit -> unit;
+  mutable tx_done : unit -> unit;
   mutable rx_notify : unit -> unit;
   mutable rq_available : int;
   mutable replenish_partial : int;
@@ -42,6 +49,34 @@ type t = {
   tid : int;  (* the host's "nic" thread track *)
 }
 
+(* RX DMA pipeline completion: drop if no descriptor, else ring the packet
+   for the owner's poll. Deliveries are forced FIFO, so the in-flight ring
+   pops in the same order the completions were scheduled. *)
+let rx_complete t =
+  let pkt = Sim.Ring.take t.rx_fly in
+  if t.rq_available <= 0 then begin
+    t.rx_dropped_no_desc <- t.rx_dropped_no_desc + 1;
+    if Obs.Trace.enabled t.trace then
+      Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"nic"
+        ~name:"rx_drop" ~pid:t.pid ~tid:t.tid
+        [
+          ("id", Obs.Trace.I pkt.Netsim.Packet.trace_id);
+          ("reason", Obs.Trace.S "no_desc");
+        ];
+    Netsim.Packet.free pkt
+  end
+  else begin
+    t.rq_available <- t.rq_available - 1;
+    t.rx_packets <- t.rx_packets + 1;
+    if Obs.Trace.enabled t.trace then
+      Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"nic"
+        ~name:"rx" ~pid:t.pid ~tid:t.tid
+        [ ("id", Obs.Trace.I pkt.Netsim.Packet.trace_id) ];
+    let was_empty = Sim.Ring.is_empty t.rx_ring in
+    Sim.Ring.push t.rx_ring pkt;
+    if was_empty then t.rx_notify ()
+  end
+
 let on_network_rx t pkt =
   (* DMA write + CQE after rx_latency_ns (plus bounded jitter from PCIe and
      DMA-batching variability); drop if no descriptor. Delivery stays FIFO:
@@ -50,28 +85,13 @@ let on_network_rx t pkt =
   let now = Sim.Engine.now t.engine in
   let at = max (now + t.cfg.rx_latency_ns + jitter) t.rx_last_delivery in
   t.rx_last_delivery <- at;
-  Sim.Engine.schedule t.engine at (fun () ->
-      if t.rq_available <= 0 then begin
-        t.rx_dropped_no_desc <- t.rx_dropped_no_desc + 1;
-        if Obs.Trace.enabled t.trace then
-          Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"nic"
-            ~name:"rx_drop" ~pid:t.pid ~tid:t.tid
-            [
-              ("id", Obs.Trace.I pkt.Netsim.Packet.trace_id);
-              ("reason", Obs.Trace.S "no_desc");
-            ]
-      end
-      else begin
-        t.rq_available <- t.rq_available - 1;
-        t.rx_packets <- t.rx_packets + 1;
-        if Obs.Trace.enabled t.trace then
-          Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"nic"
-            ~name:"rx" ~pid:t.pid ~tid:t.tid
-            [ ("id", Obs.Trace.I pkt.Netsim.Packet.trace_id) ];
-        let was_empty = Queue.is_empty t.rx_ring in
-        Queue.add pkt t.rx_ring;
-        if was_empty then t.rx_notify ()
-      end)
+  Sim.Ring.push t.rx_fly pkt;
+  Sim.Engine.schedule t.engine at t.rx_done
+
+let tx_complete t =
+  let pkt = Sim.Ring.take t.tx_fly in
+  t.tx_pending <- t.tx_pending - 1;
+  Netsim.Network.send t.net pkt
 
 let create engine net ~host cfg =
   let trace = Sim.Engine.trace engine in
@@ -88,7 +108,11 @@ let create engine net ~host cfg =
       rx_last_delivery = Sim.Time.zero;
       tx_pending = 0;
       tx_last_done = Sim.Time.zero;
-      rx_ring = Queue.create ();
+      rx_ring = Sim.Ring.create ~capacity:64 ~dummy:Netsim.Packet.nil ();
+      rx_fly = Sim.Ring.create ~capacity:64 ~dummy:Netsim.Packet.nil ();
+      tx_fly = Sim.Ring.create ~capacity:64 ~dummy:Netsim.Packet.nil ();
+      rx_done = (fun () -> ());
+      tx_done = (fun () -> ());
       rx_notify = (fun () -> ());
       rq_available = cfg.rq_size;
       replenish_partial = 0;
@@ -100,6 +124,8 @@ let create engine net ~host cfg =
       tid;
     }
   in
+  t.rx_done <- (fun () -> rx_complete t);
+  t.tx_done <- (fun () -> tx_complete t);
   let m = Sim.Engine.metrics engine in
   let labels = [ ("host", string_of_int host) ] in
   Obs.Metrics.counter m ~name:"nic.rx_pkts" ~labels (fun () -> t.rx_packets);
@@ -122,9 +148,8 @@ let post_send t pkt =
       [ ("id", Obs.Trace.I pkt.Netsim.Packet.trace_id) ];
   let done_at = Sim.Time.add (Sim.Engine.now t.engine) t.cfg.tx_latency_ns in
   if done_at > t.tx_last_done then t.tx_last_done <- done_at;
-  Sim.Engine.schedule_after t.engine t.cfg.tx_latency_ns (fun () ->
-      t.tx_pending <- t.tx_pending - 1;
-      Netsim.Network.send t.net pkt)
+  Sim.Ring.push t.tx_fly pkt;
+  Sim.Engine.schedule_after t.engine t.cfg.tx_latency_ns t.tx_done
 
 let tx_pending t = t.tx_pending
 
@@ -133,17 +158,15 @@ let flush_time_ns t =
   let wait = if t.tx_pending > 0 then max 0 (Sim.Time.sub t.tx_last_done now) else 0 in
   wait + t.cfg.tx_flush_ns
 
-let poll_rx t ~max =
-  let rec take acc n =
-    if n = 0 then List.rev acc
-    else
-      match Queue.take_opt t.rx_ring with
-      | None -> List.rev acc
-      | Some pkt -> take (pkt :: acc) (n - 1)
-  in
-  take [] max
+let poll_rx t ~max f =
+  let n = ref 0 in
+  while !n < max && not (Sim.Ring.is_empty t.rx_ring) do
+    incr n;
+    f (Sim.Ring.take t.rx_ring)
+  done;
+  !n
 
-let rx_ring_depth t = Queue.length t.rx_ring
+let rx_ring_depth t = Sim.Ring.length t.rx_ring
 let set_rx_notify t f = t.rx_notify <- f
 
 let replenish_rq t n =
@@ -158,7 +181,10 @@ let replenish_rq t n =
   else n * t.cfg.rq_replenish_unit_ns
 
 let clear_rx t =
-  Queue.clear t.rx_ring;
+  (* Packets stranded in the ring die with the crashed process. *)
+  while not (Sim.Ring.is_empty t.rx_ring) do
+    Netsim.Packet.free (Sim.Ring.take t.rx_ring)
+  done;
   t.rq_available <- t.cfg.rq_size;
   t.replenish_partial <- 0
 

@@ -62,8 +62,9 @@ val flush_time_ns : t -> int
 
 (** {2 RX path} *)
 
-(** Packets DMA-ed to host memory, awaiting a poll. *)
-val poll_rx : t -> max:int -> Netsim.Packet.t list
+(** Poll up to [max] packets DMA-ed to host memory, invoking the callback
+    on each in FIFO order; returns the count polled. *)
+val poll_rx : t -> max:int -> (Netsim.Packet.t -> unit) -> int
 
 val rx_ring_depth : t -> int
 

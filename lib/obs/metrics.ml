@@ -10,17 +10,27 @@ type source =
   | Histogram of Stats.Hist.t
 
 type entry = { name : string; labels : (string * string) list; source : source }
-type t = { mutable entries : entry list (* reverse registration order *) }
 
-let create () = { entries = [] }
+type t = {
+  mutable entries : entry list;  (* reverse registration order *)
+  keys : (string * (string * string) list, unit) Hashtbl.t;
+      (* registered (name, labels) pairs: makes first-time registration
+         O(1) — a fabric with tens of thousands of sessions registers one
+         gauge per session, and filtering the whole list each time made
+         that quadratic *)
+}
+
+let create () = { entries = []; keys = Hashtbl.create 64 }
 
 let register t ~name ~labels source =
   (* Re-registering the same (name, labels) replaces the old source, so a
      component recreated mid-run (e.g. a reconnect) does not leave a stale
-     closure behind. *)
-  t.entries <-
-    { name; labels; source }
-    :: List.filter (fun e -> not (e.name = name && e.labels = labels)) t.entries
+     closure behind. Only that rare path pays the list walk. *)
+  let key = (name, labels) in
+  if Hashtbl.mem t.keys key then
+    t.entries <- List.filter (fun e -> not (e.name = name && e.labels = labels)) t.entries
+  else Hashtbl.add t.keys key ();
+  t.entries <- { name; labels; source } :: t.entries
 
 let counter t ~name ?(labels = []) f = register t ~name ~labels (Counter f)
 let gauge t ~name ?(labels = []) f = register t ~name ~labels (Gauge f)

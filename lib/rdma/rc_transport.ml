@@ -28,7 +28,13 @@ module Impl = struct
     tx_flush_ns : int;
     conn_miss_ns : int;
     cache : Conn_cache.t;
-    rx_ring : Netsim.Packet.t Queue.t;
+    rx_ring : Netsim.Packet.t Sim.Ring.t;
+    (* FIFO pipelines consumed by the preallocated [rx_done]/[tx_done]
+       events: the per-packet hops allocate no closures. *)
+    rx_fly : Netsim.Packet.t Sim.Ring.t;
+    tx_fly : Netsim.Packet.t Sim.Ring.t;
+    mutable rx_done : unit -> unit;
+    mutable tx_done : unit -> unit;
     mutable rx_notify : unit -> unit;
     mutable rx_last_delivery : Sim.Time.t;
     mutable tx_last_enter : Sim.Time.t;
@@ -46,6 +52,11 @@ module Impl = struct
   let max_data_per_pkt t = t.mtu
   let rq_size t = t.rq_size_
 
+  let tx_complete t =
+    let pkt = Sim.Ring.take t.tx_fly in
+    t.tx_pending_ <- t.tx_pending_ - 1;
+    Netsim.Network.send t.net pkt
+
   let tx_burst t pkt =
     (* Connection-state lookup in NIC SRAM; a miss fetches ~375 B of RC
        state over PCIe before the descriptor can be processed. *)
@@ -59,9 +70,8 @@ module Impl = struct
     let enter = max (Sim.Time.add now lat) t.tx_last_enter in
     t.tx_last_enter <- enter;
     if enter > t.tx_last_done then t.tx_last_done <- enter;
-    Sim.Engine.schedule t.engine enter (fun () ->
-        t.tx_pending_ <- t.tx_pending_ - 1;
-        Netsim.Network.send t.net pkt)
+    Sim.Ring.push t.tx_fly pkt;
+    Sim.Engine.schedule t.engine enter t.tx_done
 
   let tx_pending t = t.tx_pending_
 
@@ -70,17 +80,15 @@ module Impl = struct
     let wait = if t.tx_pending_ > 0 then max 0 (Sim.Time.sub t.tx_last_done now) else 0 in
     wait + t.tx_flush_ns
 
-  let rx_burst t ~max =
-    let rec take acc n =
-      if n = 0 then List.rev acc
-      else
-        match Queue.take_opt t.rx_ring with
-        | None -> List.rev acc
-        | Some pkt -> take (pkt :: acc) (n - 1)
-    in
-    take [] max
+  let rx_burst t ~max f =
+    let n = ref 0 in
+    while !n < max && not (Sim.Ring.is_empty t.rx_ring) do
+      incr n;
+      f (Sim.Ring.take t.rx_ring)
+    done;
+    !n
 
-  let rx_ring_depth t = Queue.length t.rx_ring
+  let rx_ring_depth t = Sim.Ring.length t.rx_ring
   let set_rx_notify t f = t.rx_notify <- f
 
   let replenish_rx t n =
@@ -92,20 +100,26 @@ module Impl = struct
     t.replenish_partial <- total mod t.stride;
     posts * t.replenish_unit_ns
 
+  let rx_complete t =
+    let pkt = Sim.Ring.take t.rx_fly in
+    t.rx_packets_ <- t.rx_packets_ + 1;
+    let was_empty = Sim.Ring.is_empty t.rx_ring in
+    Sim.Ring.push t.rx_ring pkt;
+    if was_empty then t.rx_notify ()
+
   let receive t pkt =
     (* Fixed RX pipeline delay, FIFO delivery, and — lossless — never a
        drop: link-level flow control backpressures the sender instead. *)
     let now = Sim.Engine.now t.engine in
     let at = max (Sim.Time.add now t.rx_ns) t.rx_last_delivery in
     t.rx_last_delivery <- at;
-    Sim.Engine.schedule t.engine at (fun () ->
-        t.rx_packets_ <- t.rx_packets_ + 1;
-        let was_empty = Queue.is_empty t.rx_ring in
-        Queue.add pkt t.rx_ring;
-        if was_empty then t.rx_notify ())
+    Sim.Ring.push t.rx_fly pkt;
+    Sim.Engine.schedule t.engine at t.rx_done
 
   let reset_rx t =
-    Queue.clear t.rx_ring;
+    while not (Sim.Ring.is_empty t.rx_ring) do
+      Netsim.Packet.free (Sim.Ring.take t.rx_ring)
+    done;
     t.replenish_partial <- 0
 
   let rx_packets t = t.rx_packets_
@@ -116,28 +130,35 @@ end
 let create ?(conn_miss_ns = 120) ?cache engine net ~host (cluster : Transport.Cluster.t) =
   let qp = Qp.default_config cluster in
   let nic = cluster.nic_config in
-  Transport.Iface.T
-    ( (module Impl : Transport.Iface.S with type t = Impl.t),
-      {
-        Impl.engine;
-        net;
-        host;
-        mtu = cluster.mtu;
-        rq_size_ = nic.Nic.rq_size;
-        tx_ns = qp.Qp.nic_tx_ns;
-        rx_ns = qp.Qp.nic_rx_ns;
-        tx_flush_ns = nic.Nic.tx_flush_ns;
-        conn_miss_ns;
-        cache = (match cache with Some c -> c | None -> Conn_cache.create_default ());
-        rx_ring = Queue.create ();
-        rx_notify = (fun () -> ());
-        rx_last_delivery = Sim.Time.zero;
-        tx_last_enter = Sim.Time.zero;
-        tx_last_done = Sim.Time.zero;
-        tx_pending_ = 0;
-        stride = nic.Nic.multi_packet_rq_stride;
-        replenish_unit_ns = nic.Nic.rq_replenish_unit_ns;
-        replenish_partial = 0;
-        rx_packets_ = 0;
-        tx_packets_ = 0;
-      } )
+  let t =
+    {
+      Impl.engine;
+      net;
+      host;
+      mtu = cluster.mtu;
+      rq_size_ = nic.Nic.rq_size;
+      tx_ns = qp.Qp.nic_tx_ns;
+      rx_ns = qp.Qp.nic_rx_ns;
+      tx_flush_ns = nic.Nic.tx_flush_ns;
+      conn_miss_ns;
+      cache = (match cache with Some c -> c | None -> Conn_cache.create_default ());
+      rx_ring = Sim.Ring.create ~capacity:64 ~dummy:Netsim.Packet.nil ();
+      rx_fly = Sim.Ring.create ~capacity:64 ~dummy:Netsim.Packet.nil ();
+      tx_fly = Sim.Ring.create ~capacity:64 ~dummy:Netsim.Packet.nil ();
+      rx_done = (fun () -> ());
+      tx_done = (fun () -> ());
+      rx_notify = (fun () -> ());
+      rx_last_delivery = Sim.Time.zero;
+      tx_last_enter = Sim.Time.zero;
+      tx_last_done = Sim.Time.zero;
+      tx_pending_ = 0;
+      stride = nic.Nic.multi_packet_rq_stride;
+      replenish_unit_ns = nic.Nic.rq_replenish_unit_ns;
+      replenish_partial = 0;
+      rx_packets_ = 0;
+      tx_packets_ = 0;
+    }
+  in
+  t.Impl.rx_done <- (fun () -> Impl.rx_complete t);
+  t.Impl.tx_done <- (fun () -> Impl.tx_complete t);
+  Transport.Iface.T ((module Impl : Transport.Iface.S with type t = Impl.t), t)

@@ -1,0 +1,106 @@
+type 'a entry = { time : Time.t; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array; (* entries beyond [size] are [nil] *)
+  mutable size : int;
+  mutable next_seq : int;
+  mutable last : Time.t;
+}
+
+(* Shared inert entry used to pad the backing array. Its payload is never
+   read: every slot below [size] holds a real entry. Padding with a single
+   sentinel (rather than a live entry, as the old implementation did) is
+   what keeps popped closures from being pinned against GC. *)
+let nil : 'a entry = { time = min_int; seq = min_int; payload = Obj.magic 0 }
+
+let initial_capacity = 64
+
+let create () =
+  { heap = Array.make initial_capacity nil; size = 0; next_seq = 0; last = Time.zero }
+
+let is_empty t = t.size = 0
+let length t = t.size
+let last_time t = t.last
+
+let entry_before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let h = Array.make (2 * Array.length t.heap) nil in
+  Array.blit t.heap 0 h 0 t.size;
+  t.heap <- h
+
+let push t time payload =
+  if t.size >= Array.length t.heap then grow t;
+  let e = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.heap.(!i) <- e;
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if entry_before t.heap.(!i) t.heap.(parent) then begin
+      let tmp = t.heap.(parent) in
+      t.heap.(parent) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && entry_before t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && entry_before t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+(* Remove the root. The vacated tail slot is reset to [nil] so the dead
+   entry (and the closure it boxes) is garbage immediately. *)
+let remove_top t =
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- nil;
+    sift_down t
+  end
+  else t.heap.(0) <- nil
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    remove_top t;
+    t.last <- top.time;
+    Some (top.time, top.payload)
+  end
+
+let pop_if_before t horizon ~default =
+  if t.size = 0 then default
+  else begin
+    let top = t.heap.(0) in
+    if top.time > horizon then default
+    else begin
+      remove_top t;
+      t.last <- top.time;
+      top.payload
+    end
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+let clear t =
+  Array.fill t.heap 0 t.size nil;
+  t.size <- 0;
+  t.next_seq <- 0

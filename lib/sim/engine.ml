@@ -7,9 +7,9 @@ type t = {
   metrics : Obs.Metrics.t;
 }
 
-let create ?(seed = 42L) () =
+let create ?(seed = 42L) ?queue_impl () =
   {
-    queue = Event_queue.create ();
+    queue = Event_queue.create ?impl:queue_impl ();
     clock = Time.zero;
     master_rng = Rng.create seed;
     executed = 0;
@@ -40,16 +40,37 @@ let step t =
       f ();
       true
 
-let run t = while step t do () done
+(* Sentinel for the fused pop: a statically allocated closure no caller
+   can accidentally schedule (closures without free variables are unique
+   per definition site). *)
+let null_event () = ()
 
 let run_until t horizon =
+  let q = t.queue in
   let continue = ref true in
   while !continue do
-    match Event_queue.peek_time t.queue with
-    | Some at when at <= horizon -> ignore (step t)
-    | _ -> continue := false
+    let f = Event_queue.pop_if_before q horizon ~default:null_event in
+    if f == null_event then continue := false
+    else begin
+      t.clock <- Event_queue.last_time q;
+      t.executed <- t.executed + 1;
+      f ()
+    end
   done;
   if t.clock < horizon then t.clock <- horizon
+
+let run t =
+  let q = t.queue in
+  let continue = ref true in
+  while !continue do
+    let f = Event_queue.pop_if_before q max_int ~default:null_event in
+    if f == null_event then continue := false
+    else begin
+      t.clock <- Event_queue.last_time q;
+      t.executed <- t.executed + 1;
+      f ()
+    end
+  done
 
 let events_processed t = t.executed
 let pending t = Event_queue.length t.queue

@@ -7,7 +7,10 @@
 
 type t
 
-val create : ?seed:int64 -> unit -> t
+(** [queue_impl] selects the event-queue implementation (defaults to the
+    current {!Event_queue.set_default_impl} setting); both implementations
+    execute identical event sequences. *)
+val create : ?seed:int64 -> ?queue_impl:Event_queue.impl -> unit -> t
 
 (** Current simulated time. *)
 val now : t -> Time.t

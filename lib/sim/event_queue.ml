@@ -1,81 +1,30 @@
-type 'a entry = { time : Time.t; seq : int; payload : 'a }
+type impl = Wheel | Binheap
 
-type 'a t = {
-  mutable heap : 'a entry array; (* heap.(0) unused when size = 0 *)
-  mutable size : int;
-  mutable next_seq : int;
-}
+let default_impl = ref Wheel
+let set_default_impl i = default_impl := i
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+type 'a t = W of 'a Timing_wheel.t | H of 'a Binheap.t
 
-let is_empty t = t.size = 0
-let length t = t.size
+let create ?impl () =
+  match match impl with Some i -> i | None -> !default_impl with
+  | Wheel -> W (Timing_wheel.create ())
+  | Binheap -> H (Binheap.create ())
 
-let entry_before a b =
-  a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-(* Only called with a non-empty heap: [push] seeds the first array itself. *)
-let grow t =
-  let cap = Array.length t.heap in
-  assert (cap > 0);
-  let h = Array.make (cap * 2) t.heap.(0) in
-  Array.blit t.heap 0 h 0 t.size;
-  t.heap <- h
+let is_empty = function W q -> Timing_wheel.is_empty q | H q -> Binheap.is_empty q
+let length = function W q -> Timing_wheel.length q | H q -> Binheap.length q
 
 let push t time payload =
-  if t.size >= Array.length t.heap then begin
-    if Array.length t.heap = 0 then t.heap <- Array.make 64 { time; seq = 0; payload };
-    if t.size >= Array.length t.heap then grow t
-  end;
-  let e = { time; seq = t.next_seq; payload } in
-  t.next_seq <- t.next_seq + 1;
-  let i = ref t.size in
-  t.size <- t.size + 1;
-  t.heap.(!i) <- e;
-  (* sift up *)
-  let continue = ref true in
-  while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if entry_before t.heap.(!i) t.heap.(parent) then begin
-      let tmp = t.heap.(parent) in
-      t.heap.(parent) <- t.heap.(!i);
-      t.heap.(!i) <- tmp;
-      i := parent
-    end
-    else continue := false
-  done
+  match t with
+  | W q -> Timing_wheel.push q time payload
+  | H q -> Binheap.push q time payload
 
-let sift_down t =
-  let i = ref 0 in
-  let continue = ref true in
-  while !continue do
-    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-    let smallest = ref !i in
-    if l < t.size && entry_before t.heap.(l) t.heap.(!smallest) then smallest := l;
-    if r < t.size && entry_before t.heap.(r) t.heap.(!smallest) then smallest := r;
-    if !smallest <> !i then begin
-      let tmp = t.heap.(!smallest) in
-      t.heap.(!smallest) <- t.heap.(!i);
-      t.heap.(!i) <- tmp;
-      i := !smallest
-    end
-    else continue := false
-  done
+let pop = function W q -> Timing_wheel.pop q | H q -> Binheap.pop q
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      sift_down t
-    end;
-    Some (top.time, top.payload)
-  end
+let pop_if_before t horizon ~default =
+  match t with
+  | W q -> Timing_wheel.pop_if_before q horizon ~default
+  | H q -> Binheap.pop_if_before q horizon ~default
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
-
-let clear t =
-  t.size <- 0;
-  t.next_seq <- 0
+let last_time = function W q -> Timing_wheel.last_time q | H q -> Binheap.last_time q
+let peek_time = function W q -> Timing_wheel.peek_time q | H q -> Binheap.peek_time q
+let clear = function W q -> Timing_wheel.clear q | H q -> Binheap.clear q

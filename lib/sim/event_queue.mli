@@ -1,17 +1,41 @@
-(** Priority queue of timestamped events (binary min-heap).
+(** Priority queue of timestamped events.
 
     Ties on the timestamp are broken by insertion order, so the engine is
-    fully deterministic for a given seed. *)
+    fully deterministic for a given seed.
+
+    Two interchangeable implementations share this interface: the
+    production {!Timing_wheel} (calendar queue with a cell free-list;
+    steady-state scheduling allocates nothing) and the legacy {!Binheap}
+    (the original boxed-entry binary heap, kept as reference oracle and
+    pre-overhaul baseline for [bench-sim]). Both pop the exact same
+    sequence for the same pushes, so traces are byte-identical across
+    implementations. *)
+
+type impl = Wheel | Binheap
+
+(** Implementation used by [create] when [?impl] is not given. Defaults
+    to [Wheel]; flipping it (e.g. around a benchmark or an A/B test) has
+    no effect on observable event order. *)
+val set_default_impl : impl -> unit
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?impl:impl -> unit -> 'a t
 val is_empty : 'a t -> bool
 val length : 'a t -> int
 val push : 'a t -> Time.t -> 'a -> unit
 
 (** Earliest (time, event), or [None] if empty. *)
 val pop : 'a t -> (Time.t * 'a) option
+
+(** [pop_if_before t horizon ~default] pops and returns the earliest
+    payload if its time is [<= horizon]; otherwise returns [default] and
+    leaves the queue untouched. Allocation-free — this is the engine's
+    fused peek+pop. Read the popped event's timestamp with {!last_time}. *)
+val pop_if_before : 'a t -> Time.t -> default:'a -> 'a
+
+(** Timestamp of the most recently popped event. *)
+val last_time : 'a t -> Time.t
 
 val peek_time : 'a t -> Time.t option
 val clear : 'a t -> unit

@@ -11,7 +11,7 @@ module type S = sig
   val tx_burst : t -> Netsim.Packet.t -> unit
   val tx_pending : t -> int
   val flush_time_ns : t -> int
-  val rx_burst : t -> max:int -> Netsim.Packet.t list
+  val rx_burst : t -> max:int -> (Netsim.Packet.t -> unit) -> int
   val rx_ring_depth : t -> int
   val set_rx_notify : t -> (unit -> unit) -> unit
   val replenish_rx : t -> int -> int
@@ -31,7 +31,7 @@ let rq_size (T ((module M), x)) = M.rq_size x
 let tx_burst (T ((module M), x)) pkt = M.tx_burst x pkt
 let tx_pending (T ((module M), x)) = M.tx_pending x
 let flush_time_ns (T ((module M), x)) = M.flush_time_ns x
-let rx_burst (T ((module M), x)) ~max = M.rx_burst x ~max
+let rx_burst (T ((module M), x)) ~max f = M.rx_burst x ~max f
 let rx_ring_depth (T ((module M), x)) = M.rx_ring_depth x
 let set_rx_notify (T ((module M), x)) f = M.set_rx_notify x f
 let replenish_rx (T ((module M), x)) n = M.replenish_rx x n

@@ -42,8 +42,10 @@ module type S = sig
       and node failure, §4.2.2); the caller charges it to its CPU. *)
   val flush_time_ns : t -> int
 
-  (** Poll up to [max] packets from the RX ring. *)
-  val rx_burst : t -> max:int -> Netsim.Packet.t list
+  (** Poll up to [max] packets from the RX ring, invoking the callback on
+      each in FIFO order; returns the count. Callback iteration keeps the
+      hot RX path list-free. *)
+  val rx_burst : t -> max:int -> (Netsim.Packet.t -> unit) -> int
 
   val rx_ring_depth : t -> int
 
@@ -80,7 +82,7 @@ val rq_size : t -> int
 val tx_burst : t -> Netsim.Packet.t -> unit
 val tx_pending : t -> int
 val flush_time_ns : t -> int
-val rx_burst : t -> max:int -> Netsim.Packet.t list
+val rx_burst : t -> max:int -> (Netsim.Packet.t -> unit) -> int
 val rx_ring_depth : t -> int
 val set_rx_notify : t -> (unit -> unit) -> unit
 val replenish_rx : t -> int -> int

@@ -12,7 +12,7 @@ module Impl = struct
   let tx_burst t pkt = Nic.post_send t.nic pkt
   let tx_pending t = Nic.tx_pending t.nic
   let flush_time_ns t = Nic.flush_time_ns t.nic
-  let rx_burst t ~max = Nic.poll_rx t.nic ~max
+  let rx_burst t ~max f = Nic.poll_rx t.nic ~max f
   let rx_ring_depth t = Nic.rx_ring_depth t.nic
   let set_rx_notify t f = Nic.set_rx_notify t.nic f
   let replenish_rx t n = Nic.replenish_rq t.nic n

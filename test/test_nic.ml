@@ -24,8 +24,10 @@ let test_rx_ring_and_poll () =
   done;
   Sim.Engine.run e;
   check_int "ring depth" 5 (Nic.rx_ring_depth nic);
-  let batch = Nic.poll_rx nic ~max:3 in
-  check_int "poll batch" 3 (List.length batch);
+  let polled = ref 0 in
+  let n = Nic.poll_rx nic ~max:3 (fun _ -> incr polled) in
+  check_int "poll batch" 3 n;
+  check_int "callback per packet" 3 !polled;
   check_int "remaining" 2 (Nic.rx_ring_depth nic);
   check_int "rx stat" 5 (Nic.rx_packets nic)
 
@@ -94,7 +96,7 @@ let test_rx_notify_fires_on_empty_ring_only () =
   done;
   Sim.Engine.run e;
   check_int "one notify for the burst" 1 !notifies;
-  ignore (Nic.poll_rx nic ~max:10);
+  ignore (Nic.poll_rx nic ~max:10 (fun _ -> ()));
   Netsim.Network.send net (mk_pkt ~src:0 ~dst:1 ());
   Sim.Engine.run e;
   check_int "notify again after drain" 2 !notifies
@@ -110,7 +112,9 @@ let test_jitter_preserves_fifo () =
     Netsim.Network.send net (mk_pkt ~size:(100 + i) ~src:0 ~dst:1 ())
   done;
   Sim.Engine.run e;
-  let sizes = List.map (fun p -> p.Netsim.Packet.size_bytes) (Nic.poll_rx nic ~max:100) in
+  let sizes = ref [] in
+  ignore (Nic.poll_rx nic ~max:100 (fun p -> sizes := p.Netsim.Packet.size_bytes :: !sizes));
+  let sizes = List.rev !sizes in
   Alcotest.(check (list int)) "FIFO under jitter" (List.init 50 (fun i -> 101 + i)) sizes
 
 let suite =
