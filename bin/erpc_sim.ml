@@ -200,15 +200,107 @@ let scalability_cmd =
 
 (* raft *)
 let raft_cmd =
-  let run samples =
+  let run samples seed json out =
     let r = Experiments.Exp_raft.run ~samples () in
-    Printf.printf "replicated PUT: client p50=%.1f p99=%.1f us; leader commit p50=%.1f p99=%.1f us\n"
-      r.client_p50_us r.client_p99_us r.leader_p50_us r.leader_p99_us
+    Printf.printf
+      "replicated PUT: client p50=%.1f p99=%.1f us; leader commit p50=%.1f p99=%.1f us (%d puts, %d errors)\n"
+      r.client_p50_us r.client_p99_us r.leader_p50_us r.leader_p99_us r.puts r.errors;
+    if json || out <> None then begin
+      let doc =
+        Obs.Json.Obj
+          [
+            ("benchmark", Obs.Json.Str "raft_kv");
+            ("unit", Obs.Json.Str "us");
+            ( "rows",
+              Obs.Json.Arr
+                [
+                  Obs.Json.Obj
+                    [
+                      ("row", Obs.Json.Str "table6");
+                      ("client_p50_us", Obs.Json.Float r.client_p50_us);
+                      ("client_p99_us", Obs.Json.Float r.client_p99_us);
+                      ("leader_p50_us", Obs.Json.Float r.leader_p50_us);
+                      ("leader_p99_us", Obs.Json.Float r.leader_p99_us);
+                      ("puts", Obs.Json.Int r.puts);
+                      ("errors", Obs.Json.Int r.errors);
+                    ];
+                  Obs.Json.Obj
+                    [
+                      ("row", Obs.Json.Str "sharded_baseline");
+                      ("detail", Experiments.Exp_kv_chaos.baseline_json ~seed ());
+                    ];
+                ] );
+          ]
+      in
+      let s = Obs.Json.to_string doc in
+      match out with
+      | None ->
+          print_string s;
+          print_newline ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc s;
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "wrote %s\n" file
+    end
   in
   let samples = Arg.(value & opt int 3_000 & info [ "samples" ] ~docv:"N" ~doc:"PUTs.") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the BENCH_raft_kv.json document here.")
+  in
   Cmd.v
     (Cmd.info "raft" ~doc:"Table 6: 3-way replicated PUT latency (Raft over eRPC)")
-    Term.(const run $ samples)
+    Term.(const run $ samples $ seed_arg $ json_arg $ out)
+
+(* kv-chaos *)
+let kv_chaos_cmd =
+  let run seeds verbose json out =
+    let s = Experiments.Exp_kv_chaos.run_suite ~seeds () in
+    List.iter
+      (fun r ->
+        Format.printf "%a@." Experiments.Exp_kv_chaos.pp_run r;
+        if verbose then print_string r.Experiments.Exp_kv_chaos.trace)
+      s.runs;
+    let bad =
+      List.filter (fun r -> r.Experiments.Exp_kv_chaos.violations <> []) s.runs
+      |> List.length
+    in
+    Printf.printf "%d/%d schedules clean; deterministic=%b\n" (seeds - bad) seeds
+      s.deterministic;
+    (if json || out <> None then
+       let str = Obs.Json.to_string (Experiments.Exp_kv_chaos.suite_to_json s) in
+       match out with
+       | None ->
+           print_string str;
+           print_newline ()
+       | Some file ->
+           let oc = open_out file in
+           output_string oc str;
+           output_char oc '\n';
+           close_out oc;
+           Printf.printf "wrote %s\n" file);
+    if bad > 0 || not s.deterministic then exit 1
+  in
+  let seeds =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc:"Seeded fault schedules to run.")
+  in
+  let verbose = Arg.(value & flag & info [ "trace" ] ~doc:"Print each run's fault trace.") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report here.")
+  in
+  Cmd.v
+    (Cmd.info "kv-chaos"
+       ~doc:
+         "Replicated-KV failover chaos: availability timeline, tail latency and \
+          exactly-once invariants under leader crashes, partitions and rolling restarts")
+    Term.(const run $ seeds $ verbose $ json_arg $ out)
 
 (* masstree *)
 let masstree_cmd =
@@ -512,6 +604,7 @@ let () =
             raft_cmd;
             masstree_cmd;
             chaos_cmd;
+            kv_chaos_cmd;
             bench_sim_cmd;
             session_scale_cmd;
             rdma_cmd;

@@ -9,6 +9,7 @@ type t = {
   mutable failure_watchers : (int -> unit) list;
   mutable kill_watchers : (int -> unit) list;
   mutable restart_watchers : (int -> unit) list;
+  mutable next_session_token : int;
 }
 
 let create ?(seed = 42L) ?config ?cost ?trace cluster =
@@ -30,7 +31,18 @@ let create ?(seed = 42L) ?config ?cost ?trace cluster =
     failure_watchers = [];
     kill_watchers = [];
     restart_watchers = [];
+    next_session_token = 1;
   }
+
+(* Session tokens are unique fabric-wide and never reused, even across
+   crash-restart cycles of a host (real eRPC's uniqueness token). A
+   restarted Rpc reuses session *numbers* from zero; the token is what
+   lets the data plane tell a new session apart from a stale peer still
+   addressing the old one. *)
+let fresh_session_token t =
+  let tok = t.next_session_token in
+  t.next_session_token <- tok + 1;
+  tok
 
 let engine t = t.engine
 let cluster t = t.cluster

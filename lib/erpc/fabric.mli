@@ -22,6 +22,12 @@ val create :
     the engine keeps [Obs.Trace.disabled] and hooks are branch-only. *)
 
 val engine : t -> Sim.Engine.t
+
+(** A fabric-wide unique session token, never reused — including across
+    crash-restart cycles of a host. Stamped into every data packet so a
+    receiver can reject stale traffic addressed to a recycled session
+    number (real eRPC's session uniqueness token). *)
+val fresh_session_token : t -> int
 val cluster : t -> Transport.Cluster.t
 val net : t -> Netsim.Network.t
 val config : t -> Config.t

@@ -7,6 +7,7 @@ type t = {
   pkt_type : pkt_type;
   pkt_num : int;
   req_num : int;
+  token : int;
   ecn_echo : bool;
 }
 
@@ -41,6 +42,7 @@ let checksum t ~data ~off ~len =
   let h = fnv_step h (pkt_type_code t.pkt_type) in
   let h = fnv_step h t.pkt_num in
   let h = fnv_step h t.req_num in
+  let h = fnv_step h t.token in
   let h = fnv_step h (if t.ecn_echo then 1 else 0) in
   bytes_checksum ~init:h data ~off ~len
 

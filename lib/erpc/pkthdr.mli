@@ -22,6 +22,11 @@ type t = {
           Cr: index of the request packet being acknowledged;
           Rfr: index of the response packet being requested. *)
   req_num : int;  (** per-slot request sequence number (at-most-once) *)
+  token : int;
+      (** session uniqueness token: both endpoints stamp the client-chosen
+          fabric-unique token so a receiver can drop stale packets
+          addressed to a recycled session number (e.g. from a peer that
+          has not yet noticed a crash-restart) *)
   ecn_echo : bool;
       (** server->client: the acknowledged client packet carried an ECN
           mark (DCQCN's congestion notification, reflected by the

@@ -209,6 +209,7 @@ and send_tx_item t slot args cli =
           pkt_type = Pkthdr.Req;
           pkt_num = k;
           req_num = slot.req_num;
+          token = sess.token;
           ecn_echo = false;
         }
       in
@@ -229,6 +230,7 @@ and send_tx_item t slot args cli =
           pkt_type = Pkthdr.Rfr;
           pkt_num = k - cli.n_req_pkts + 1;
           req_num = slot.req_num;
+          token = sess.token;
           ecn_echo = false;
         }
       in
@@ -326,6 +328,12 @@ and rx_pkt t pkt =
       if sn >= 0 && sn < Array.length t.sessions then
         match t.sessions.(sn) with
         | None -> ()
+        | Some sess when hdr.Pkthdr.token <> sess.token ->
+            (* Stale traffic for a recycled session number: the sender has
+               not yet noticed that the session it knew died (typically a
+               crash-restart it could not observe). Without this check the
+               packet would be matched to an unrelated session's slot. *)
+            t.stats.Rpc_stats.rx_stale <- t.stats.Rpc_stats.rx_stale + 1
         | Some sess -> (
             let slot = Session.slot sess (hdr.req_num mod t.cfg.req_window) in
             match (hdr.pkt_type, sess.role) with
@@ -459,6 +467,7 @@ and send_server_pkt t sess slot ~pkt_type ~pkt_num ~msg_size ~payload ~req_type 
       pkt_type;
       pkt_num;
       req_num = slot.req_num;
+      token = sess.token;
       ecn_echo;
     }
   in

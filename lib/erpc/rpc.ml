@@ -334,8 +334,9 @@ let make_cc t ~sn =
 let create_session t ~remote_host ~remote_rpc_id ?(on_connect = fun _ -> ()) () =
   check_session_budget t;
   let sn = Proto.fresh_sn t.proto in
+  let token = Fabric.fresh_session_token (Nexus.fabric t.nexus_) in
   let sess =
-    Session.create ~sn ~role:Client ~remote_host ~remote_rpc_id
+    Session.create ~sn ~role:Client ~token ~remote_host ~remote_rpc_id
       ~credits:t.cfg.session_credits ~req_window:t.cfg.req_window
   in
   sess.cc <- make_cc t ~sn;
@@ -343,13 +344,19 @@ let create_session t ~remote_host ~remote_rpc_id ?(on_connect = fun _ -> ()) () 
   Proto.add_session t.proto sess;
   Fabric.send_sm (Nexus.fabric t.nexus_) ~dst_host:remote_host ~dst_rpc:remote_rpc_id
     (Sm.Connect_req
-       { client_host = t.host_; client_rpc = t.rpc_id; client_sn = sn; credits = t.cfg.session_credits });
+       {
+         client_host = t.host_;
+         client_rpc = t.rpc_id;
+         client_sn = sn;
+         token;
+         credits = t.cfg.session_credits;
+       });
   sess
 
-let accept_session t ~client_host ~client_rpc ~client_sn =
+let accept_session t ~client_host ~client_rpc ~client_sn ~token =
   let sn = Proto.fresh_sn t.proto in
   let sess =
-    Session.create ~sn ~role:Server ~remote_host:client_host ~remote_rpc_id:client_rpc
+    Session.create ~sn ~role:Server ~token ~remote_host:client_host ~remote_rpc_id:client_rpc
       ~credits:t.cfg.session_credits ~req_window:t.cfg.req_window
   in
   sess.remote_sn <- client_sn;
@@ -359,9 +366,10 @@ let accept_session t ~client_host ~client_rpc ~client_sn =
 
 let handle_sm t msg =
   match msg with
-  | Sm.Connect_req { client_host; client_rpc; client_sn; credits = _ } ->
+  | Sm.Connect_req { client_host; client_rpc; client_sn; token; credits = _ } ->
       let result =
-        try Ok (check_session_budget t; accept_session t ~client_host ~client_rpc ~client_sn)
+        try
+          Ok (check_session_budget t; accept_session t ~client_host ~client_rpc ~client_sn ~token)
         with Invalid_argument e -> Error e
       in
       Fabric.send_sm (Nexus.fabric t.nexus_) ~dst_host:client_host ~dst_rpc:client_rpc

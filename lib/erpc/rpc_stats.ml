@@ -2,6 +2,7 @@ type t = {
   mutable rx_pkts : int;
   mutable tx_pkts : int;
   mutable rx_corrupt : int;
+  mutable rx_stale : int;
   mutable retransmits : int;
   mutable retx_warnings : int;
   mutable session_resets : int;
@@ -15,6 +16,7 @@ let create () =
     rx_pkts = 0;
     tx_pkts = 0;
     rx_corrupt = 0;
+    rx_stale = 0;
     retransmits = 0;
     retx_warnings = 0;
     session_resets = 0;
@@ -25,7 +27,7 @@ let create () =
 
 let pp fmt t =
   Format.fprintf fmt
-    "rx=%d tx=%d corrupt=%d retx=%d retx_warn=%d resets=%d completed=%d handled=%d \
+    "rx=%d tx=%d corrupt=%d stale=%d retx=%d retx_warn=%d resets=%d completed=%d handled=%d \
      wheel=%d"
-    t.rx_pkts t.tx_pkts t.rx_corrupt t.retransmits t.retx_warnings t.session_resets
+    t.rx_pkts t.tx_pkts t.rx_corrupt t.rx_stale t.retransmits t.retx_warnings t.session_resets
     t.completed t.handled t.wheel_inserts

@@ -51,6 +51,7 @@ type sslot = {
 and session = {
   sn : int;
   role : role;
+  token : int;
   remote_host : int;
   remote_rpc_id : int;
   mutable remote_sn : int;
@@ -66,10 +67,11 @@ and session = {
   mutable retransmits : int;
 }
 
-let create ~sn ~role ~remote_host ~remote_rpc_id ~credits ~req_window =
+let create ~sn ~role ~token ~remote_host ~remote_rpc_id ~credits ~req_window =
   {
     sn;
     role;
+    token;
     remote_host;
     remote_rpc_id;
     remote_sn = -1;

@@ -85,6 +85,10 @@ type sslot = {
 and session = {
   sn : int;  (** session number local to the owning Rpc *)
   role : role;
+  token : int;
+      (** fabric-wide unique session token; both endpoints of a session
+          carry the client-chosen token and stamp it into every data
+          packet, so stale traffic for a recycled [sn] is detectable *)
   remote_host : int;
   remote_rpc_id : int;
   mutable remote_sn : int;  (** peer's session number; -1 until connected *)
@@ -105,6 +109,7 @@ and session = {
 val create :
   sn:int ->
   role:role ->
+  token:int ->
   remote_host:int ->
   remote_rpc_id:int ->
   credits:int ->

@@ -1,13 +1,19 @@
 type msg =
-  | Connect_req of { client_host : int; client_rpc : int; client_sn : int; credits : int }
+  | Connect_req of {
+      client_host : int;
+      client_rpc : int;
+      client_sn : int;
+      token : int;
+      credits : int;
+    }
   | Connect_resp of { client_sn : int; result : (int, string) result }
   | Disconnect of { server_sn : int; client_sn : int }
   | Disconnect_ack of { client_sn : int }
 
 let pp fmt = function
-  | Connect_req { client_host; client_rpc; client_sn; credits } ->
-      Format.fprintf fmt "ConnectReq(h%d/r%d sn=%d credits=%d)" client_host client_rpc client_sn
-        credits
+  | Connect_req { client_host; client_rpc; client_sn; token; credits } ->
+      Format.fprintf fmt "ConnectReq(h%d/r%d sn=%d tok=%d credits=%d)" client_host client_rpc
+        client_sn token credits
   | Connect_resp { client_sn; result = Ok sn } ->
       Format.fprintf fmt "ConnectResp(csn=%d ssn=%d)" client_sn sn
   | Connect_resp { client_sn; result = Error e } ->

@@ -26,6 +26,7 @@ let empty_hdr =
     pkt_type = Pkthdr.Cr;
     pkt_num = 0;
     req_num = 0;
+    token = 0;
     ecn_echo = false;
   }
 

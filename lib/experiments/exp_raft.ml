@@ -4,64 +4,75 @@ type result = {
   leader_p50_us : float;
   leader_p99_us : float;
   puts : int;
+  errors : int;
 }
 
 let num_keys = 1_000_000
+let deadline_ns = 50_000_000
 
 let run ?seed ?(samples = 3_000) () =
   let cluster = Transport.Cluster.cx5 ~nodes:4 () in
   let d = Harness.deploy ?seed cluster ~threads_per_host:1 in
   let engine = Erpc.Fabric.engine d.fabric in
   let rng = Sim.Rng.split (Sim.Engine.rng engine) in
-  let replicas = [| 0; 1; 2 |] in
-  let servers =
-    Array.mapi (fun replica_id host -> Raft_kv.create d ~host ~replica_id ~replicas) replicas
+  let map =
+    Service.Shard_map.create ~shards:1 ~replication:3 ~replica_hosts:[| 0; 1; 2 |]
+  in
+  let replicas =
+    Array.map
+      (fun host ->
+        Service.Replica.create ~fabric:d.fabric ~nexus:d.nexuses.(host)
+          ~rpc:d.rpcs.(host).(0) ~map ~host ())
+      [| 0; 1; 2 |]
   in
   (* Let the group elect a leader. *)
   let deadline = ref 100 in
-  while (not (Array.exists Raft_kv.is_leader servers)) && !deadline > 0 do
+  while
+    (not (Array.exists (fun r -> Service.Replica.is_leader r ~shard:0) replicas))
+    && !deadline > 0
+  do
     Harness.run_ms d 5.0;
     decr deadline
   done;
-  let leader =
-    match Array.find_opt Raft_kv.is_leader servers with
-    | Some s -> s
-    | None -> failwith "Exp_raft: no leader elected"
+  if not (Array.exists (fun r -> Service.Replica.is_leader r ~shard:0) replicas) then
+    failwith "Exp_raft: no leader elected";
+  let client =
+    Service.Kv_client.create ~fabric:d.fabric ~rpc:d.rpcs.(3).(0) ~map ~client_id:1 ()
   in
-  let leader_host = Erpc.Rpc.host (Raft_kv.rpc leader) in
-  let client = d.rpcs.(3).(0) in
-  let sess = Harness.connect d client ~remote_host:leader_host ~remote_rpc_id:0 in
-  let hist = Stats.Hist.create () in
-  let req = Erpc.Msgbuf.alloc ~max_size:(Raft_kv.key_size + Raft_kv.value_size) in
-  let resp = Erpc.Msgbuf.alloc ~max_size:4 in
-  let value = String.make Raft_kv.value_size 'v' in
+  let value = String.make Service.Kv_proto.value_size 'v' in
+  let errors = ref 0 in
   let remaining = ref samples in
   let rec issue () =
     if !remaining > 0 then begin
       decr remaining;
       let key = Workload.Keygen.encode (Sim.Rng.int rng num_keys) in
-      Erpc.Msgbuf.write_string req ~off:0 (Raft_kv.encode_put ~key ~value);
-      let t0 = Sim.Engine.now engine in
-      Erpc.Rpc.enqueue_request client sess ~req_type:Raft_kv.put_req_type ~req ~resp
-        ~cont:(fun r ->
-          (match r with
-          | Ok () when Erpc.Msgbuf.get_u32 resp ~off:0 = 0 ->
-              Stats.Hist.record hist (Sim.Time.sub (Sim.Engine.now engine) t0)
-          | _ -> ());
-          issue ())
+      ignore
+        (Service.Kv_client.put client ~key ~value ~deadline_ns ~cont:(fun r ->
+             (match r with Ok () -> () | Error _ -> incr errors);
+             issue ()))
     end
   in
   issue ();
-  let deadline = ref 2_000 in
-  while !remaining > 0 && !deadline > 0 do
+  let budget = ref 4_000 in
+  while !remaining > 0 && !budget > 0 do
     Harness.run_ms d 1.0;
-    decr deadline
+    decr budget
   done;
-  let commit = Raft_kv.commit_latencies leader in
+  let hist = Service.Kv_client.latencies client in
+  let puts = Stats.Hist.count hist in
+  (* An all-error run used to fall out of here as a silently empty
+     histogram; refuse to report nonsense. *)
+  if puts = 0 then failwith "Exp_raft: every PUT failed";
+  let commit = Stats.Hist.create () in
+  Array.iter
+    (fun r -> Stats.Hist.merge ~dst:commit ~src:(Service.Replica.commit_latencies r))
+    replicas;
+  Array.iter Service.Replica.stop replicas;
   {
     client_p50_us = float_of_int (Stats.Hist.median hist) /. 1e3;
     client_p99_us = float_of_int (Stats.Hist.percentile hist 99.) /. 1e3;
     leader_p50_us = float_of_int (Stats.Hist.median commit) /. 1e3;
     leader_p99_us = float_of_int (Stats.Hist.percentile commit 99.) /. 1e3;
-    puts = Stats.Hist.count hist;
+    puts;
+    errors = !errors;
   }

@@ -3,16 +3,19 @@
     ZabFPGA (FPGA consensus), which the paper also quotes rather than
     reruns.
 
-    Setup: CX5-like cluster; replicas on three hosts, one client host;
-    16 B keys, 64 B values, keys uniform over one million; one outstanding
-    PUT. *)
+    Setup: CX5-like cluster; one {!Service} shard replicated on three
+    hosts, one client host running the smart client; 16 B keys, 64 B
+    values, keys uniform over one million; one outstanding PUT. *)
 
 type result = {
   client_p50_us : float;  (** measured at client, like NetChain's *)
   client_p99_us : float;
   leader_p50_us : float;  (** leader commit latency, like ZabFPGA's *)
   leader_p99_us : float;
-  puts : int;
+  puts : int;  (** PUTs acknowledged *)
+  errors : int;  (** PUTs that failed or missed their deadline *)
 }
 
+(** Raises if no leader emerges or every PUT fails — a silent all-error
+    run previously reported empty histograms as success. *)
 val run : ?seed:int64 -> ?samples:int -> unit -> result

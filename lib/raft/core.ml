@@ -33,6 +33,20 @@ let default_config =
     max_entries_per_msg = 64;
   }
 
+(* Persistent state (paper Figure 2): the core reads and writes the record
+   in place, so keeping it across a simulated crash and passing it back to
+   [create] models a node restarting from disk. *)
+type 'cmd stable = {
+  mutable s_term : int;
+  mutable s_voted_for : int option;
+  s_log : 'cmd Log.t;
+}
+
+let stable () = { s_term = 0; s_voted_for = None; s_log = Log.create () }
+let stable_term s = s.s_term
+let stable_voted_for s = s.s_voted_for
+let stable_log s = s.s_log
+
 type 'cmd t = {
   id : int;
   peers : int array;
@@ -40,10 +54,9 @@ type 'cmd t = {
   send : int -> 'cmd msg -> unit;
   apply : int -> 'cmd -> unit;
   random : int -> int;
-  log : 'cmd Log.t;
+  notify : unit -> unit;
+  stable : 'cmd stable;
   mutable role : role;
-  mutable term : int;
-  mutable voted_for : int option;
   mutable leader : int option;
   mutable commit_index : int;
   mutable last_applied : int;
@@ -60,7 +73,8 @@ let fresh_election_deadline t =
   t.cfg.election_timeout_min_ns
   + t.random (max 1 (t.cfg.election_timeout_max_ns - t.cfg.election_timeout_min_ns))
 
-let create ~id ~peers cfg ~send ~apply ~random =
+let create ~id ~peers ?stable:st ?(notify = fun () -> ()) cfg ~send ~apply ~random =
+  let st = match st with Some s -> s | None -> stable () in
   let t =
     {
       id;
@@ -69,10 +83,9 @@ let create ~id ~peers cfg ~send ~apply ~random =
       send;
       apply;
       random;
-      log = Log.create ();
+      notify;
+      stable = st;
       role = Follower;
-      term = 0;
-      voted_for = None;
       leader = None;
       commit_index = 0;
       last_applied = 0;
@@ -89,23 +102,38 @@ let create ~id ~peers cfg ~send ~apply ~random =
 
 let id t = t.id
 let role t = t.role
-let term t = t.term
+let term t = t.stable.s_term
 let commit_index t = t.commit_index
 let last_applied t = t.last_applied
 let leader_hint t = t.leader
-let log t = t.log
+let log t = t.stable.s_log
+let stable_of t = t.stable
+
+(* Role/leadership transitions funnel through these two so that [notify]
+   fires exactly when the externally observable leadership view changes. *)
+let set_role t role =
+  if t.role <> role then begin
+    t.role <- role;
+    t.notify ()
+  end
+
+let set_leader t leader =
+  if t.leader <> leader then begin
+    t.leader <- leader;
+    t.notify ()
+  end
 
 let apply_committed t =
   while t.last_applied < t.commit_index do
     t.last_applied <- t.last_applied + 1;
-    t.apply t.last_applied (Log.get t.log t.last_applied).cmd
+    t.apply t.last_applied (Log.get t.stable.s_log t.last_applied).cmd
   done
 
 let become_follower t term =
-  t.role <- Follower;
-  if term > t.term then begin
-    t.term <- term;
-    t.voted_for <- None
+  set_role t Follower;
+  if term > t.stable.s_term then begin
+    t.stable.s_term <- term;
+    t.stable.s_voted_for <- None
   end;
   t.election_elapsed <- 0;
   t.election_deadline <- fresh_election_deadline t
@@ -118,14 +146,14 @@ let send_append_entries t ~peer =
   let slot = peer_slot t peer in
   let next = t.next_index.(slot) in
   let prev = next - 1 in
-  let entries = Log.entries_from t.log ~from:next ~max:t.cfg.max_entries_per_msg in
+  let entries = Log.entries_from t.stable.s_log ~from:next ~max:t.cfg.max_entries_per_msg in
   t.send peer
     (Append_entries
        {
-         term = t.term;
+         term = t.stable.s_term;
          leader_id = t.id;
          prev_log_index = prev;
-         prev_log_term = Log.term_at t.log prev;
+         prev_log_term = Log.term_at t.stable.s_log prev;
          entries;
          leader_commit = t.commit_index;
        })
@@ -133,10 +161,10 @@ let send_append_entries t ~peer =
 let broadcast_append_entries t = Array.iter (fun p -> send_append_entries t ~peer:p) t.peers
 
 let become_leader t =
-  t.role <- Leader;
-  t.leader <- Some t.id;
+  set_role t Leader;
+  set_leader t (Some t.id);
   t.heartbeat_elapsed <- 0;
-  let last = Log.last_index t.log in
+  let last = Log.last_index t.stable.s_log in
   Array.iteri
     (fun i _ ->
       t.next_index.(i) <- last + 1;
@@ -145,18 +173,20 @@ let become_leader t =
   broadcast_append_entries t
 
 let start_election t =
-  t.role <- Candidate;
-  t.term <- t.term + 1;
-  t.voted_for <- Some t.id;
+  set_role t Candidate;
+  t.stable.s_term <- t.stable.s_term + 1;
+  t.stable.s_voted_for <- Some t.id;
   t.votes <- 1;
-  t.leader <- None;
+  set_leader t None;
   t.election_elapsed <- 0;
   t.election_deadline <- fresh_election_deadline t;
-  let last_log_index = Log.last_index t.log in
-  let last_log_term = Log.last_term t.log in
+  let last_log_index = Log.last_index t.stable.s_log in
+  let last_log_term = Log.last_term t.stable.s_log in
   Array.iter
     (fun p ->
-      t.send p (Request_vote { term = t.term; candidate_id = t.id; last_log_index; last_log_term }))
+      t.send p
+        (Request_vote
+           { term = t.stable.s_term; candidate_id = t.id; last_log_index; last_log_term }))
     t.peers;
   (* Single-node group: immediately a leader. *)
   if Array.length t.peers = 0 then become_leader t
@@ -165,37 +195,39 @@ let start_election t =
    majority. Only entries of the current term commit directly (§5.4.2). *)
 let try_advance_commit t =
   let n = Array.length t.peers + 1 in
-  let matches = Array.make n (Log.last_index t.log) in
+  let matches = Array.make n (Log.last_index t.stable.s_log) in
   Array.blit t.match_index 0 matches 1 (Array.length t.peers);
   Array.sort compare matches;
   let majority_match = matches.(n - ((n / 2) + 1)) in
   if
     majority_match > t.commit_index
-    && Log.term_at t.log majority_match = t.term
+    && Log.term_at t.stable.s_log majority_match = t.stable.s_term
   then begin
     t.commit_index <- majority_match;
     apply_committed t
   end
 
 let handle_request_vote t ~term ~candidate_id ~last_log_index ~last_log_term =
-  if term > t.term then become_follower t term;
+  if term > t.stable.s_term then become_follower t term;
   let up_to_date =
-    last_log_term > Log.last_term t.log
-    || (last_log_term = Log.last_term t.log && last_log_index >= Log.last_index t.log)
+    last_log_term > Log.last_term t.stable.s_log
+    || (last_log_term = Log.last_term t.stable.s_log
+       && last_log_index >= Log.last_index t.stable.s_log)
   in
   let grant =
-    term >= t.term && up_to_date
-    && (match t.voted_for with None -> true | Some v -> v = candidate_id)
+    term >= t.stable.s_term && up_to_date
+    && (match t.stable.s_voted_for with None -> true | Some v -> v = candidate_id)
   in
   if grant then begin
-    t.voted_for <- Some candidate_id;
+    t.stable.s_voted_for <- Some candidate_id;
     t.election_elapsed <- 0
   end;
-  t.send candidate_id (Request_vote_resp { term = t.term; vote_granted = grant; from = t.id })
+  t.send candidate_id
+    (Request_vote_resp { term = t.stable.s_term; vote_granted = grant; from = t.id })
 
 let handle_vote_resp t ~term ~vote_granted ~from:_ =
-  if term > t.term then become_follower t term
-  else if t.role = Candidate && term = t.term && vote_granted then begin
+  if term > t.stable.s_term then become_follower t term
+  else if t.role = Candidate && term = t.stable.s_term && vote_granted then begin
     t.votes <- t.votes + 1;
     let majority = ((Array.length t.peers + 1) / 2) + 1 in
     if t.votes >= majority then become_leader t
@@ -203,32 +235,34 @@ let handle_vote_resp t ~term ~vote_granted ~from:_ =
 
 let handle_append_entries t ~term ~leader_id ~prev_log_index ~prev_log_term ~entries
     ~leader_commit =
-  if term < t.term then
+  if term < t.stable.s_term then
     t.send leader_id
-      (Append_entries_resp { term = t.term; success = false; from = t.id; match_index = 0 })
+      (Append_entries_resp
+         { term = t.stable.s_term; success = false; from = t.id; match_index = 0 })
   else begin
     become_follower t term;
-    t.leader <- Some leader_id;
+    set_leader t (Some leader_id);
+    let log = t.stable.s_log in
     let log_ok =
-      prev_log_index <= Log.last_index t.log
-      && Log.term_at t.log prev_log_index = prev_log_term
+      prev_log_index <= Log.last_index log && Log.term_at log prev_log_index = prev_log_term
     in
     if not log_ok then
       t.send leader_id
-        (Append_entries_resp { term = t.term; success = false; from = t.id; match_index = 0 })
+        (Append_entries_resp
+           { term = t.stable.s_term; success = false; from = t.id; match_index = 0 })
     else begin
       (* Append entries, resolving conflicts by truncation. *)
       let idx = ref prev_log_index in
       List.iter
         (fun (entry : _ Log.entry) ->
           incr idx;
-          if !idx <= Log.last_index t.log then begin
-            if Log.term_at t.log !idx <> entry.term then begin
-              Log.truncate_from t.log !idx;
-              ignore (Log.append t.log entry)
+          if !idx <= Log.last_index log then begin
+            if Log.term_at log !idx <> entry.term then begin
+              Log.truncate_from log !idx;
+              ignore (Log.append log entry)
             end
           end
-          else ignore (Log.append t.log entry))
+          else ignore (Log.append log entry))
         entries;
       let match_index = !idx in
       if leader_commit > t.commit_index then begin
@@ -236,20 +270,22 @@ let handle_append_entries t ~term ~leader_id ~prev_log_index ~prev_log_term ~ent
         apply_committed t
       end;
       t.send leader_id
-        (Append_entries_resp { term = t.term; success = true; from = t.id; match_index })
+        (Append_entries_resp
+           { term = t.stable.s_term; success = true; from = t.id; match_index })
     end
   end
 
 let handle_append_resp t ~term ~success ~from ~match_index =
-  if term > t.term then become_follower t term
-  else if t.role = Leader && term = t.term then begin
+  if term > t.stable.s_term then become_follower t term
+  else if t.role = Leader && term = t.stable.s_term then begin
     let slot = peer_slot t from in
     if success then begin
       if match_index > t.match_index.(slot) then t.match_index.(slot) <- match_index;
       t.next_index.(slot) <- max t.next_index.(slot) (match_index + 1);
       try_advance_commit t;
       (* Keep streaming if the follower is still behind. *)
-      if t.next_index.(slot) <= Log.last_index t.log then send_append_entries t ~peer:from
+      if t.next_index.(slot) <= Log.last_index t.stable.s_log then
+        send_append_entries t ~peer:from
     end
     else begin
       (* Log mismatch: back off and retry. *)
@@ -284,7 +320,7 @@ let periodic t ~elapsed_ns =
 let submit t cmd =
   match t.role with
   | Leader ->
-      let index = Log.append t.log { term = t.term; cmd } in
+      let index = Log.append t.stable.s_log { term = t.stable.s_term; cmd } in
       broadcast_append_entries t;
       (* Single-node group commits immediately. *)
       try_advance_commit t;

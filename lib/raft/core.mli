@@ -39,16 +39,42 @@ type config = {
 
 val default_config : config
 
+(** {2 Stable storage}
+
+    Raft's safety argument requires [currentTerm], [votedFor] and the log
+    to survive crashes (Figure 2 of the paper: "persistent state"). A
+    {!stable} record models that disk: the core reads and writes it in
+    place, so an integration that keeps the record across a simulated
+    crash and passes it back to {!create} restarts the node exactly where
+    stable storage left it — as a follower, with volatile state
+    (commit index, role, leadership) rebuilt through the protocol. *)
+type 'cmd stable
+
+(** Fresh, empty stable storage (term 0, no vote, empty log). *)
+val stable : unit -> 'cmd stable
+
+val stable_term : 'cmd stable -> int
+val stable_voted_for : 'cmd stable -> int option
+val stable_log : 'cmd stable -> 'cmd Log.t
+
 type 'cmd t
 
 (** [create ~id ~peers cfg ~send ~apply ~random] — [send dst msg] transmits
     a message (the integration layer serializes it however it likes);
     [apply index cmd] is invoked exactly once per committed entry, in index
     order; [random n] returns a uniform int in [0, n) for election
-    jitter. *)
+    jitter.
+
+    [?stable] supplies persistent state from a previous incarnation (see
+    {!stable}); omitting it is a first boot. [?notify] is invoked whenever
+    the node's role or its view of the current leader changes — the hook
+    replication services use to fail over pending client operations and
+    publish leadership to clients. It must not call back into the core. *)
 val create :
   id:int ->
   peers:int array ->
+  ?stable:'cmd stable ->
+  ?notify:(unit -> unit) ->
   config ->
   send:(int -> 'cmd msg -> unit) ->
   apply:(int -> 'cmd -> unit) ->
@@ -60,6 +86,11 @@ val role : 'cmd t -> role
 val term : 'cmd t -> int
 val commit_index : 'cmd t -> int
 val last_applied : 'cmd t -> int
+
+(** The node's stable storage — the same record passed to (or created by)
+    {!create}. Keep it across a crash and pass it to the next
+    incarnation's {!create}. *)
+val stable_of : 'cmd t -> 'cmd stable
 
 (** Current leader as known locally, if any. *)
 val leader_hint : 'cmd t -> int option

@@ -1,0 +1,87 @@
+(** Wire protocol of the sharded replicated-KV service.
+
+    Two request types share every replica host:
+
+    - [raft_req_type]: replica-to-replica Raft transport. The frame is the
+      4-byte shard id followed by {!Raft.Codec} bytes; the response carries
+      the Raft reply the core produced while handling it (AE/RV responses
+      ride back as eRPC responses, halving message count exactly as the
+      paper's Raft-over-eRPC integration does in §7.1).
+
+    - [kv_req_type]: client operations. Every request names its shard and
+      carries a (client id, sequence number) pair; the pair rides inside
+      replicated PUT commands so replicas can deduplicate retries — the
+      exactly-once contract the smart client's retry loop relies on.
+
+    All integers are little-endian u32 via {!Erpc.Msgbuf}. *)
+
+val raft_req_type : int
+val kv_req_type : int
+
+val key_size : int
+val value_size : int
+
+(** {2 Client operations} *)
+
+type op = Put | Get
+
+type request = {
+  op : op;
+  shard : int;
+  client_id : int;
+  seq : int;
+  key : string;  (** [key_size] bytes *)
+  value : string;  (** [value_size] bytes; ignored (empty) for GET *)
+}
+
+(** Response status codes. [Not_leader] and [Retry] carry an optional
+    leader hint (a host id) when the replica knows one. *)
+type status =
+  | Ok_
+  | Not_leader of int option
+  | Retry of int option
+  | Not_found
+
+val req_size : int
+val resp_max_size : int
+
+val write_request : Erpc.Msgbuf.t -> request -> unit
+val read_request : Erpc.Msgbuf.t -> request
+
+(** Exact response size for a status/value pair; allocate or
+    [init_response] with this before {!write_response}. *)
+val resp_size : value:string option -> int
+
+val write_response : Erpc.Msgbuf.t -> status:status -> value:string option -> unit
+
+(** [read_response m] is [(status, value)]. *)
+val read_response : Erpc.Msgbuf.t -> status * string option
+
+(** {2 Replicated commands}
+
+    A PUT is replicated as a fixed-layout string command:
+    client_id(4) ^ seq(4) ^ key ^ value. *)
+
+val cmd_size : int
+val encode_cmd : client_id:int -> seq:int -> key:string -> value:string -> string
+
+(** Reserved client id of leader no-op barrier entries. A freshly elected
+    leader replicates one no-op so that entries from previous terms become
+    committable under §5.4.2 (the LibRaft/etcd idiom); replicas apply it
+    as "do nothing". Real clients never use this id. *)
+val noop_client_id : int
+
+(** A no-op command with the given (node-local) sequence number. *)
+val noop_cmd : seq:int -> string
+
+val decode_cmd : string -> int * int * string * string
+(** [(client_id, seq, key, value)] *)
+
+(** {2 Raft frames} *)
+
+(** Exact frame size for a message: 4 bytes of shard id plus the codec
+    bytes. *)
+val raft_frame_size : string Raft.Core.msg -> int
+
+val write_raft_frame : Erpc.Msgbuf.t -> shard:int -> string Raft.Core.msg -> unit
+val read_raft_frame : Erpc.Msgbuf.t -> int * string Raft.Core.msg

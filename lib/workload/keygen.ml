@@ -34,3 +34,17 @@ let next t rng =
         min (n - 1) (int_of_float v)
 
 let encode ?(width = 16) k = Printf.sprintf "%0*d" width k
+
+(* 64-bit FNV-1a, truncated to OCaml's positive int range. Used wherever a
+   key must map to a stable partition (shard maps, future load balancers):
+   the placement is then a pure function of the key bytes, identical on
+   clients and replicas. *)
+let fnv1a s =
+  let h = ref (-3750763034362895579L) (* 0xcbf29ce484222325 *) in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 1099511628211L)
+    s;
+  (* Mask to OCaml's 63-bit native int: [Int64.to_int] of anything in
+     [2^62, 2^63) would wrap negative. *)
+  Int64.to_int !h land max_int

@@ -14,3 +14,8 @@ val next : t -> Sim.Rng.t -> int
 (** Fixed-width printable key encoding (16 bytes by default, like the
     paper's 16 B keys). *)
 val encode : ?width:int -> int -> string
+
+(** 64-bit FNV-1a of the key bytes, truncated to a non-negative int. A
+    stable, seed-independent hash for key-to-partition placement, so
+    clients and replicas agree on shard ownership by construction. *)
+val fnv1a : string -> int

@@ -42,6 +42,7 @@ let mk_hdr ?(pkt_type = Erpc.Pkthdr.Req) ?(msg_size = 8) () =
     pkt_type;
     pkt_num = 0;
     req_num = 8;
+    token = 0;
     ecn_echo = false;
   }
 

@@ -92,6 +92,7 @@ let test_pkthdr_pp_and_data_bytes () =
       pkt_type = Erpc.Pkthdr.Req;
       pkt_num = 2;
       req_num = 8;
+      token = 0;
       ecn_echo = false;
     }
   in

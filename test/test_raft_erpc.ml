@@ -1,4 +1,5 @@
-(* Integration tests: the Raft-over-eRPC replicated KV store (§7.1). *)
+(* Integration tests: the sharded replicated-KV service (§7.1) — Raft
+   groups over eRPC behind the smart client's redirect/retry loop. *)
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -6,96 +7,213 @@ let check_bool = Alcotest.(check bool)
 let setup () =
   let cluster = Transport.Cluster.cx5 ~nodes:4 () in
   let d = Experiments.Harness.deploy cluster ~threads_per_host:1 in
-  let replicas = [| 0; 1; 2 |] in
-  let servers =
-    Array.mapi
-      (fun replica_id host -> Experiments.Raft_kv.create d ~host ~replica_id ~replicas)
-      replicas
+  let map = Service.Shard_map.create ~shards:1 ~replication:3 ~replica_hosts:[| 0; 1; 2 |] in
+  let replicas =
+    Array.map
+      (fun host ->
+        Service.Replica.create ~fabric:d.fabric ~nexus:d.nexuses.(host)
+          ~rpc:d.rpcs.(host).(0) ~map ~host ())
+      [| 0; 1; 2 |]
   in
   let deadline = ref 100 in
-  while (not (Array.exists Experiments.Raft_kv.is_leader servers)) && !deadline > 0 do
+  while
+    (not (Array.exists (fun r -> Service.Replica.is_leader r ~shard:0) replicas))
+    && !deadline > 0
+  do
     Experiments.Harness.run_ms d 5.0;
     decr deadline
   done;
-  check_bool "leader elected" true (Array.exists Experiments.Raft_kv.is_leader servers);
-  (d, servers)
+  check_bool "leader elected" true
+    (Array.exists (fun r -> Service.Replica.is_leader r ~shard:0) replicas);
+  (d, map, replicas)
 
-let leader_of servers =
-  match Array.find_opt Experiments.Raft_kv.is_leader servers with
-  | Some s -> s
+let leader_of replicas =
+  match Array.find_opt (fun r -> Service.Replica.is_leader r ~shard:0) replicas with
+  | Some r -> r
   | None -> Alcotest.fail "no leader"
 
-let put d client sess ~key ~value =
-  let req =
-    Erpc.Msgbuf.alloc ~max_size:(Experiments.Raft_kv.key_size + Experiments.Raft_kv.value_size)
-  in
-  let resp = Erpc.Msgbuf.alloc ~max_size:4 in
-  Erpc.Msgbuf.write_string req ~off:0 (Experiments.Raft_kv.encode_put ~key ~value);
-  let status = ref (-1) in
-  Erpc.Rpc.enqueue_request client sess ~req_type:Experiments.Raft_kv.put_req_type ~req ~resp
-    ~cont:(fun r -> if Result.is_ok r then status := Erpc.Msgbuf.get_u32 resp ~off:0);
+let value_of s = s ^ String.make (Service.Kv_proto.value_size - String.length s) '\000'
+
+(* Raw request straight at one replica, bypassing the smart client — for
+   asserting on the wire-visible status codes. *)
+let raw_put d client sess ~client_id ~seq ~key ~value =
+  let req = Erpc.Msgbuf.alloc ~max_size:Service.Kv_proto.req_size in
+  Service.Kv_proto.write_request req
+    { Service.Kv_proto.op = Service.Kv_proto.Put; shard = 0; client_id; seq; key; value };
+  let resp = Erpc.Msgbuf.alloc ~max_size:Service.Kv_proto.resp_max_size in
+  let status = ref None in
+  Erpc.Rpc.enqueue_request client sess ~req_type:Service.Kv_proto.kv_req_type ~req ~resp
+    ~cont:(fun r ->
+      if Result.is_ok r then status := Some (fst (Service.Kv_proto.read_response resp)));
   Experiments.Harness.run_ms d 10.0;
   !status
 
 let test_put_replicates_to_all () =
-  let d, servers = setup () in
-  let leader = leader_of servers in
-  let leader_host = Erpc.Rpc.host (Experiments.Raft_kv.rpc leader) in
-  let client = d.rpcs.(3).(0) in
-  let sess = Experiments.Harness.connect d client ~remote_host:leader_host ~remote_rpc_id:0 in
+  let d, map, replicas = setup () in
+  let client =
+    Service.Kv_client.create ~fabric:d.fabric ~rpc:d.rpcs.(3).(0) ~map ~client_id:1 ()
+  in
   let key = Workload.Keygen.encode 1 in
-  let value = String.make Experiments.Raft_kv.value_size 'x' in
-  check_int "put acked" 0 (put d client sess ~key ~value);
-  (* Followers apply after the next heartbeat carries the commit index. *)
-  Experiments.Harness.run_ms d 10.0;
+  let value = value_of "x" in
+  let acked = ref false in
+  ignore
+    (Service.Kv_client.put client ~key ~value ~deadline_ns:50_000_000 ~cont:(fun r ->
+         acked := Result.is_ok r));
+  Experiments.Harness.run_ms d 20.0;
+  check_bool "put acked" true !acked;
+  (* Followers apply once the next heartbeat carries the commit index. *)
   Array.iter
-    (fun s ->
+    (fun r ->
       check_bool "replica has the key" true
-        (Mica.Store.get (Experiments.Raft_kv.store s) ~key = Some value))
-    servers
+        (Mica.Store.get (Service.Replica.store r ~shard:0) ~key = Some value))
+    replicas;
+  Array.iter Service.Replica.stop replicas
 
-let test_put_to_follower_rejected () =
-  let d, servers = setup () in
+let test_put_to_follower_redirects () =
+  let d, _map, replicas = setup () in
+  let leader_host = Service.Replica.host (leader_of replicas) in
   let follower =
-    match Array.find_opt (fun s -> not (Experiments.Raft_kv.is_leader s)) servers with
-    | Some s -> s
+    match
+      Array.find_opt (fun r -> not (Service.Replica.is_leader r ~shard:0)) replicas
+    with
+    | Some r -> r
     | None -> Alcotest.fail "no follower"
   in
-  let follower_host = Erpc.Rpc.host (Experiments.Raft_kv.rpc follower) in
   let client = d.rpcs.(3).(0) in
-  let sess = Experiments.Harness.connect d client ~remote_host:follower_host ~remote_rpc_id:0 in
+  let sess =
+    Experiments.Harness.connect d client
+      ~remote_host:(Service.Replica.host follower)
+      ~remote_rpc_id:0
+  in
   let key = Workload.Keygen.encode 2 in
-  let value = String.make Experiments.Raft_kv.value_size 'y' in
-  check_int "not-leader status" 2 (put d client sess ~key ~value)
+  (match raw_put d client sess ~client_id:1 ~seq:0 ~key ~value:(value_of "y") with
+  | Some (Service.Kv_proto.Not_leader hint) ->
+      (* A settled follower knows who leads and says so. *)
+      check_int "redirect names the leader" leader_host
+        (Option.value hint ~default:(-1))
+  | s ->
+      Alcotest.failf "expected Not_leader, got %s"
+        (match s with
+        | None -> "no response"
+        | Some Service.Kv_proto.Ok_ -> "Ok"
+        | Some (Service.Kv_proto.Retry _) -> "Retry"
+        | Some Service.Kv_proto.Not_found -> "Not_found"
+        | Some (Service.Kv_proto.Not_leader _) -> "?"));
+  Array.iter Service.Replica.stop replicas
 
 let test_many_puts_sequential_consistency () =
-  let d, servers = setup () in
-  let leader = leader_of servers in
-  let leader_host = Erpc.Rpc.host (Experiments.Raft_kv.rpc leader) in
-  let client = d.rpcs.(3).(0) in
-  let sess = Experiments.Harness.connect d client ~remote_host:leader_host ~remote_rpc_id:0 in
+  let d, map, replicas = setup () in
+  let client =
+    Service.Kv_client.create ~fabric:d.fabric ~rpc:d.rpcs.(3).(0) ~map ~client_id:1 ()
+  in
   (* Repeatedly overwrite one key; all replicas must end at the final
      value (log order = commit order). *)
   let key = Workload.Keygen.encode 7 in
-  for i = 1 to 50 do
-    let value = Printf.sprintf "%-64d" i in
-    ignore (put d client sess ~key ~value)
+  let remaining = ref 50 in
+  let rec issue i =
+    if i <= 50 then
+      ignore
+        (Service.Kv_client.put client ~key
+           ~value:(value_of (Printf.sprintf "%d" i))
+           ~deadline_ns:50_000_000
+           ~cont:(fun _ ->
+             decr remaining;
+             issue (i + 1)))
+  in
+  issue 1;
+  let budget = ref 200 in
+  while !remaining > 0 && !budget > 0 do
+    Experiments.Harness.run_ms d 1.0;
+    decr budget
   done;
+  check_int "all puts acked" 0 !remaining;
   Experiments.Harness.run_ms d 20.0;
-  let final = Printf.sprintf "%-64d" 50 in
+  let final = value_of "50" in
   Array.iter
-    (fun s ->
+    (fun r ->
       check_bool "final value everywhere" true
-        (Mica.Store.get (Experiments.Raft_kv.store s) ~key = Some final))
-    servers;
-  (* Raft logs converged. *)
-  let last = Raft.Core.commit_index (Experiments.Raft_kv.raft leader) in
-  check_bool "committed everything" true (last >= 50)
+        (Mica.Store.get (Service.Replica.store r ~shard:0) ~key = Some final))
+    replicas;
+  let leader = leader_of replicas in
+  check_bool "committed everything" true
+    (Raft.Core.commit_index (Service.Replica.raft leader ~shard:0) >= 50);
+  Array.iter Service.Replica.stop replicas
+
+let test_duplicate_seq_applies_once () =
+  let d, _map, replicas = setup () in
+  let leader = leader_of replicas in
+  let applies = ref 0 in
+  Array.iter
+    (fun r ->
+      Service.Replica.set_on_apply r
+        (fun ~shard:_ ~incarnation:_ ~client_id ~seq:_ ->
+          if client_id = 9 then incr applies))
+    replicas;
+  let client = d.rpcs.(3).(0) in
+  let sess =
+    Experiments.Harness.connect d client ~remote_host:(Service.Replica.host leader)
+      ~remote_rpc_id:0
+  in
+  let key = Workload.Keygen.encode 3 in
+  (* The same (client_id, seq) put twice — a retry of an already-committed
+     write. The second submission must be re-acked without re-applying. *)
+  check_bool "first put acked" true
+    (raw_put d client sess ~client_id:9 ~seq:0 ~key ~value:(value_of "z")
+    = Some Service.Kv_proto.Ok_);
+  check_bool "duplicate re-acked" true
+    (raw_put d client sess ~client_id:9 ~seq:0 ~key ~value:(value_of "z")
+    = Some Service.Kv_proto.Ok_);
+  Experiments.Harness.run_ms d 10.0;
+  (* 3 replicas x 1 effective apply; the duplicate hit the dedup table. *)
+  check_int "applied once per replica" 3 !applies;
+  check_bool "leader counted the dedup hit" true
+    (Service.Replica.dedup_hits leader >= 1);
+  Array.iter Service.Replica.stop replicas
+
+let test_leader_crash_failover () =
+  let d, map, replicas = setup () in
+  let old_leader = leader_of replicas in
+  let old_host = Service.Replica.host old_leader in
+  let client =
+    Service.Kv_client.create ~fabric:d.fabric ~rpc:d.rpcs.(3).(0) ~map ~client_id:1 ()
+  in
+  (* Seed the leader hint so the first post-crash attempt hits the corpse. *)
+  Service.Shard_map.set_leader_hint map ~shard:0 ~host:old_host;
+  Erpc.Fabric.crash_host d.fabric old_host ~down_ns:60_000_000;
+  let key = Workload.Keygen.encode 4 in
+  let value = value_of "failover" in
+  let acked = ref false in
+  ignore
+    (Service.Kv_client.put client ~key ~value ~deadline_ns:100_000_000 ~cont:(fun r ->
+         acked := Result.is_ok r));
+  let budget = ref 120 in
+  while (not !acked) && !budget > 0 do
+    Experiments.Harness.run_ms d 1.0;
+    decr budget
+  done;
+  check_bool "put survives leader crash" true !acked;
+  let survivors =
+    Array.to_list replicas
+    |> List.filter (fun r -> Service.Replica.host r <> old_host)
+  in
+  check_bool "new leader is a survivor" true
+    (List.exists (fun r -> Service.Replica.is_leader r ~shard:0) survivors);
+  Experiments.Harness.run_ms d 20.0;
+  List.iter
+    (fun r ->
+      check_bool "survivor has the key" true
+        (Mica.Store.get (Service.Replica.store r ~shard:0) ~key = Some value))
+    survivors;
+  check_bool "client retried" true (Service.Kv_client.retries client >= 1);
+  Array.iter Service.Replica.stop replicas
 
 let suite =
   [
     Alcotest.test_case "PUT replicates to all" `Quick test_put_replicates_to_all;
-    Alcotest.test_case "PUT to follower rejected" `Quick test_put_to_follower_rejected;
+    Alcotest.test_case "PUT to follower redirects to leader" `Quick
+      test_put_to_follower_redirects;
     Alcotest.test_case "sequential overwrites converge" `Quick
       test_many_puts_sequential_consistency;
+    Alcotest.test_case "duplicate seq applies once" `Quick test_duplicate_seq_applies_once;
+    Alcotest.test_case "leader crash fails over" `Quick test_leader_crash_failover;
   ]

@@ -1,0 +1,205 @@
+(* Unit tests for the sharded replicated-KV service layer: shard map
+   placement and leader hints, the KV/Raft wire protocol, the
+   availability timeline, and the chaos harness's own invariants. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* {2 Shard map} *)
+
+let test_shard_map_placement () =
+  let map =
+    Service.Shard_map.create ~shards:4 ~replication:3 ~replica_hosts:[| 0; 1; 2; 3; 4; 5 |]
+  in
+  check_int "shards" 4 (Service.Shard_map.shards map);
+  (* Rotation: shard s lives on hosts s, s+1, s+2 (mod 6). *)
+  Alcotest.(check (array int)) "group 0" [| 0; 1; 2 |] (Service.Shard_map.group map ~shard:0);
+  Alcotest.(check (array int)) "group 3" [| 3; 4; 5 |] (Service.Shard_map.group map ~shard:3);
+  (* Every group has exactly [replication] distinct hosts. *)
+  for s = 0 to 3 do
+    let g = Service.Shard_map.group map ~shard:s in
+    check_int "group size" 3 (Array.length g);
+    check_int "distinct hosts" 3
+      (List.length (List.sort_uniq compare (Array.to_list g)))
+  done;
+  (* shards_on is the inverse of group. *)
+  check_bool "host 1 carries shards 0,1,3… consistent with groups" true
+    (List.for_all
+       (fun s -> Array.exists (( = ) 1) (Service.Shard_map.group map ~shard:s))
+       (Service.Shard_map.shards_on map ~host:1))
+
+let test_shard_map_key_routing () =
+  let map =
+    Service.Shard_map.create ~shards:4 ~replication:3 ~replica_hosts:[| 0; 1; 2; 3; 4; 5 |]
+  in
+  (* Stable, in-range, and actually spreading. *)
+  let seen = Array.make 4 0 in
+  for i = 0 to 999 do
+    let key = Workload.Keygen.encode i in
+    let s = Service.Shard_map.shard_of_key map ~key in
+    check_bool "shard in range" true (s >= 0 && s < 4);
+    check_int "routing is stable" s (Service.Shard_map.shard_of_key map ~key);
+    seen.(s) <- seen.(s) + 1
+  done;
+  Array.iteri
+    (fun s n -> check_bool (Printf.sprintf "shard %d gets fair share" s) true (n > 150))
+    seen
+
+let test_shard_map_hints () =
+  let map =
+    Service.Shard_map.create ~shards:2 ~replication:3 ~replica_hosts:[| 0; 1; 2; 3 |]
+  in
+  check_bool "no hint initially" true (Service.Shard_map.leader_hint map ~shard:0 = None);
+  Service.Shard_map.set_leader_hint map ~shard:0 ~host:2;
+  Service.Shard_map.set_leader_hint map ~shard:1 ~host:2;
+  check_bool "hint set" true (Service.Shard_map.leader_hint map ~shard:0 = Some 2);
+  (* A crashed host's hints all go at once. *)
+  Service.Shard_map.clear_hints_for map ~host:2;
+  check_bool "hints cleared" true
+    (Service.Shard_map.leader_hint map ~shard:0 = None
+    && Service.Shard_map.leader_hint map ~shard:1 = None);
+  Alcotest.check_raises "replication must fit the host set"
+    (Invalid_argument "Shard_map.create: replication exceeds host count") (fun () ->
+      ignore (Service.Shard_map.create ~shards:1 ~replication:4 ~replica_hosts:[| 0; 1 |]))
+
+let test_fnv1a_non_negative () =
+  (* The 63-bit masking bug class: hashes must never go negative, or
+     [shard_of_key] indexes out of bounds. *)
+  for i = 0 to 9_999 do
+    check_bool "hash >= 0" true (Workload.Keygen.fnv1a (Workload.Keygen.encode i) >= 0)
+  done
+
+(* {2 Wire protocol} *)
+
+let test_kv_proto_request_roundtrip () =
+  let key = Workload.Keygen.encode 77 in
+  let value = String.make Service.Kv_proto.value_size 'v' in
+  let r =
+    { Service.Kv_proto.op = Service.Kv_proto.Put; shard = 3; client_id = 12; seq = 345; key; value }
+  in
+  let m = Erpc.Msgbuf.alloc ~max_size:Service.Kv_proto.req_size in
+  Service.Kv_proto.write_request m r;
+  let r' = Service.Kv_proto.read_request m in
+  check_bool "op" true (r'.Service.Kv_proto.op = Service.Kv_proto.Put);
+  check_int "shard" 3 r'.Service.Kv_proto.shard;
+  check_int "client_id" 12 r'.Service.Kv_proto.client_id;
+  check_int "seq" 345 r'.Service.Kv_proto.seq;
+  check_str "key" key r'.Service.Kv_proto.key;
+  check_str "value" value r'.Service.Kv_proto.value
+
+let test_kv_proto_response_roundtrip () =
+  let m = Erpc.Msgbuf.alloc ~max_size:Service.Kv_proto.resp_max_size in
+  Erpc.Msgbuf.resize m (Service.Kv_proto.resp_size ~value:None);
+  Service.Kv_proto.write_response m ~status:(Service.Kv_proto.Not_leader (Some 4)) ~value:None;
+  (match Service.Kv_proto.read_response m with
+  | Service.Kv_proto.Not_leader (Some h), None -> check_int "hint host" 4 h
+  | _ -> Alcotest.fail "Not_leader hint lost");
+  let value = String.make Service.Kv_proto.value_size 'g' in
+  let m = Erpc.Msgbuf.alloc ~max_size:Service.Kv_proto.resp_max_size in
+  Erpc.Msgbuf.resize m (Service.Kv_proto.resp_size ~value:(Some value));
+  Service.Kv_proto.write_response m ~status:Service.Kv_proto.Ok_ ~value:(Some value);
+  match Service.Kv_proto.read_response m with
+  | Service.Kv_proto.Ok_, Some v -> check_str "value round-trips" value v
+  | _ -> Alcotest.fail "Ok_+value lost"
+
+let test_kv_proto_cmd_roundtrip () =
+  let key = Workload.Keygen.encode 5 in
+  let value = String.make Service.Kv_proto.value_size 'q' in
+  let cmd = Service.Kv_proto.encode_cmd ~client_id:7 ~seq:123 ~key ~value in
+  check_int "cmd size" Service.Kv_proto.cmd_size (String.length cmd);
+  let client_id, seq, key', value' = Service.Kv_proto.decode_cmd cmd in
+  check_int "client_id" 7 client_id;
+  check_int "seq" 123 seq;
+  check_str "key" key key';
+  check_str "value" value value';
+  (* No-op barrier entries are recognizable and never collide with a real
+     client. *)
+  let nc, nseq, _, _ = Service.Kv_proto.decode_cmd (Service.Kv_proto.noop_cmd ~seq:9) in
+  check_int "noop client id" Service.Kv_proto.noop_client_id nc;
+  check_int "noop seq" 9 nseq
+
+let test_raft_frame_roundtrip () =
+  let msg =
+    Raft.Core.Append_entries
+      {
+        term = 3;
+        leader_id = 1;
+        prev_log_index = 4;
+        prev_log_term = 2;
+        entries = [ { Raft.Log.term = 3; cmd = "hello-entry" } ];
+        leader_commit = 4;
+      }
+  in
+  let m = Erpc.Msgbuf.alloc ~max_size:(Service.Kv_proto.raft_frame_size msg) in
+  Service.Kv_proto.write_raft_frame m ~shard:2 msg;
+  let shard, msg' = Service.Kv_proto.read_raft_frame m in
+  check_int "shard" 2 shard;
+  match msg' with
+  | Raft.Core.Append_entries { term; entries = [ e ]; _ } ->
+      check_int "term" 3 term;
+      check_str "entry" "hello-entry" e.Raft.Log.cmd
+  | _ -> Alcotest.fail "frame did not round-trip"
+
+(* {2 Availability timeline} *)
+
+let test_timeline_windows_and_gaps () =
+  let w = 10_000_000 in
+  let tl = Obs.Timeline.create ~window_ns:w ~horizon_ns:(5 * w) in
+  (* Window 0: healthy. Window 1: attempts but zero successes (a gap).
+     Window 2: empty (not a gap). Windows 3-4: healthy again. *)
+  Obs.Timeline.ok tl ~at_ns:100 ~latency_ns:1_000;
+  Obs.Timeline.ok tl ~at_ns:200 ~latency_ns:3_000;
+  Obs.Timeline.fail tl ~at_ns:(w + 1);
+  Obs.Timeline.fail tl ~at_ns:(w + 2);
+  Obs.Timeline.ok tl ~at_ns:(3 * w) ~latency_ns:2_000;
+  Obs.Timeline.ok tl ~at_ns:(4 * w) ~latency_ns:2_000;
+  check_int "gap windows" 1 (Obs.Timeline.gaps tl);
+  check_int "longest gap" w (Obs.Timeline.longest_gap_ns tl);
+  let windows = Obs.Timeline.windows tl in
+  check_int "window count" 5 (List.length windows);
+  (match windows with
+  | (t0, ok0, fail0, p50, _) :: (_, ok1, fail1, _, _) :: _ ->
+      check_int "w0 start" 0 t0;
+      check_int "w0 ok" 2 ok0;
+      check_int "w0 fail" 0 fail0;
+      check_bool "w0 p50 sane" true (p50 >= 1_000 && p50 <= 3_000);
+      check_int "w1 ok" 0 ok1;
+      check_int "w1 fail" 2 fail1
+  | _ -> Alcotest.fail "missing windows");
+  check_bool "timeline JSON is well-formed" true
+    (Obs.Json.validate (Obs.Json.to_string (Obs.Timeline.to_json tl)))
+
+(* {2 Chaos harness} *)
+
+let test_chaos_run_clean_and_deterministic () =
+  let r1 =
+    Experiments.Exp_kv_chaos.run_one ~scenario:Experiments.Exp_kv_chaos.Leader_crash
+      ~seed:7L ()
+  in
+  Alcotest.(check (list string)) "no invariant violations" [] r1.violations;
+  check_bool "made progress under faults" true (r1.acked > r1.issued / 2);
+  check_bool "observed the injected crashes" true (r1.restarts >= 1);
+  let r2 =
+    Experiments.Exp_kv_chaos.run_one ~scenario:Experiments.Exp_kv_chaos.Leader_crash
+      ~seed:7L ()
+  in
+  check_str "same seed, byte-identical fault trace" r1.trace r2.trace;
+  check_int "same seed, same ack count" r1.acked r2.acked;
+  check_bool "run JSON is well-formed" true
+    (Obs.Json.validate (Obs.Json.to_string r1.timeline))
+
+let suite =
+  [
+    Alcotest.test_case "shard map: placement" `Quick test_shard_map_placement;
+    Alcotest.test_case "shard map: key routing" `Quick test_shard_map_key_routing;
+    Alcotest.test_case "shard map: leader hints" `Quick test_shard_map_hints;
+    Alcotest.test_case "fnv1a never negative" `Quick test_fnv1a_non_negative;
+    Alcotest.test_case "kv proto: request roundtrip" `Quick test_kv_proto_request_roundtrip;
+    Alcotest.test_case "kv proto: response roundtrip" `Quick test_kv_proto_response_roundtrip;
+    Alcotest.test_case "kv proto: command roundtrip" `Quick test_kv_proto_cmd_roundtrip;
+    Alcotest.test_case "kv proto: raft frame roundtrip" `Quick test_raft_frame_roundtrip;
+    Alcotest.test_case "timeline: windows and gaps" `Quick test_timeline_windows_and_gaps;
+    Alcotest.test_case "kv-chaos: clean and deterministic" `Quick
+      test_chaos_run_clean_and_deterministic;
+  ]

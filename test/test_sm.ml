@@ -113,8 +113,10 @@ let test_destroy_transitions () =
 let test_sm_message_formatting () =
   let fmt m = Format.asprintf "%a" Erpc.Sm.pp m in
   check_str "connect req"
-    "ConnectReq(h3/r1 sn=4 credits=8)"
-    (fmt (Erpc.Sm.Connect_req { client_host = 3; client_rpc = 1; client_sn = 4; credits = 8 }));
+    "ConnectReq(h3/r1 sn=4 tok=17 credits=8)"
+    (fmt
+       (Erpc.Sm.Connect_req
+          { client_host = 3; client_rpc = 1; client_sn = 4; token = 17; credits = 8 }));
   check_str "connect resp ok" "ConnectResp(csn=4 ssn=9)"
     (fmt (Erpc.Sm.Connect_resp { client_sn = 4; result = Ok 9 }));
   check_str "connect resp err" "ConnectResp(csn=4 error=budget)"
