@@ -67,6 +67,14 @@ let table3 () =
     ]
   in
   let rows = Experiments.Exp_small_rate.factor_analysis () in
+  (* The trailing "Typed codec" rows are not part of the paper's cumulative
+     table: each re-runs the baseline with typed serialization on the
+     datapath, so they get their own section (loss vs the baseline). *)
+  let cumulative, codec_rows =
+    List.partition
+      (fun (label, _) -> not (String.length label >= 11 && String.sub label 0 11 = "Typed codec"))
+      rows
+  in
   let prev = ref None in
   List.iteri
     (fun i (label, (r : Experiments.Exp_small_rate.result)) ->
@@ -79,7 +87,20 @@ let table3 () =
       let p_rate, p_loss = List.nth paper i in
       Printf.printf "%-44s %-10.2f %-8s (%.2f M/s, %s)\n%!" label r.per_thread_mrps loss p_rate
         p_loss)
-    rows;
+    cumulative;
+  let baseline =
+    match cumulative with (_, r) :: _ -> Some r.Experiments.Exp_small_rate.per_thread_mrps | [] -> None
+  in
+  List.iter
+    (fun (label, (r : Experiments.Exp_small_rate.result)) ->
+      let loss =
+        match baseline with
+        | Some b when b > 0. ->
+            Printf.sprintf "%.1f%%" ((b -. r.per_thread_mrps) /. b *. 100.)
+        | _ -> ""
+      in
+      Printf.printf "%-44s %-10.2f %-8s (vs baseline)\n%!" label r.per_thread_mrps loss)
+    codec_rows;
   (* §6.2 text: disabling congestion control entirely gives 5.44 Mrps (9%
      total CC overhead). *)
   let cluster = Transport.Cluster.cx4 ~nodes:11 () in
@@ -414,7 +435,7 @@ let micro () =
           entries = [ { Raft.Log.term = 7; cmd = String.make 80 'x' } ];
         }
     in
-    Staged.stage (fun () -> ignore (Raft.Codec.decode (Raft.Codec.encode msg)))
+    Staged.stage (fun () -> ignore (Raft.Wire.decode (Raft.Wire.encode msg)))
   in
   let tests =
     [

@@ -348,8 +348,14 @@ let chaos_cmd =
 
 (* anatomy *)
 let anatomy_cmd =
-  let run samples req_size seed json =
-    let r = Experiments.Exp_anatomy.run ~seed ~samples ~req_size () in
+  let run samples req_size typed backend offload seed json =
+    let backend =
+      match backend with
+      | "compact" -> Codec.Compact
+      | "flat" -> Codec.Flat
+      | s -> failwith (Printf.sprintf "unknown codec backend %S (compact|flat)" s)
+    in
+    let r = Experiments.Exp_anatomy.run ~seed ~samples ~req_size ~typed ~backend ~offload () in
     if json then
       print_bench_json ~benchmark:"anatomy" ~unit:"ns"
         (List.map
@@ -369,10 +375,23 @@ let anatomy_cmd =
   let req_size =
     Arg.(value & opt int 32 & info [ "size" ] ~docv:"BYTES" ~doc:"Request size.")
   in
+  let typed =
+    Arg.(
+      value & flag
+      & info [ "typed" ] ~doc:"Issue typed (schema-carrying) echoes so ser/deser appear.")
+  in
+  let backend =
+    Arg.(
+      value & opt string "compact"
+      & info [ "backend" ] ~docv:"B" ~doc:"Codec backend for --typed (compact|flat).")
+  in
+  let offload =
+    Arg.(value & flag & info [ "offload" ] ~doc:"Model NIC-offloaded codec for --typed.")
+  in
   Cmd.v
     (Cmd.info "anatomy"
        ~doc:"Latency anatomy: decompose quiet-network RPC latency into components")
-    Term.(const run $ samples $ req_size $ seed_arg $ json_arg)
+    Term.(const run $ samples $ req_size $ typed $ backend $ offload $ seed_arg $ json_arg)
 
 (* trace *)
 let trace_cmd =
@@ -541,6 +560,46 @@ let bench_sim_cmd =
        ~doc:"Simulator throughput: events/s and allocation per event, wheel vs binheap")
     Term.(const run $ workloads $ impls $ out $ seed_arg)
 
+(* codec-bench *)
+let codec_bench_cmd =
+  let run iters measure_ms json out seed =
+    let rows = Experiments.Exp_codec_bench.run ~seed ~iters ~measure_ms () in
+    if json then
+      print_bench_json ~benchmark:"codec" ~unit:"ns/op"
+        (List.map Experiments.Exp_codec_bench.row_json rows)
+    else Experiments.Exp_codec_bench.pp_table Format.std_formatter rows;
+    match out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Obs.Json.to_string (Experiments.Exp_codec_bench.to_json rows));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" file
+  in
+  let iters =
+    Arg.(
+      value & opt int 100_000
+      & info [ "iters" ] ~docv:"N" ~doc:"Wall-clock encode/decode iterations per row.")
+  in
+  let measure =
+    Arg.(
+      value & opt float 2.0
+      & info [ "measure-ms" ] ~docv:"MS" ~doc:"Simulated measurement window per row.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the BENCH_codec.json document here.")
+  in
+  Cmd.v
+    (Cmd.info "codec-bench"
+       ~doc:
+         "Typed-codec cost: encode/decode ns/op, modeled charge, and simulated Mrps per \
+          backend x schema x offload")
+    Term.(const run $ iters $ measure $ json_arg $ out $ seed_arg)
+
 (* session-scale *)
 let session_scale_cmd =
   let print_row (r : Experiments.Exp_session_scale.result) =
@@ -606,6 +665,7 @@ let () =
             chaos_cmd;
             kv_chaos_cmd;
             bench_sim_cmd;
+            codec_bench_cmd;
             session_scale_cmd;
             rdma_cmd;
           ]))

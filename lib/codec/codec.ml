@@ -1,105 +1,158 @@
 exception Decode_error of string
 
-(* A codec is a size function plus writers/readers over a bytes buffer.
-   Writers return the next offset; readers return (value, next offset). *)
-type 'a t = {
-  size : 'a -> int;
-  write : bytes -> int -> 'a -> int;
-  read : bytes -> int -> 'a * int;
-}
+type backend = Compact | Flat
+
+let backend_name = function Compact -> "compact" | Flat -> "flat"
 
 let fail msg = raise (Decode_error msg)
 
-let need b off n what =
-  if off < 0 || off + n > Bytes.length b then
-    fail (Printf.sprintf "truncated %s at offset %d (need %d, have %d)" what off n
-            (Bytes.length b - off))
+(* FNV-1a over bytes; constants match [Erpc.Pkthdr.bytes_checksum] exactly so
+   [with_checksum] wire bytes are unchanged by this module's independence
+   from the transport library. *)
+let fnv_offset = 0x4bf29ce484222325
+let fnv_prime = 0x100000001b3
+let fnv_step h v = (h lxor v) * fnv_prime land max_int
+
+let bytes_checksum b ~off ~len =
+  let h = ref fnv_offset in
+  for i = off to off + len - 1 do
+    h := fnv_step !h (Char.code (Bytes.unsafe_get b i))
+  done;
+  !h
+
+(* {2 Leaf metadata}
+
+   A "leaf" is one primitive field as seen by the cost model: encoding or
+   decoding a message costs per-leaf work plus bulk byte movement. Flat
+   layouts additionally record each leaf's fixed offset, which is what makes
+   lazy positional access possible. *)
+
+type leaf_kind =
+  | L_u8
+  | L_u16
+  | L_u32
+  | L_u64
+  | L_bool
+  | L_fixed of int
+  | L_bounded of int  (* u32 length + [cap] bytes of storage *)
+
+type leaf = { l_off : int; l_kind : leaf_kind }
+
+let leaf_width = function
+  | L_u8 | L_bool -> 1
+  | L_u16 -> 2
+  | L_u32 -> 4
+  | L_u64 -> 8
+  | L_fixed n -> n
+  | L_bounded cap -> 4 + cap
+
+type 'a flat = {
+  f_size : int;  (* fixed wire footprint *)
+  f_write : bytes -> int -> 'a -> unit;  (* bounds pre-checked by caller *)
+  f_read : bytes -> int -> 'a;  (* bounds pre-checked; content may still fail *)
+  f_leaves : leaf array;  (* declaration order, offsets relative to base *)
+}
+
+(* A codec is an exact-size function, limit-aware writers/readers over a
+   bytes buffer (compact backend), a per-value leaf count for the cost
+   model, a static compact-size bound when one exists, and optionally a
+   fixed-offset flat layout. Writers return the next offset; readers return
+   (value, next offset) and never read at or past [limit]. *)
+type 'a t = {
+  size : 'a -> int;
+  write : bytes -> int -> 'a -> int;
+  read : bytes -> limit:int -> int -> 'a * int;
+  leaves : 'a -> int;
+  bound : int option;
+  flat : 'a flat option;
+}
+
+let need b ~limit off n what =
+  if off < 0 || off + n > limit || off + n > Bytes.length b then
+    fail
+      (Printf.sprintf "truncated %s at offset %d (need %d, have %d)" what off n
+         (min limit (Bytes.length b) - off))
+
+(* {2 Primitives} *)
+
+let prim ~kind ~n ~what ~wr ~rd =
+  {
+    size = (fun _ -> n);
+    write =
+      (fun b off v ->
+        wr b off v;
+        off + n);
+    read =
+      (fun b ~limit off ->
+        need b ~limit off n what;
+        (rd b off, off + n));
+    leaves = (fun _ -> 1);
+    bound = Some n;
+    flat = Some { f_size = n; f_write = wr; f_read = rd; f_leaves = [| { l_off = 0; l_kind = kind } |] };
+  }
 
 let u8 =
-  {
-    size = (fun _ -> 1);
-    write =
-      (fun b off v ->
-        if v < 0 || v > 0xFF then invalid_arg "Codec.u8: out of range";
-        Bytes.set_uint8 b off v;
-        off + 1);
-    read =
-      (fun b off ->
-        need b off 1 "u8";
-        (Bytes.get_uint8 b off, off + 1));
-  }
+  prim ~kind:L_u8 ~n:1 ~what:"u8"
+    ~wr:(fun b off v ->
+      if v < 0 || v > 0xFF then invalid_arg "Codec.u8: out of range";
+      Bytes.set_uint8 b off v)
+    ~rd:(fun b off -> Bytes.get_uint8 b off)
 
 let u16 =
-  {
-    size = (fun _ -> 2);
-    write =
-      (fun b off v ->
-        if v < 0 || v > 0xFFFF then invalid_arg "Codec.u16: out of range";
-        Bytes.set_uint16_le b off v;
-        off + 2);
-    read =
-      (fun b off ->
-        need b off 2 "u16";
-        (Bytes.get_uint16_le b off, off + 2));
-  }
+  prim ~kind:L_u16 ~n:2 ~what:"u16"
+    ~wr:(fun b off v ->
+      if v < 0 || v > 0xFFFF then invalid_arg "Codec.u16: out of range";
+      Bytes.set_uint16_le b off v)
+    ~rd:(fun b off -> Bytes.get_uint16_le b off)
 
 let u32 =
-  {
-    size = (fun _ -> 4);
-    write =
-      (fun b off v ->
-        if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.u32: out of range";
-        Bytes.set_int32_le b off (Int32.of_int v);
-        off + 4);
-    read =
-      (fun b off ->
-        need b off 4 "u32";
-        (Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF, off + 4));
-  }
+  prim ~kind:L_u32 ~n:4 ~what:"u32"
+    ~wr:(fun b off v ->
+      if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.u32: out of range";
+      Bytes.set_int32_le b off (Int32.of_int v))
+    ~rd:(fun b off -> Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF)
 
 let u64 =
-  {
-    size = (fun _ -> 8);
-    write =
-      (fun b off v ->
-        Bytes.set_int64_le b off (Int64.of_int v);
-        off + 8);
-    read =
-      (fun b off ->
-        need b off 8 "u64";
-        (Int64.to_int (Bytes.get_int64_le b off), off + 8));
-  }
+  prim ~kind:L_u64 ~n:8 ~what:"u64"
+    ~wr:(fun b off v -> Bytes.set_int64_le b off (Int64.of_int v))
+    ~rd:(fun b off -> Int64.to_int (Bytes.get_int64_le b off))
 
 let bool =
-  {
-    size = (fun _ -> 1);
-    write =
-      (fun b off v ->
-        Bytes.set_uint8 b off (if v then 1 else 0);
-        off + 1);
-    read =
-      (fun b off ->
-        need b off 1 "bool";
-        (match Bytes.get_uint8 b off with
-        | 0 -> (false, off + 1)
-        | 1 -> (true, off + 1)
-        | n -> fail (Printf.sprintf "invalid bool byte %d" n)));
-  }
+  prim ~kind:L_bool ~n:1 ~what:"bool"
+    ~wr:(fun b off v -> Bytes.set_uint8 b off (if v then 1 else 0))
+    ~rd:(fun b off ->
+      match Bytes.get_uint8 b off with
+      | 0 -> false
+      | 1 -> true
+      | n -> fail (Printf.sprintf "invalid bool byte %d" n))
 
 let fixed_string n =
+  let wr b off s =
+    if String.length s <> n then
+      invalid_arg
+        (Printf.sprintf "Codec.fixed_string: expected %d bytes, got %d" n (String.length s));
+    Bytes.blit_string s 0 b off n
+  in
   {
     size = (fun _ -> n);
     write =
       (fun b off s ->
-        if String.length s <> n then
-          invalid_arg (Printf.sprintf "Codec.fixed_string: expected %d bytes, got %d" n
-                         (String.length s));
-        Bytes.blit_string s 0 b off n;
+        wr b off s;
         off + n);
     read =
-      (fun b off ->
-        need b off n "fixed_string";
+      (fun b ~limit off ->
+        need b ~limit off n "fixed_string";
         (Bytes.sub_string b off n, off + n));
+    leaves = (fun _ -> 1);
+    bound = Some n;
+    flat =
+      Some
+        {
+          f_size = n;
+          f_write = wr;
+          f_read = (fun b off -> Bytes.sub_string b off n);
+          f_leaves = [| { l_off = 0; l_kind = L_fixed n } |];
+        };
   }
 
 let string =
@@ -111,11 +164,68 @@ let string =
         Bytes.blit_string s 0 b off (String.length s);
         off + String.length s);
     read =
-      (fun b off ->
-        let n, off = u32.read b off in
-        need b off n "string body";
+      (fun b ~limit off ->
+        let n, off = u32.read b ~limit off in
+        need b ~limit off n "string body";
         (Bytes.sub_string b off n, off + n));
+    leaves = (fun _ -> 1);
+    bound = None;
+    flat = None;
   }
+
+(* Same compact wire format as [string], but with a declared capacity, which
+   gives it a flat layout: u32 length at a fixed offset followed by [cap]
+   reserved bytes (slack zero-filled so encodes stay deterministic). *)
+let bounded_string cap =
+  let check s =
+    if String.length s > cap then
+      invalid_arg
+        (Printf.sprintf "Codec.bounded_string: %d bytes exceeds capacity %d" (String.length s)
+           cap)
+  in
+  {
+    size =
+      (fun s ->
+        check s;
+        4 + String.length s);
+    write =
+      (fun b off s ->
+        check s;
+        let off = u32.write b off (String.length s) in
+        Bytes.blit_string s 0 b off (String.length s);
+        off + String.length s);
+    read =
+      (fun b ~limit off ->
+        let n, off = u32.read b ~limit off in
+        if n > cap then fail (Printf.sprintf "bounded_string length %d exceeds capacity %d" n cap);
+        need b ~limit off n "bounded_string body";
+        (Bytes.sub_string b off n, off + n));
+    leaves = (fun _ -> 1);
+    bound = Some (4 + cap);
+    flat =
+      Some
+        {
+          f_size = 4 + cap;
+          f_write =
+            (fun b off s ->
+              check s;
+              let n = String.length s in
+              ignore (u32.write b off n);
+              Bytes.blit_string s 0 b (off + 4) n;
+              Bytes.fill b (off + 4 + n) (cap - n) '\000');
+          f_read =
+            (fun b off ->
+              let n = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF in
+              if n > cap then
+                fail (Printf.sprintf "bounded_string length %d exceeds capacity %d" n cap);
+              Bytes.sub_string b (off + 4) n);
+          f_leaves = [| { l_off = 0; l_kind = L_bounded cap } |];
+        };
+  }
+
+(* {2 Combinators} *)
+
+let shift_leaves d ls = Array.map (fun l -> { l with l_off = l.l_off + d }) ls
 
 let pair a b =
   {
@@ -125,27 +235,60 @@ let pair a b =
         let off = a.write buf off x in
         b.write buf off y);
     read =
-      (fun buf off ->
-        let x, off = a.read buf off in
-        let y, off = b.read buf off in
+      (fun buf ~limit off ->
+        let x, off = a.read buf ~limit off in
+        let y, off = b.read buf ~limit off in
         ((x, y), off));
+    leaves = (fun (x, y) -> a.leaves x + b.leaves y);
+    bound = (match (a.bound, b.bound) with Some m, Some n -> Some (m + n) | _ -> None);
+    flat =
+      (match (a.flat, b.flat) with
+      | Some fa, Some fb ->
+          Some
+            {
+              f_size = fa.f_size + fb.f_size;
+              f_write =
+                (fun buf off (x, y) ->
+                  fa.f_write buf off x;
+                  fb.f_write buf (off + fa.f_size) y);
+              f_read =
+                (fun buf off ->
+                  let x = fa.f_read buf off in
+                  let y = fb.f_read buf (off + fa.f_size) in
+                  (x, y));
+              f_leaves = Array.append fa.f_leaves (shift_leaves fa.f_size fb.f_leaves);
+            }
+      | _ -> None);
+  }
+
+let map ~into ~from c =
+  {
+    size = (fun v -> c.size (from v));
+    write = (fun buf off v -> c.write buf off (from v));
+    read =
+      (fun buf ~limit off ->
+        let x, off = c.read buf ~limit off in
+        (into x, off));
+    leaves = (fun v -> c.leaves (from v));
+    bound = c.bound;
+    flat =
+      (match c.flat with
+      | Some f ->
+          Some
+            {
+              f_size = f.f_size;
+              f_write = (fun buf off v -> f.f_write buf off (from v));
+              f_read = (fun buf off -> into (f.f_read buf off));
+              f_leaves = f.f_leaves;
+            }
+      | None -> None);
   }
 
 let triple a b c =
-  {
-    size = (fun (x, y, z) -> a.size x + b.size y + c.size z);
-    write =
-      (fun buf off (x, y, z) ->
-        let off = a.write buf off x in
-        let off = b.write buf off y in
-        c.write buf off z);
-    read =
-      (fun buf off ->
-        let x, off = a.read buf off in
-        let y, off = b.read buf off in
-        let z, off = c.read buf off in
-        ((x, y, z), off));
-  }
+  map
+    ~into:(fun ((x, y), z) -> (x, y, z))
+    ~from:(fun (x, y, z) -> ((x, y), z))
+    (pair (pair a b) c)
 
 let list elt =
   {
@@ -155,15 +298,40 @@ let list elt =
         let off = u32.write buf off (List.length xs) in
         List.fold_left (fun off x -> elt.write buf off x) off xs);
     read =
-      (fun buf off ->
-        let n, off = u32.read buf off in
+      (fun buf ~limit off ->
+        let n, off = u32.read buf ~limit off in
         let rec go acc off i =
           if i = 0 then (List.rev acc, off)
           else
-            let x, off = elt.read buf off in
+            let x, off = elt.read buf ~limit off in
             go (x :: acc) off (i - 1)
         in
         go [] off n);
+    leaves = (fun xs -> 1 + List.fold_left (fun acc x -> acc + elt.leaves x) 0 xs);
+    bound = None;
+    flat = None;
+  }
+
+(* No count prefix: elements are read until the message limit. Only valid as
+   the final field of a message. *)
+let tail_list elt =
+  {
+    size = (fun xs -> List.fold_left (fun acc x -> acc + elt.size x) 0 xs);
+    write = (fun buf off xs -> List.fold_left (fun off x -> elt.write buf off x) off xs);
+    read =
+      (fun buf ~limit off ->
+        let rec go acc off =
+          if off >= limit then (List.rev acc, off)
+          else begin
+            let x, off' = elt.read buf ~limit off in
+            if off' <= off then fail "tail_list: element consumed no bytes";
+            go (x :: acc) off'
+          end
+        in
+        go [] off);
+    leaves = (fun xs -> List.fold_left (fun acc x -> acc + elt.leaves x) 0 xs);
+    bound = None;
+    flat = None;
   }
 
 let option elt =
@@ -177,24 +345,145 @@ let option elt =
             let off = bool.write buf off true in
             elt.write buf off x);
     read =
-      (fun buf off ->
-        let present, off = bool.read buf off in
+      (fun buf ~limit off ->
+        let present, off = bool.read buf ~limit off in
         if present then
-          let x, off = elt.read buf off in
+          let x, off = elt.read buf ~limit off in
           (Some x, off)
         else (None, off));
+    leaves = (fun v -> match v with None -> 1 | Some x -> 1 + elt.leaves x);
+    bound = (match elt.bound with Some n -> Some (1 + n) | None -> None);
+    flat =
+      (match elt.flat with
+      | Some f ->
+          Some
+            {
+              f_size = 1 + f.f_size;
+              f_write =
+                (fun buf off v ->
+                  match v with
+                  | None ->
+                      Bytes.set_uint8 buf off 0;
+                      Bytes.fill buf (off + 1) f.f_size '\000'
+                  | Some x ->
+                      Bytes.set_uint8 buf off 1;
+                      f.f_write buf (off + 1) x);
+              f_read =
+                (fun buf off ->
+                  match Bytes.get_uint8 buf off with
+                  | 0 -> None
+                  | 1 -> Some (f.f_read buf (off + 1))
+                  | n -> fail (Printf.sprintf "invalid option byte %d" n));
+              f_leaves =
+                Array.append [| { l_off = 0; l_kind = L_bool } |] (shift_leaves 1 f.f_leaves);
+            }
+      | None -> None);
+  }
+
+(* Presence encoded by message length: the value is present iff any bytes
+   remain before the limit. Only valid as the final field of a message —
+   this is how fixed-layout responses omit an optional payload without
+   spending a presence byte (the KV response format). *)
+let tail_option elt =
+  {
+    size = (fun v -> match v with None -> 0 | Some x -> elt.size x);
+    write = (fun buf off v -> match v with None -> off | Some x -> elt.write buf off x);
+    read =
+      (fun buf ~limit off ->
+        if off >= limit then (None, off)
+        else
+          let x, off = elt.read buf ~limit off in
+          (Some x, off));
+    leaves = (fun v -> match v with None -> 0 | Some x -> elt.leaves x);
+    bound = elt.bound;
+    flat = None;
   }
 
 let array elt =
   let as_list = list elt in
+  map ~into:Array.of_list ~from:Array.to_list as_list
+
+(* {2 Tagged unions} *)
+
+type ('a, 'b) case_ = {
+  c_tag : int;
+  c_payload : 'b t;
+  c_inj : 'b -> 'a;
+  c_proj : 'a -> 'b option;
+}
+
+type 'a case = Case : ('a, 'b) case_ -> 'a case
+
+let case ~tag payload ~inj ~proj =
+  if tag < 0 || tag > 0xFF then invalid_arg "Codec.case: tag out of u8 range";
+  Case { c_tag = tag; c_payload = payload; c_inj = inj; c_proj = proj }
+
+let variant ~name cases =
+  if cases = [] then invalid_arg (name ^ ": no cases");
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (Case c) ->
+      if Hashtbl.mem seen c.c_tag then
+        invalid_arg (Printf.sprintf "%s: duplicate tag %d" name c.c_tag);
+      Hashtbl.add seen c.c_tag ())
+    cases;
+  let by_tag tag =
+    let rec go = function
+      | [] -> fail (Printf.sprintf "%s: unknown tag %d" name tag)
+      | Case c :: rest -> if c.c_tag = tag then Case c else go rest
+    in
+    go cases
+  in
+  let size v =
+    let rec go = function
+      | [] -> invalid_arg (name ^ ": value matches no case")
+      | Case c :: rest -> (
+          match c.c_proj v with Some b -> 1 + c.c_payload.size b | None -> go rest)
+    in
+    go cases
+  in
+  let write buf off v =
+    let rec go = function
+      | [] -> invalid_arg (name ^ ": value matches no case")
+      | Case c :: rest -> (
+          match c.c_proj v with
+          | Some b ->
+              let off = u8.write buf off c.c_tag in
+              c.c_payload.write buf off b
+          | None -> go rest)
+    in
+    go cases
+  in
+  let leaves v =
+    let rec go = function
+      | [] -> invalid_arg (name ^ ": value matches no case")
+      | Case c :: rest -> (
+          match c.c_proj v with Some b -> 1 + c.c_payload.leaves b | None -> go rest)
+    in
+    go cases
+  in
   {
-    size = (fun a -> as_list.size (Array.to_list a));
-    write = (fun buf off a -> as_list.write buf off (Array.to_list a));
+    size;
+    write;
     read =
-      (fun buf off ->
-        let xs, off = as_list.read buf off in
-        (Array.of_list xs, off));
+      (fun buf ~limit off ->
+        let tag, off = u8.read buf ~limit off in
+        match by_tag tag with
+        | Case c ->
+            let b, off = c.c_payload.read buf ~limit off in
+            (c.c_inj b, off));
+    leaves;
+    bound =
+      List.fold_left
+        (fun acc (Case c) ->
+          match (acc, c.c_payload.bound) with
+          | Some m, Some n -> Some (max m (1 + n))
+          | _ -> None)
+        (Some 0) cases;
+    flat = None;
   }
+
+(* {2 Integrity} *)
 
 let with_checksum c =
   {
@@ -202,62 +491,143 @@ let with_checksum c =
     write =
       (fun b off v ->
         let body_end = c.write b off v in
-        let sum =
-          Erpc.Pkthdr.bytes_checksum b ~off ~len:(body_end - off) land 0xFFFFFFFF
-        in
+        let sum = bytes_checksum b ~off ~len:(body_end - off) land 0xFFFFFFFF in
         u32.write b body_end sum);
     read =
-      (fun b off ->
-        let v, body_end = c.read b off in
-        let stored, next = u32.read b body_end in
-        let sum =
-          Erpc.Pkthdr.bytes_checksum b ~off ~len:(body_end - off) land 0xFFFFFFFF
-        in
+      (fun b ~limit off ->
+        let v, body_end = c.read b ~limit off in
+        let stored, next = u32.read b ~limit body_end in
+        let sum = bytes_checksum b ~off ~len:(body_end - off) land 0xFFFFFFFF in
         if stored <> sum then
           fail (Printf.sprintf "checksum mismatch (stored %#x, computed %#x)" stored sum);
         (v, next));
+    leaves = (fun v -> c.leaves v + 1);
+    bound = (match c.bound with Some n -> Some (n + 4) | None -> None);
+    flat =
+      (match c.flat with
+      | Some f ->
+          Some
+            {
+              f_size = f.f_size + 4;
+              f_write =
+                (fun b off v ->
+                  f.f_write b off v;
+                  ignore
+                    (u32.write b (off + f.f_size)
+                       (bytes_checksum b ~off ~len:f.f_size land 0xFFFFFFFF)));
+              f_read =
+                (fun b off ->
+                  let stored =
+                    Int32.to_int (Bytes.get_int32_le b (off + f.f_size)) land 0xFFFFFFFF
+                  in
+                  let sum = bytes_checksum b ~off ~len:f.f_size land 0xFFFFFFFF in
+                  if stored <> sum then
+                    fail
+                      (Printf.sprintf "checksum mismatch (stored %#x, computed %#x)" stored sum);
+                  f.f_read b off);
+              (* Lazy per-leaf access deliberately bypasses verification;
+                 [decode] (eager) always verifies. *)
+              f_leaves = f.f_leaves;
+            }
+      | None -> None);
   }
 
-let map ~into ~from c =
-  {
-    size = (fun v -> c.size (from v));
-    write = (fun buf off v -> c.write buf off (from v));
-    read =
-      (fun buf off ->
-        let x, off = c.read buf off in
-        (into x, off));
-  }
+(* {2 Sizes and backend entry points} *)
 
 let size c v = c.size v
+let bound c = c.bound
+let leaf_count c v = c.leaves v
+let flat_capable c = c.flat <> None
 
-let to_bytes c v =
-  let b = Bytes.create (c.size v) in
-  let final = c.write b 0 v in
+let flat_exn c what =
+  match c.flat with
+  | Some f -> f
+  | None -> invalid_arg (what ^ ": codec has no flat layout (unbounded field?)")
+
+let flat_size c = (flat_exn c "Codec.flat_size").f_size
+let flat_leaves c = Array.length (flat_exn c "Codec.flat_leaves").f_leaves
+
+let encoded_size ~backend c v =
+  match backend with Compact -> c.size v | Flat -> (flat_exn c "Codec.encoded_size").f_size
+
+let encoded_leaves ~backend c v =
+  match backend with
+  | Compact -> c.leaves v
+  | Flat ->
+      let f = flat_exn c "Codec.encoded_leaves" in
+      if Array.length f.f_leaves > 0 then Array.length f.f_leaves else c.leaves v
+
+let encode ~backend c b off v =
+  match backend with
+  | Compact -> c.write b off v
+  | Flat ->
+      let f = flat_exn c "Codec.encode" in
+      if off < 0 || off + f.f_size > Bytes.length b then
+        invalid_arg "Codec.encode: buffer too small for flat layout";
+      f.f_write b off v;
+      off + f.f_size
+
+let decode ~backend c b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Codec.decode: range outside buffer";
+  match backend with
+  | Compact ->
+      let v, fin = c.read b ~limit:(off + len) off in
+      if fin <> off + len then
+        fail (Printf.sprintf "%d trailing bytes after message" (off + len - fin));
+      v
+  | Flat ->
+      let f = flat_exn c "Codec.decode" in
+      if len <> f.f_size then
+        fail (Printf.sprintf "flat message size %d, expected %d" len f.f_size);
+      f.f_read b off
+
+let to_bytes ?(backend = Compact) c v =
+  let b = Bytes.create (encoded_size ~backend c v) in
+  let final = encode ~backend c b 0 v in
   assert (final = Bytes.length b);
   b
 
-let of_bytes c b =
-  let v, _ = c.read b 0 in
-  v
+let of_bytes ?(backend = Compact) c b = decode ~backend c b ~off:0 ~len:(Bytes.length b)
 
-let write c msgbuf v =
-  let n = c.size v in
-  Erpc.Msgbuf.resize msgbuf n;
-  (* Encode into the msgbuf's storage directly. *)
-  let b = Erpc.Msgbuf.unsafe_bytes msgbuf in
-  let off0 = Erpc.Msgbuf.unsafe_offset msgbuf in
-  if Erpc.Msgbuf.owner msgbuf = Erpc.Msgbuf.Owned_by_erpc && not (Erpc.Msgbuf.is_view msgbuf)
-  then invalid_arg "Codec.write: msgbuf is in flight";
-  ignore (c.write b off0 v)
+(* {2 Lazy positional access (flat layouts)} *)
 
-let read c msgbuf =
-  let n = Erpc.Msgbuf.size msgbuf in
-  (* Reads must not run past the message even if the backing buffer is
-     larger. *)
-  let data = Bytes.of_string (Erpc.Msgbuf.read_string msgbuf ~off:0 ~len:n) in
-  of_bytes c data
+let leaf_ c b ~base ~leaf what =
+  let f = flat_exn c what in
+  if leaf < 0 || leaf >= Array.length f.f_leaves then
+    invalid_arg (Printf.sprintf "%s: leaf %d out of range (codec has %d)" what leaf
+                   (Array.length f.f_leaves));
+  let l = f.f_leaves.(leaf) in
+  let off = base + l.l_off in
+  if base < 0 || off + leaf_width l.l_kind > Bytes.length b then
+    fail (Printf.sprintf "%s: leaf %d outside buffer" what leaf);
+  (l, off)
 
-let alloc_and_write c v =
-  let m = Erpc.Msgbuf.alloc ~max_size:(c.size v) in
-  write c m v;
-  m
+let get_leaf_int c b ~base ~leaf =
+  let l, off = leaf_ c b ~base ~leaf "Codec.get_leaf_int" in
+  match l.l_kind with
+  | L_u8 -> Bytes.get_uint8 b off
+  | L_u16 -> Bytes.get_uint16_le b off
+  | L_u32 -> Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+  | L_u64 -> Int64.to_int (Bytes.get_int64_le b off)
+  | L_bool -> (
+      match Bytes.get_uint8 b off with
+      | (0 | 1) as n -> n
+      | n -> fail (Printf.sprintf "invalid bool byte %d" n))
+  | L_fixed _ | L_bounded _ -> invalid_arg "Codec.get_leaf_int: leaf is not an integer"
+
+let get_leaf_string c b ~base ~leaf =
+  let l, off = leaf_ c b ~base ~leaf "Codec.get_leaf_string" in
+  match l.l_kind with
+  | L_fixed n -> Bytes.sub_string b off n
+  | L_bounded cap ->
+      let n = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF in
+      if n > cap then fail (Printf.sprintf "bounded_string length %d exceeds capacity %d" n cap);
+      Bytes.sub_string b (off + 4) n
+  | _ -> invalid_arg "Codec.get_leaf_string: leaf is not a string"
+
+let leaf_bytes c ~leaf =
+  let f = flat_exn c "Codec.leaf_bytes" in
+  if leaf < 0 || leaf >= Array.length f.f_leaves then
+    invalid_arg "Codec.leaf_bytes: leaf out of range";
+  leaf_width f.f_leaves.(leaf).l_kind

@@ -1,20 +1,43 @@
-(** Typed marshalling on top of eRPC msgbufs.
+(** Typed wire codecs with pluggable backends.
 
     The paper deliberately keeps eRPC's API at the level of opaque
     DMA-capable buffers: "a library that provides marshalling and
     unmarshalling can be used as a layer on top of eRPC" (§3.1). This is
-    that layer: composable codecs with exact wire sizes, writing directly
-    into msgbufs (no intermediate buffer, preserving the zero-copy story).
+    that layer. A ['a t] describes how to put values of type ['a] on the
+    wire; two backends share each schema:
 
-    Encoding is little-endian and length-prefixed for variable-size data.
-    [read] validates bounds and raises [Decode_error] on malformed or
-    truncated input. *)
+    - {!Compact}: the length-prefixed little-endian binary layout.
+      Variable-size fields cost only what they use; every codec supports
+      it, and its wire bytes are identical to the pre-refactor codec.
+    - {!Flat}: a fixed-offset layout in which every field (a "leaf") lives
+      at a statically known offset, enabling {e lazy} per-field access via
+      {!get_leaf_int}/{!get_leaf_string} without decoding the whole
+      message. Only codecs built purely from bounded pieces support it
+      (see {!flat_capable}).
+
+    Codecs also report a per-value {e leaf count} — the number of
+    primitive fields touched by an encode or decode — which is what the
+    simulator's cost model charges per field, plus the byte footprint for
+    bulk-copy charges.
+
+    Decoding failures (truncation, bad tags, checksum mismatch, trailing
+    bytes) raise {!Decode_error}; they never raise [Invalid_argument] or
+    return garbage. [Invalid_argument] is reserved for caller bugs: values
+    out of range for their field, codecs used with a backend they don't
+    support, leaf indices out of range.
+
+    Msgbuf integration lives in [Erpc.Typed] (this library is beneath the
+    transport so both [erpc] and plain data code can use it). *)
 
 exception Decode_error of string
 
+type backend = Compact | Flat
+
+val backend_name : backend -> string
+
 type 'a t
 
-(** {2 Primitives} *)
+(** {1 Primitives} *)
 
 val u8 : int t
 val u16 : int t
@@ -22,49 +45,124 @@ val u32 : int t
 val u64 : int t
 val bool : bool t
 
-(** Fixed-width byte string (no length prefix). *)
 val fixed_string : int -> string t
+(** Exactly [n] bytes, no length prefix. Writing a string of any other
+    length raises [Invalid_argument]. *)
 
-(** Length-prefixed (u32) variable string. *)
 val string : string t
+(** u32 length + bytes. Unbounded, hence no flat layout. *)
 
-(** {2 Combinators} *)
+val bounded_string : int -> string t
+(** Same compact wire format as {!string}, but with a declared capacity
+    [cap]. The flat layout reserves [4 + cap] bytes (u32 length + storage,
+    slack zero-filled). Writing more than [cap] bytes raises
+    [Invalid_argument]; decoding a length > [cap] raises {!Decode_error}. *)
+
+(** {1 Combinators} *)
 
 val pair : 'a t -> 'b t -> ('a * 'b) t
 val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
 
-(** u32-count-prefixed list. *)
-val list : 'a t -> 'a list t
+val map : into:('a -> 'b) -> from:('b -> 'a) -> 'a t -> 'b t
+(** [map ~into ~from c] builds a codec for a richer type from codec [c]. *)
 
-val option : 'a t -> 'a option t
+val list : 'a t -> 'a list t
+(** u32-count-prefixed list. Compact only. *)
+
 val array : 'a t -> 'a array t
 
-(** [map ~into ~from c] builds a codec for a richer type from codec [c]. *)
-val map : into:('a -> 'b) -> from:('b -> 'a) -> 'a t -> 'b t
+val tail_list : 'a t -> 'a list t
+(** Elements with {e no} count prefix, read until the end of the message.
+    Only valid as the final field of a schema. Compact only. *)
 
-(** [with_checksum c] appends a u32 FNV-1a checksum of the encoded body;
-    [read] verifies it and raises {!Decode_error} on mismatch — app-level
-    end-to-end integrity on top of the per-packet wire checksum. *)
+val option : 'a t -> 'a option t
+(** Presence byte + payload. The flat layout zero-fills the payload region
+    when absent, keeping the footprint fixed. *)
+
+val tail_option : 'a t -> 'a option t
+(** Presence encoded by message length: [Some] iff any bytes remain before
+    the end of the message. Only valid as the final field of a schema.
+    Compact only. *)
+
+(** {1 Tagged unions} *)
+
+type 'a case
+
+val case : tag:int -> 'b t -> inj:('b -> 'a) -> proj:('a -> 'b option) -> 'a case
+(** One constructor of a variant: a u8 [tag] (unique within the variant)
+    followed by the payload. [proj] returns [Some] iff the value belongs
+    to this case. *)
+
+val variant : name:string -> 'a case list -> 'a t
+(** Compact only. Decoding an unknown tag raises {!Decode_error}. *)
+
+(** {1 Integrity} *)
+
 val with_checksum : 'a t -> 'a t
+(** [with_checksum c] appends a u32 FNV-1a checksum of the encoded body;
+    eager decodes verify it and raise {!Decode_error} on mismatch —
+    app-level end-to-end integrity on top of the per-packet wire checksum.
+    Wire bytes are identical to the pre-refactor codec. Note: lazy leaf
+    access on a flat checksummed message deliberately skips verification —
+    only full {!decode} checks. *)
 
-(** {2 Sizes} *)
+(** {1 Sizes} *)
 
-(** Exact encoded size of a value. *)
 val size : 'a t -> 'a -> int
+(** Exact compact encoded size of a value. *)
 
-(** {2 Msgbuf I/O} *)
+val bound : 'a t -> int option
+(** Static upper bound on the compact size, when one exists. *)
 
-(** [write c msgbuf v] resizes [msgbuf] to the encoded size and writes [v]
-    at offset 0. Raises if the buffer is too small or in flight. *)
-val write : 'a t -> Erpc.Msgbuf.t -> 'a -> unit
+val encoded_size : backend:backend -> 'a t -> 'a -> int
+val leaf_count : 'a t -> 'a -> int
+val encoded_leaves : backend:backend -> 'a t -> 'a -> int
+val flat_capable : 'a t -> bool
 
-(** [read c msgbuf] decodes a value from offset 0. *)
-val read : 'a t -> Erpc.Msgbuf.t -> 'a
+val flat_size : 'a t -> int
+(** Fixed wire footprint under {!Flat}. Raises [Invalid_argument] if the
+    codec has no flat layout. *)
 
-(** [alloc_and_write c v] allocates an exactly-sized msgbuf holding [v]. *)
-val alloc_and_write : 'a t -> 'a -> Erpc.Msgbuf.t
+val flat_leaves : 'a t -> int
+(** Number of addressable leaves under {!Flat}. *)
 
-(** {2 Raw I/O (for tests and non-msgbuf uses)} *)
+(** {1 Encode / decode} *)
 
-val to_bytes : 'a t -> 'a -> bytes
-val of_bytes : 'a t -> bytes -> 'a
+val encode : backend:backend -> 'a t -> bytes -> int -> 'a -> int
+(** [encode ~backend c b off v] writes [v] at [off] and returns the end
+    offset. The caller must have sized [b] via {!encoded_size}; [Flat]
+    bounds-checks first and raises [Invalid_argument] on a too-small
+    buffer without touching it. *)
+
+val decode : backend:backend -> 'a t -> bytes -> off:int -> len:int -> 'a
+(** Decodes exactly the [len] bytes at [off]. [Compact] requires full
+    consumption — trailing bytes raise {!Decode_error}, as does any
+    truncated or malformed prefix. [Flat] requires [len = flat_size]. *)
+
+val to_bytes : ?backend:backend -> 'a t -> 'a -> bytes
+val of_bytes : ?backend:backend -> 'a t -> bytes -> 'a
+
+(** {1 Lazy field access} (flat layouts only)
+
+    Fields are addressed positionally by leaf index, in declaration
+    order. [base] is the offset of the message within [b]. Access
+    validates bounds and field content, raising {!Decode_error} on
+    corrupt data — but touches only that field's bytes, which is the
+    point: the cost model charges one leaf, not the whole message. *)
+
+val get_leaf_int : 'a t -> bytes -> base:int -> leaf:int -> int
+(** Integer leaves ([u8]/[u16]/[u32]/[u64]/[bool] — bool reads as 0/1). *)
+
+val get_leaf_string : 'a t -> bytes -> base:int -> leaf:int -> string
+(** String leaves ([fixed_string]/[bounded_string]). *)
+
+val leaf_bytes : 'a t -> leaf:int -> int
+(** Wire footprint of one leaf — what a lazy access's byte charge is
+    based on. *)
+
+(** {1 Checksums} *)
+
+val bytes_checksum : bytes -> off:int -> len:int -> int
+(** FNV-1a over a byte range; identical constants to
+    [Erpc.Pkthdr.bytes_checksum], so checksummed wire bytes are unchanged
+    by this library's independence from the transport. *)

@@ -83,6 +83,8 @@ type t = {
   sm_failure_timeout_ns : int;
   opts : opts;
   cc : cc;
+  codec_backend : Codec.backend;
+  codec_offload : bool;
 }
 
 let of_cluster ?credits (cluster : Transport.Cluster.t) =
@@ -121,4 +123,6 @@ let of_cluster ?credits (cluster : Transport.Cluster.t) =
     sm_failure_timeout_ns = 5_000_000;
     opts = all_opts_on;
     cc = default_cc ~min_rtt_ns;
+    codec_backend = Codec.Compact;
+    codec_offload = false;
   }

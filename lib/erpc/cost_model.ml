@@ -17,6 +17,12 @@ type t = {
   enqueue_request : int;
   credit_logic : int;
   cc_check : int;
+  ser_field : int;
+  deser_field : int;
+  flat_ser_field : int;
+  flat_deser_field : int;
+  codec_offload_post : int;
+  codec_offload_per_256b : int;
 }
 
 let default =
@@ -39,6 +45,12 @@ let default =
     enqueue_request = 20;
     credit_logic = 4;
     cc_check = 6;
+    ser_field = 6;
+    deser_field = 8;
+    flat_ser_field = 2;
+    flat_deser_field = 1;
+    codec_offload_post = 45;
+    codec_offload_per_256b = 3;
   }
 
 let scaled t ns = int_of_float (ceil (t.scale *. float_of_int ns))
@@ -50,3 +62,23 @@ let memcpy_cost t bytes =
   else scaled t (t.memcpy_fixed + (t.memcpy_per_256b * (((bytes + 255) / 256) - 1)))
 
 let for_cluster (cluster : Transport.Cluster.t) = { default with scale = cluster.cpu_scale }
+
+(* Full scaled cost of one encode or decode. On-CPU codecs pay per touched
+   field (branchier on decode: validation) plus the bulk byte movement; a
+   NIC-offloaded codec frees the CPU of both and pays only a fixed
+   descriptor-post/doorbell cost plus a small per-chunk DMA-setup term —
+   the Dagger/RPCAcc ablation. *)
+let codec_cost t ~deser ~(backend : Codec.backend) ~offload ~leaves ~bytes =
+  if offload then
+    scaled t
+      (t.codec_offload_post
+      + if bytes <= 0 then 0 else t.codec_offload_per_256b * (((bytes + 255) / 256) - 1))
+  else
+    let per_field =
+      match (backend, deser) with
+      | Codec.Compact, false -> t.ser_field
+      | Codec.Compact, true -> t.deser_field
+      | Codec.Flat, false -> t.flat_ser_field
+      | Codec.Flat, true -> t.flat_deser_field
+    in
+    scaled t (per_field * leaves) + memcpy_cost t bytes

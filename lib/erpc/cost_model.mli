@@ -34,6 +34,15 @@ type t = {
           the bypass optimizations hit (uncongested/bypass predicates);
           disabling CC entirely removes it — the paper's 9% total CC
           overhead (§6.2) *)
+  ser_field : int;  (** compact encode, per primitive field *)
+  deser_field : int;  (** compact decode, per primitive field (validation) *)
+  flat_ser_field : int;  (** flat fixed-offset store, per field *)
+  flat_deser_field : int;  (** flat fixed-offset load, per field *)
+  codec_offload_post : int;
+      (** NIC-offloaded codec: descriptor build + doorbell, per message *)
+  codec_offload_per_256b : int;
+      (** NIC-offloaded codec: DMA scatter/gather setup per 256 B chunk
+          beyond the first *)
 }
 
 val default : t
@@ -46,3 +55,10 @@ val memcpy_cost : t -> int -> int
 
 (** Profile for a cluster: [default] with the profile's [cpu_scale]. *)
 val for_cluster : Transport.Cluster.t -> t
+
+(** Full scaled cost of one encode ([deser:false]) or decode
+    ([deser:true]) of a message with [leaves] primitive fields and [bytes]
+    total wire bytes. With [offload:true] the CPU pays only the modeled
+    NIC-offload descriptor/DMA cost regardless of backend. *)
+val codec_cost :
+  t -> deser:bool -> backend:Codec.backend -> offload:bool -> leaves:int -> bytes:int -> int

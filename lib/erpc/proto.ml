@@ -12,6 +12,9 @@ type env = {
   ch : int -> unit;
   charge_memcpy : int -> unit;
   now_ts : unit -> Sim.Time.t;
+  cpu_time : unit -> Sim.Time.t;
+      (* max(now, dispatch CPU free time): where serial CPU work just
+         charged would actually finish *)
   cc_sample : session -> sample_rtt_ns:int -> marked:bool -> unit;
   transmit :
     sslot -> Netsim.Packet.t -> wire_bytes:int -> tx_item:int -> is_retx:bool -> unit;
@@ -97,9 +100,9 @@ let tag_pkt t ~ssn pkt =
         ]
   | _ -> ()
 
-let trace_sslot t ~name ~sn ~req extra =
-  Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"sslot" ~name
-    ~pid:t.pid ~tid:t.tid
+let trace_sslot ?ts t ~name ~sn ~req extra =
+  let ts = match ts with Some ts -> ts | None -> Sim.Engine.now t.engine in
+  Obs.Trace.instant t.trace ~ts ~cat:"sslot" ~name ~pid:t.pid ~tid:t.tid
     (("sn", Obs.Trace.I sn) :: ("req", Obs.Trace.I req) :: extra)
 
 let disarm_rto slot =
@@ -437,13 +440,18 @@ and complete_request t slot args =
   let sess = slot.session in
   disarm_rto slot;
   t.stats.Rpc_stats.completed <- t.stats.Rpc_stats.completed + 1;
-  if Obs.Trace.enabled t.trace then
-    trace_sslot t ~name:"req_done" ~sn:sess.sn ~req:slot.req_num [];
+  let req_num = slot.req_num in
   slot.busy <- false;
   slot.args <- None;
   Msgbuf.return_to_app args.req;
   Msgbuf.return_to_app args.resp;
   t.env.ch t.cost.continuation;
+  (* Completion hook (typed response deserialization) charges before the
+     request is stamped done, so its CPU time lands inside this request's
+     lifetime rather than leaking into the next one. *)
+  args.on_complete args.resp;
+  if Obs.Trace.enabled t.trace then
+    trace_sslot t ~ts:(t.env.cpu_time ()) ~name:"req_done" ~sn:sess.sn ~req:req_num [];
   args.cont (Ok ());
   (* Admit backlogged requests into freed slots. *)
   admit_backlog t sess
@@ -645,14 +653,14 @@ let enqueue_response t sess slot srv resp =
   srv.resp_buf <- Some resp;
   send_resp_pkt t sess slot ~pkt_num:0 ~ecn_echo:srv.ecn_pending
 
-let enqueue_request t sess ~req_type ~req ~resp ~cont =
+let enqueue_request_hooked t sess ~req_type ~req ~resp ~on_complete ~cont =
   if sess.role <> Client then invalid_arg "Rpc.enqueue_request: not a client session";
   if Msgbuf.size req > t.cfg.max_msg_size then
     invalid_arg "Rpc.enqueue_request: request exceeds the maximum message size";
   t.env.ch t.cost.enqueue_request;
   Msgbuf.take_for_erpc req;
   Msgbuf.take_for_erpc resp;
-  let args = { req_type; req; resp; cont } in
+  let args = { req_type; req; resp; on_complete; cont } in
   match sess.state with
   | Error _ | Destroyed ->
       Msgbuf.return_to_app req;
@@ -664,6 +672,9 @@ let enqueue_request t sess ~req_type ~req ~resp ~cont =
       match Session.free_slot sess ~req_window:t.cfg.req_window with
       | Some slot -> start_request t slot args
       | None -> Queue.add args sess.backlog)
+
+let enqueue_request t sess ~req_type ~req ~resp ~cont =
+  enqueue_request_hooked t sess ~req_type ~req ~resp ~on_complete:(fun _ -> ()) ~cont
 
 (* {2 Event-loop hooks} *)
 

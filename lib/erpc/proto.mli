@@ -23,6 +23,10 @@ type env = {
   charge_memcpy : int -> unit;  (** Charge a copy of [len] bytes. *)
   now_ts : unit -> Sim.Time.t;
       (** Timestamp under the endpoint's batching policy (§5.2.2). *)
+  cpu_time : unit -> Sim.Time.t;
+      (** [max(now, dispatch-CPU free time)]: when serial CPU work charged
+          so far would actually finish. Used to place completion
+          milestones after typed-codec charges. *)
   cc_sample : Session.session -> sample_rtt_ns:int -> marked:bool -> unit;
       (** Feed one RTT/ECN sample to the session's rate controller. *)
   transmit :
@@ -82,6 +86,19 @@ val enqueue_request :
   req_type:int ->
   req:Msgbuf.t ->
   resp:Msgbuf.t ->
+  cont:((unit, Err.t) result -> unit) ->
+  unit
+
+(** As [enqueue_request], with a completion hook that runs on success just
+    before [cont], with the filled response msgbuf — see
+    {!Session.req_args}. *)
+val enqueue_request_hooked :
+  t ->
+  Session.session ->
+  req_type:int ->
+  req:Msgbuf.t ->
+  resp:Msgbuf.t ->
+  on_complete:(Msgbuf.t -> unit) ->
   cont:((unit, Err.t) result -> unit) ->
   unit
 

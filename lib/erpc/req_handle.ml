@@ -6,11 +6,18 @@ type t = {
   mutable charge_fn : int -> unit;
   mutable init_resp_fn : int -> Msgbuf.t;
   mutable enqueue_fn : t -> Msgbuf.t -> unit;
+  mutable codec_mode_fn : unit -> Codec.backend * bool;
+  mutable codec_charge_fn : deser:bool -> backend:Codec.backend -> leaves:int -> bytes:int -> unit;
 }
 
 let get_request t = t.req
 
 let charge t ns = t.charge_fn ns
+
+let codec_mode t = t.codec_mode_fn ()
+
+let charge_codec t ~deser ~backend ~leaves ~bytes =
+  t.codec_charge_fn ~deser ~backend ~leaves ~bytes
 
 let init_response t ~size = t.init_resp_fn size
 
@@ -28,4 +35,6 @@ let make ~req_type ~req =
     charge_fn = (fun _ -> ());
     init_resp_fn = (fun size -> Msgbuf.alloc ~max_size:size);
     enqueue_fn = (fun _ _ -> invalid_arg "Req_handle: enqueue_fn not installed");
+    codec_mode_fn = (fun () -> (Codec.Compact, false));
+    codec_charge_fn = (fun ~deser:_ ~backend:_ ~leaves:_ ~bytes:_ -> ());
   }

@@ -15,12 +15,24 @@ type t = {
   mutable charge_fn : int -> unit;
   mutable init_resp_fn : int -> Msgbuf.t;
   mutable enqueue_fn : t -> Msgbuf.t -> unit;
+  mutable codec_mode_fn : unit -> Codec.backend * bool;
+  mutable codec_charge_fn : deser:bool -> backend:Codec.backend -> leaves:int -> bytes:int -> unit;
 }
 
 val get_request : t -> Msgbuf.t
 
 (** Model [ns] of handler CPU work on the thread running the handler. *)
 val charge : t -> int -> unit
+
+(** The owning endpoint's configured [(codec_backend, codec_offload)] —
+    how {!Typed} picks a wire format server-side. *)
+val codec_mode : t -> Codec.backend * bool
+
+(** Charge one encode/decode to the thread running the handler, priced by
+    the endpoint's cost model (and its offload toggle). Used by {!Typed};
+    handlers normally don't call it directly. *)
+val charge_codec :
+  t -> deser:bool -> backend:Codec.backend -> leaves:int -> bytes:int -> unit
 
 (** Obtain a response buffer of [size] bytes. *)
 val init_response : t -> size:int -> Msgbuf.t

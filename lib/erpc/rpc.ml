@@ -51,6 +51,37 @@ let ch t ns = ignore (Sim.Cpu.charge t.cpu_ (Cost_model.scaled t.cost ns))
 
 let dead t = Nexus.dead t.nexus_
 
+(* {2 Typed-codec charging} *)
+
+let codec_mode t = (t.cfg.codec_backend, t.cfg.codec_offload)
+
+(* Charge one typed encode/decode to [cpu], priced by the endpoint's cost
+   model and its offload toggle. [traced]: emit a "codec" span over the
+   charged interval (dispatch timeline only — worker CPUs have no trace
+   track). *)
+let charge_codec_cpu t cpu ~traced ~deser ~backend ~leaves ~bytes =
+  let offload = t.cfg.codec_offload in
+  let cost = Cost_model.codec_cost t.cost ~deser ~backend ~offload ~leaves ~bytes in
+  if traced && Obs.Trace.enabled t.trace then begin
+    let ts = max (Sim.Engine.now t.engine) (Sim.Cpu.next_free cpu) in
+    ignore (Sim.Cpu.charge cpu cost);
+    Obs.Trace.complete t.trace ~ts
+      ~dur:(max 0 (Sim.Time.sub (Sim.Cpu.next_free cpu) ts))
+      ~cat:"codec"
+      ~name:(if deser then "deser" else "ser")
+      ~pid:t.pid ~tid:t.tid
+      [
+        ("leaves", Obs.Trace.I leaves);
+        ("bytes", Obs.Trace.I bytes);
+        ("offload", Obs.Trace.I (if offload then 1 else 0));
+      ]
+  end
+  else ignore (Sim.Cpu.charge cpu cost)
+
+let charge_codec ?backend t ~deser ~leaves ~bytes =
+  let backend = match backend with Some b -> b | None -> t.cfg.codec_backend in
+  charge_codec_cpu t t.cpu_ ~traced:true ~deser ~backend ~leaves ~bytes
+
 (* {2 Event loop scheduling} *)
 
 let rec schedule_activation t =
@@ -255,10 +286,14 @@ and invoke_handler t sess slot srv req_type =
           end);
       handle.Req_handle.enqueue_fn <-
         (fun _h resp -> Proto.enqueue_response t.proto sess slot srv resp);
+      handle.Req_handle.codec_mode_fn <- (fun () -> codec_mode t);
       srv.handler_running <- true;
       match mode with
       | Nexus.Dispatch ->
           handle.Req_handle.charge_fn <- (fun ns -> ch t ns);
+          handle.Req_handle.codec_charge_fn <-
+            (fun ~deser ~backend ~leaves ~bytes ->
+              charge_codec_cpu t t.cpu_ ~traced:true ~deser ~backend ~leaves ~bytes);
           ch t t.cost.handler_dispatch;
           if Obs.Trace.enabled t.trace then begin
             (* Span over the CPU time the handler charges to the dispatch
@@ -284,6 +319,9 @@ and invoke_handler t sess slot srv req_type =
                 (Sim.Cpu.charge wcpu (Cost_model.scaled t.cost (t.cost.worker_handoff / 2)));
               handle.Req_handle.charge_fn <-
                 (fun ns -> ignore (Sim.Cpu.charge wcpu (Cost_model.scaled t.cost ns)));
+              handle.Req_handle.codec_charge_fn <-
+                (fun ~deser ~backend ~leaves ~bytes ->
+                  charge_codec_cpu t wcpu ~traced:false ~deser ~backend ~leaves ~bytes);
               handle.Req_handle.enqueue_fn <-
                 (fun _h resp ->
                   let at = Sim.Cpu.next_free wcpu in
@@ -304,6 +342,9 @@ and invoke_handler t sess slot srv req_type =
 
 let enqueue_request t sess ~req_type ~req ~resp ~cont =
   Proto.enqueue_request t.proto sess ~req_type ~req ~resp ~cont
+
+let enqueue_request_hooked t sess ~req_type ~req ~resp ~on_complete ~cont =
+  Proto.enqueue_request_hooked t.proto sess ~req_type ~req ~resp ~on_complete ~cont
 
 (* {2 Sessions and session management} *)
 
@@ -479,6 +520,10 @@ let create nexus_ ~rpc_id =
         (fun len ->
           let t = get () in ignore (Sim.Cpu.charge t.cpu_ (Cost_model.memcpy_cost t.cost len)));
       now_ts = (fun () -> now_ts (get ()));
+      cpu_time =
+        (fun () ->
+          let t = get () in
+          max (Sim.Engine.now t.engine) (Sim.Cpu.next_free t.cpu_));
       cc_sample = (fun sess ~sample_rtt_ns ~marked -> cc_update (get ()) sess ~sample_rtt_ns ~marked);
       transmit =
         (fun slot pkt ~wire_bytes ~tx_item ~is_retx ->

@@ -68,6 +68,31 @@ val enqueue_request :
   cont:((unit, Err.t) result -> unit) ->
   unit
 
+(** As [enqueue_request], with a completion hook (used by {!Typed} to
+    charge response deserialization) that runs on success just before
+    [cont], with the filled response, inside the request's traced
+    lifetime. *)
+val enqueue_request_hooked :
+  t ->
+  Session.session ->
+  req_type:int ->
+  req:Msgbuf.t ->
+  resp:Msgbuf.t ->
+  on_complete:(Msgbuf.t -> unit) ->
+  cont:((unit, Err.t) result -> unit) ->
+  unit
+
+(** The endpoint's configured [(codec_backend, codec_offload)]. *)
+val codec_mode : t -> Codec.backend * bool
+
+(** Charge one typed encode ([deser:false]) or decode ([deser:true]) of a
+    message with [leaves] fields and [bytes] wire bytes to the dispatch
+    CPU, priced by the endpoint's cost model and offload toggle, emitting
+    a "codec" trace span over the charged interval. [backend] defaults to
+    the endpoint's configured backend. Used by {!Typed}. *)
+val charge_codec :
+  ?backend:Codec.backend -> t -> deser:bool -> leaves:int -> bytes:int -> unit
+
 (** {2 Statistics} *)
 
 (** The endpoint's counters (shared with the protocol core; live — reads

@@ -5,6 +5,7 @@ type req_args = {
   req_type : int;
   req : Msgbuf.t;
   resp : Msgbuf.t;
+  on_complete : Msgbuf.t -> unit;
   cont : (unit, Err.t) result -> unit;
 }
 

@@ -25,11 +25,15 @@ type conn_state =
 
 type role = Client | Server
 
-(** A queued request: what the application hands to [enqueue_request]. *)
+(** A queued request: what the application hands to [enqueue_request].
+    [on_complete] runs on the dispatch thread just before [cont] on
+    success only, with the filled response — the seam typed RPC uses to
+    charge response deserialization inside the request's own lifetime. *)
 type req_args = {
   req_type : int;
   req : Msgbuf.t;
   resp : Msgbuf.t;
+  on_complete : Msgbuf.t -> unit;
   cont : (unit, Err.t) result -> unit;
 }
 

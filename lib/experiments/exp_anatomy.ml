@@ -10,15 +10,20 @@ let predictor (cluster : Transport.Cluster.t) =
     let ser = Sim.Time.of_bytes_at_gbps size cfg.link_gbps in
     (2 * (ser + cfg.cable_ns)) + cfg.switch_latency_ns
 
-let run ?seed ?trace ?(samples = 32) ?(req_size = 32) () =
+let run ?seed ?trace ?(samples = 32) ?(req_size = 32) ?(typed = false)
+    ?(backend = Codec.Compact) ?(offload = false) () =
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
   let trace =
     match trace with Some tr -> tr | None -> Obs.Trace.create ~capacity:(1 lsl 16) ()
   in
-  let d =
-    Harness.deploy ?seed ~trace cluster ~threads_per_host:1
-      ~register:(Harness.register_echo ~resp_size:32)
+  let config =
+    { (Erpc.Config.of_cluster cluster) with codec_backend = backend; codec_offload = offload }
   in
+  let register nx =
+    if typed then Harness.register_typed_echo Harness.schema_fixed nx
+    else Harness.register_echo ~resp_size:32 nx
+  in
+  let d = Harness.deploy ?seed ~config ~trace cluster ~threads_per_host:1 ~register in
   let client = d.rpcs.(0).(0) in
   let sess = Harness.connect d client ~remote_host:1 ~remote_rpc_id:0 in
   let req = Erpc.Msgbuf.alloc ~max_size:req_size in
@@ -30,8 +35,13 @@ let run ?seed ?trace ?(samples = 32) ?(req_size = 32) () =
   let rec issue () =
     if !remaining > 0 then begin
       decr remaining;
-      Erpc.Rpc.enqueue_request client sess ~req_type:Harness.echo_req_type ~req ~resp
-        ~cont:(fun _ -> issue ())
+      if typed then
+        let codec = Harness.schema_fixed in
+        Erpc.Typed.enqueue_request client sess ~req_type:Harness.typed_echo_req_type
+          ~req_codec:codec ~resp_codec:codec Harness.value_fixed ~cont:(fun _ -> issue ())
+      else
+        Erpc.Rpc.enqueue_request client sess ~req_type:Harness.echo_req_type ~req ~resp
+          ~cont:(fun _ -> issue ())
     end
   in
   issue ();

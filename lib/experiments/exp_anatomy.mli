@@ -18,5 +18,16 @@ type result = {
     cut-through forwarding latency. *)
 val predictor : Transport.Cluster.t -> int -> int
 
+(** When [typed] (default false), the echo carries a fixed-width typed
+    schema through {!Erpc.Typed} under [backend] / [offload], so the
+    breakdowns gain nonzero serialize/deserialize components. *)
 val run :
-  ?seed:int64 -> ?trace:Obs.Trace.t -> ?samples:int -> ?req_size:int -> unit -> result
+  ?seed:int64 ->
+  ?trace:Obs.Trace.t ->
+  ?samples:int ->
+  ?req_size:int ->
+  ?typed:bool ->
+  ?backend:Codec.backend ->
+  ?offload:bool ->
+  unit ->
+  result

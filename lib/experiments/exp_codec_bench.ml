@@ -1,0 +1,139 @@
+(* Codec benchmark ([erpc_sim codec-bench]): per backend x payload schema
+   x offload toggle, measure
+
+   - wall-clock encode/decode ns/op of the codec implementation itself
+     (tight loop over a preallocated buffer, [Sys.time]-based), and
+   - the *modeled* per-message costs the simulator charges, plus the
+     simulated end-to-end small-RPC rate a typed echo workload reaches
+     under that codec configuration.
+
+   The wall-clock columns benchmark this repository's code; the modeled
+   columns are the simulator's claim about an eRPC-class implementation.
+   Comparing Compact vs Flat vs offload rows reproduces the ablation shape
+   of Dagger/RPCAcc-style NIC-offloaded serialization studies. *)
+
+type row = {
+  backend : string;
+  schema : string;
+  offload : bool;
+  wire_bytes : int;
+  leaves : int;
+  encode_ns : float;  (** wall-clock ns per encode *)
+  decode_ns : float;  (** wall-clock ns per decode *)
+  model_encode_ns : int;  (** modeled CPU (or offload) charge per encode *)
+  model_decode_ns : int;
+  sim_mrps : float;  (** simulated typed-echo rate under this config *)
+}
+
+type packed = P : string * 'a Codec.t * 'a -> packed
+
+let schemas =
+  [
+    P ("fixed24", Harness.schema_fixed, Harness.value_fixed);
+    P ("var64", Harness.schema_var, Harness.value_var);
+  ]
+
+let backends = [ Codec.Compact; Codec.Flat ]
+
+let time_ns_per_op iters f =
+  f () (* warm *);
+  let t0 = Sys.time () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Sys.time () -. t0) *. 1e9 /. float_of_int iters
+
+let sim_mrps ~seed ~backend ~offload ~measure_ms (P (_, codec, value)) =
+  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let config =
+    {
+      (Erpc.Config.of_cluster cluster) with
+      codec_backend = backend;
+      codec_offload = offload;
+    }
+  in
+  let d =
+    Harness.deploy ~seed ~config cluster ~threads_per_host:1
+      ~register:(Harness.register_typed_echo codec)
+  in
+  let rpc = d.rpcs.(0).(0) in
+  let sessions = [| Harness.connect d rpc ~remote_host:1 ~remote_rpc_id:0 |] in
+  let rng = Sim.Rng.split (Sim.Engine.rng (Erpc.Fabric.engine d.fabric)) in
+  let driver =
+    Harness.make_typed_driver ~codec ~value ~rng ~rpc ~sessions ~window:16 ~batch:1 ()
+  in
+  Harness.start_typed_driver driver;
+  Harness.run_ms d 0.5 (* warmup *);
+  let before = Harness.typed_driver_completed driver in
+  Harness.run_ms d measure_ms;
+  let after = Harness.typed_driver_completed driver in
+  float_of_int (after - before) /. (measure_ms *. 1e-3) /. 1e6
+
+let run_one ?(seed = 1L) ?(iters = 100_000) ?(measure_ms = 2.0)
+    ?(cost = Erpc.Cost_model.default) ~backend ~offload (P (name, codec, value) as p) =
+  let bytes = Codec.encoded_size ~backend codec value in
+  let leaves = Codec.encoded_leaves ~backend codec value in
+  let buf = Bytes.make bytes '\000' in
+  ignore (Codec.encode ~backend codec buf 0 value);
+  let encode_ns = time_ns_per_op iters (fun () -> ignore (Codec.encode ~backend codec buf 0 value)) in
+  let decode_ns =
+    time_ns_per_op iters (fun () -> ignore (Codec.decode ~backend codec buf ~off:0 ~len:bytes))
+  in
+  {
+    backend = Codec.backend_name backend;
+    schema = name;
+    offload;
+    wire_bytes = bytes;
+    leaves;
+    encode_ns;
+    decode_ns;
+    model_encode_ns = Erpc.Cost_model.codec_cost cost ~deser:false ~backend ~offload ~leaves ~bytes;
+    model_decode_ns = Erpc.Cost_model.codec_cost cost ~deser:true ~backend ~offload ~leaves ~bytes;
+    sim_mrps = sim_mrps ~seed ~backend ~offload ~measure_ms p;
+  }
+
+let run ?seed ?iters ?measure_ms ?cost () =
+  List.concat_map
+    (fun p ->
+      List.concat_map
+        (fun backend ->
+          List.map
+            (fun offload -> run_one ?seed ?iters ?measure_ms ?cost ~backend ~offload p)
+            [ false; true ])
+        backends)
+    schemas
+
+let row_json r =
+  Obs.Json.Obj
+    [
+      ("backend", Obs.Json.Str r.backend);
+      ("schema", Obs.Json.Str r.schema);
+      ("offload", Obs.Json.Bool r.offload);
+      ("wire_bytes", Obs.Json.Int r.wire_bytes);
+      ("leaves", Obs.Json.Int r.leaves);
+      ("encode_ns", Obs.Json.Float r.encode_ns);
+      ("decode_ns", Obs.Json.Float r.decode_ns);
+      ("model_encode_ns", Obs.Json.Int r.model_encode_ns);
+      ("model_decode_ns", Obs.Json.Int r.model_decode_ns);
+      ("sim_mrps", Obs.Json.Float r.sim_mrps);
+    ]
+
+let to_json rows =
+  Obs.Json.Obj
+    [
+      ("benchmark", Obs.Json.Str "codec");
+      ("unit", Obs.Json.Str "ns/op");
+      ("rows", Obs.Json.Arr (List.map row_json rows));
+    ]
+
+let pp_table fmt rows =
+  Format.fprintf fmt "%-8s %-8s %-8s %6s %6s %10s %10s %10s %10s %9s@." "backend" "schema"
+    "offload" "bytes" "leaves" "enc ns/op" "dec ns/op" "model enc" "model dec" "sim Mrps";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-8s %-8s %-8s %6d %6d %10.1f %10.1f %10d %10d %9.3f@."
+        r.backend r.schema
+        (if r.offload then "on" else "off")
+        r.wire_bytes r.leaves r.encode_ns r.decode_ns r.model_encode_ns r.model_decode_ns
+        r.sim_mrps)
+    rows

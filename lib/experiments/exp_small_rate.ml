@@ -74,6 +74,59 @@ let run_fasst ?seed ?trace ?window ?warmup_ms ?measure_ms
   run ?seed ~config ~cost:(fasst_cost cluster) ?trace ?window ?warmup_ms ?measure_ms
     ~per_batch_cost_ns:210 ~cluster ~batch ()
 
+(* Same all-to-all mesh as [run], but issuing typed requests (fixed-width
+   24 B schema) so serialization rides the datapath under the configured
+   backend / offload toggle. *)
+let run_typed ?seed ?(window = 60) ?(warmup_ms = 1.0) ?(measure_ms = 4.0)
+    ~(cluster : Transport.Cluster.t) ~backend ~offload ~batch () =
+  let config =
+    {
+      (Erpc.Config.of_cluster cluster) with
+      codec_backend = backend;
+      codec_offload = offload;
+    }
+  in
+  let codec = Harness.schema_fixed and value = Harness.value_fixed in
+  let d =
+    Harness.deploy ?seed ~config cluster ~threads_per_host:1
+      ~register:(Harness.register_typed_echo codec)
+  in
+  let n = cluster.num_hosts in
+  let engine = Erpc.Fabric.engine d.fabric in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let sessions =
+    Array.init n (fun src ->
+        Array.init (n - 1) (fun j ->
+            let dst = if j < src then j else j + 1 in
+            Erpc.Rpc.create_session d.rpcs.(src).(0) ~remote_host:dst ~remote_rpc_id:0 ()))
+  in
+  Harness.run_ms d 1.0 (* connect handshakes *);
+  Array.iter
+    (Array.iter (fun (s : Erpc.Session.session) ->
+         if s.state <> Erpc.Session.Connected then failwith "session not connected"))
+    sessions;
+  let drivers =
+    Array.init n (fun src ->
+        Harness.make_typed_driver ~batch ~codec ~value ~rng:(Sim.Rng.split rng)
+          ~rpc:d.rpcs.(src).(0) ~sessions:sessions.(src) ~window ())
+  in
+  Array.iter Harness.start_typed_driver drivers;
+  Harness.run_ms d warmup_ms;
+  let before = Harness.total_completed d in
+  Harness.run_ms d measure_ms;
+  let after = Harness.total_completed d in
+  let total = after - before in
+  let retransmits =
+    Array.fold_left
+      (fun acc per_host -> acc + (Erpc.Rpc.stats per_host.(0)).Erpc.Rpc_stats.retransmits)
+      0 d.rpcs
+  in
+  {
+    per_thread_mrps = float_of_int total /. float_of_int n /. (measure_ms *. 1e6) *. 1e3;
+    total_rpcs = total;
+    retransmits;
+  }
+
 let factor_analysis ?seed ?measure_ms () =
   let cluster = Transport.Cluster.cx4 ~nodes:11 () in
   let base = Erpc.Config.of_cluster cluster in
@@ -100,4 +153,19 @@ let factor_analysis ?seed ?measure_ms () =
       (base.opts, [])
       steps
   in
-  List.rev rows
+  (* Typed-serialization rows: not cumulative with the steps above — each
+     re-runs the full-optimization baseline with schema-driven requests
+     under the named codec configuration, isolating the datapath cost of
+     typed (de)serialization. *)
+  let codec_rows =
+    List.map
+      (fun (label, backend, offload) ->
+        (label, run_typed ?seed ?measure_ms ~cluster ~backend ~offload ~batch:3 ()))
+      [
+        ("Typed codec: compact backend", Codec.Compact, false);
+        ("Typed codec: flat backend", Codec.Flat, false);
+        ("Typed codec: compact + NIC offload", Codec.Compact, true);
+        ("Typed codec: flat + NIC offload", Codec.Flat, true);
+      ]
+  in
+  List.rev_append rows codec_rows

@@ -13,29 +13,39 @@
      T6 req_done         client completes the request
 
    Components (all in ns):
-     client_tx = N1 - T0 - pacing    client software until NIC post
-     pacing    = wheel fire - insert pacing-wheel residency (0 if bypassed)
-     nic       = (A1-N1)+(R1-B1)+(A2-N2)+(R2-B2)   NIC tx/rx latency
-     wire      = predicted serialization + propagation + switch latency
-     switch_q  = (B1-A1)+(B2-A2) - wire            fabric queueing residual
-     server    = N2 - R1             server software incl. handler
-     client_rx = T6 - R2             client software after NIC rx
+     req_ser    = typed request encode on the client (codec span in [T0,N1])
+     client_tx  = N1 - T0 - pacing - req_ser   remaining client sw until NIC post
+     pacing     = wheel fire - insert pacing-wheel residency (0 if bypassed)
+     nic        = (A1-N1)+(R1-B1)+(A2-N2)+(R2-B2)   NIC tx/rx latency
+     wire       = predicted serialization + propagation + switch latency
+     switch_q   = (B1-A1)+(B2-A2) - wire            fabric queueing residual
+     req_deser  = typed request decode on the server (codec span in [R1,N2])
+     resp_ser   = typed response encode on the server (codec span in [R1,N2])
+     server     = N2 - R1 - req_deser - resp_ser    remaining server software
+     resp_deser = typed response decode on the client (codec span in [R2,T6])
+     client_rx  = T6 - R2 - resp_deser              remaining client software
 
    The sum telescopes exactly to T6 - T0: every component is a difference
-   of adjacent milestones except wire/switch_q, which split the two
-   in-fabric intervals without remainder. *)
+   of adjacent milestones except wire/switch_q (which split the two
+   in-fabric intervals without remainder) and the codec terms (which are
+   carved out of the enclosing software interval and subtracted from it).
+   Untyped workloads have no codec spans; those terms are zero. *)
 
 type breakdown = {
   host : int;  (** client host *)
   sn : int;  (** client session number *)
   req : int;  (** request number *)
   total_ns : int;
+  req_ser_ns : int;
   client_tx_ns : int;
   pacing_ns : int;
   nic_ns : int;
   wire_ns : int;
   switch_ns : int;
+  req_deser_ns : int;
+  resp_ser_ns : int;
   server_ns : int;
+  resp_deser_ns : int;
   client_rx_ns : int;
 }
 
@@ -48,7 +58,11 @@ let ai k args =
 
 let aie k args = match ai k args with Some n -> n | None -> -1
 
-type pkt_info = { p_ts : int; p_id : int; p_size : int }
+type pkt_info = { p_ts : int; p_id : int; p_size : int; p_dst : int }
+
+(* A "codec" span ("ser"/"deser" Complete event) available for attribution
+   to at most one request. *)
+type span = { s_ts : int; s_dur : int; mutable s_used : bool }
 
 let analyze ~wire_ns evs =
   (* Milestone tables keyed by trace packet id. *)
@@ -67,6 +81,8 @@ let analyze ~wire_ns evs =
   let multi = Hashtbl.create 16 in
   let starts = Hashtbl.create 256 in
   let dones = Hashtbl.create 256 in
+  (* Codec spans per (pid, name), in trace order (ascending ts). *)
+  let codec = Hashtbl.create 64 in
   List.iter
     (fun (e : Trace.ev) ->
       match (e.cat, e.name) with
@@ -76,6 +92,11 @@ let analyze ~wire_ns evs =
       | "net", "deliver" -> first net_del (aie "id" e.args) e.ts
       | "wheel", "insert" -> first wh_ins (aie "id" e.args) e.ts
       | "wheel", "fire" -> first wh_fire (aie "id" e.args) e.ts
+      | "codec", (("ser" | "deser") as name) ->
+          let dur = match e.phase with Trace.Complete d -> d | _ -> 0 in
+          let key = (e.pid, name) in
+          let prev = try Hashtbl.find codec key with Not_found -> [] in
+          Hashtbl.replace codec key ({ s_ts = e.ts; s_dur = dur; s_used = false } :: prev)
       | "pkt", "info" ->
           let id = aie "id" e.args
           and kind = aie "kind" e.args
@@ -85,10 +106,9 @@ let analyze ~wire_ns evs =
           and ssn = aie "ssn" e.args
           and dsn = aie "dsn" e.args
           and size = aie "size" e.args in
-          let info = { p_ts = e.ts; p_id = id; p_size = size } in
+          let info = { p_ts = e.ts; p_id = id; p_size = size; p_dst = dst } in
           if kind = kind_req then
-            if num = 0 then
-              first req_pkt (e.pid, e.tid, ssn, req) info
+            if num = 0 then first req_pkt (e.pid, e.tid, ssn, req) info
             else Hashtbl.replace multi (`Req (e.pid, e.tid, ssn, req)) ()
           else if kind = kind_resp then
             if num = 0 then first resp_pkt (dst, dsn, req) info
@@ -99,7 +119,34 @@ let analyze ~wire_ns evs =
           first dones (e.pid, e.tid, aie "sn" e.args, aie "req" e.args) e.ts
       | _ -> ())
     evs;
-  let out = ref [] in
+  (* Spans were accumulated newest-first; restore trace order. *)
+  let codec_sorted = Hashtbl.create (max 1 (Hashtbl.length codec)) in
+  Hashtbl.iter
+    (fun key spans -> Hashtbl.replace codec_sorted key (List.rev spans))
+    codec;
+  (* Claim the latest still-unclaimed span of [name] on [pid] lying wholly
+     inside [lo, hi]. Requests are processed in descending start order, so
+     latest-first claiming pairs spans with the request whose window they
+     belong to even when windows of back-to-back requests overlap. *)
+  let claim ~pid ~name ~lo ~hi =
+    match Hashtbl.find_opt codec_sorted (pid, name) with
+    | None -> 0
+    | Some spans ->
+        let best =
+          List.fold_left
+            (fun acc s ->
+              if (not s.s_used) && s.s_ts >= lo && s.s_ts + s.s_dur <= hi then Some s
+              else acc)
+            None spans
+        in
+        (match best with
+        | Some s ->
+            s.s_used <- true;
+            s.s_dur
+        | None -> 0)
+  in
+  (* First join all milestones; claiming happens in a deterministic pass. *)
+  let raw = ref [] in
   Hashtbl.iter
     (fun ((pid, tid, sn, req) as key) t0 ->
       let ( let* ) o f = match o with Some v -> f v | None -> () in
@@ -120,6 +167,22 @@ let analyze ~wire_ns evs =
         let* a2 = Hashtbl.find_opt net_enq rp.p_id in
         let* b2 = Hashtbl.find_opt net_del rp.p_id in
         let* r2 = Hashtbl.find_opt nic_rx rp.p_id in
+        raw := (pid, sn, req, t0, t6, rq, rp, n1, a1, b1, r1, n2, a2, b2, r2) :: !raw
+      end)
+    starts;
+  let raw =
+    List.sort
+      (fun (p1, s1, r1, t1, _, _, _, _, _, _, _, _, _, _, _)
+           (p2, s2, r2, t2, _, _, _, _, _, _, _, _, _, _, _) ->
+        match compare t2 t1 with
+        | 0 -> compare (p2, s2, r2) (p1, s1, r1)
+        | c -> c)
+      !raw
+  in
+  let out =
+    List.map
+      (fun (pid, sn, req, t0, t6, rq, rp, n1, a1, b1, r1, n2, a2, b2, r2) ->
+        let host = pid - 1 in
         let pacing =
           match
             (Hashtbl.find_opt wh_ins rq.p_id, Hashtbl.find_opt wh_fire rq.p_id)
@@ -127,40 +190,51 @@ let analyze ~wire_ns evs =
           | Some i, Some f -> f - i
           | _ -> 0
         in
+        let server_pid = rq.p_dst + 1 in
+        let req_ser = claim ~pid ~name:"ser" ~lo:t0 ~hi:n1 in
+        let resp_deser = claim ~pid ~name:"deser" ~lo:r2 ~hi:t6 in
+        let req_deser = claim ~pid:server_pid ~name:"deser" ~lo:r1 ~hi:n2 in
+        let resp_ser = claim ~pid:server_pid ~name:"ser" ~lo:r1 ~hi:n2 in
         let wire = wire_ns rq.p_size + wire_ns rp.p_size in
         let fabric = b1 - a1 + (b2 - a2) in
-        out :=
-          {
-            host;
-            sn;
-            req;
-            total_ns = t6 - t0;
-            client_tx_ns = n1 - t0 - pacing;
-            pacing_ns = pacing;
-            nic_ns = a1 - n1 + (r1 - b1) + (a2 - n2) + (r2 - b2);
-            wire_ns = wire;
-            switch_ns = fabric - wire;
-            server_ns = n2 - r1;
-            client_rx_ns = t6 - r2;
-          }
-          :: !out
-      end)
-    starts;
+        {
+          host;
+          sn;
+          req;
+          total_ns = t6 - t0;
+          req_ser_ns = req_ser;
+          client_tx_ns = n1 - t0 - pacing - req_ser;
+          pacing_ns = pacing;
+          nic_ns = a1 - n1 + (r1 - b1) + (a2 - n2) + (r2 - b2);
+          wire_ns = wire;
+          switch_ns = fabric - wire;
+          req_deser_ns = req_deser;
+          resp_ser_ns = resp_ser;
+          server_ns = n2 - r1 - req_deser - resp_ser;
+          resp_deser_ns = resp_deser;
+          client_rx_ns = t6 - r2 - resp_deser;
+        })
+      raw
+  in
   List.sort
     (fun a b ->
       match compare a.host b.host with
       | 0 -> ( match compare a.sn b.sn with 0 -> compare a.req b.req | c -> c)
       | c -> c)
-    !out
+    out
 
 let components b =
   [
+    ("req serialize", b.req_ser_ns);
     ("client tx", b.client_tx_ns);
     ("pacing wheel", b.pacing_ns);
     ("NIC", b.nic_ns);
     ("wire", b.wire_ns);
     ("switch queue", b.switch_ns);
+    ("req deserialize", b.req_deser_ns);
+    ("resp serialize", b.resp_ser_ns);
     ("server", b.server_ns);
+    ("resp deserialize", b.resp_deser_ns);
     ("client rx", b.client_rx_ns);
   ]
 
@@ -176,20 +250,24 @@ let pp_table fmt bds =
     in
     let total = mean (fun b -> b.total_ns) in
     Format.fprintf fmt "Latency anatomy over %d sampled RPCs (mean %.0f ns):@." n total;
-    Format.fprintf fmt "  %-14s %10s %7s@." "component" "mean(ns)" "share";
+    Format.fprintf fmt "  %-16s %10s %7s@." "component" "mean(ns)" "share";
     List.iter
       (fun (label, f) ->
         let m = mean f in
-        Format.fprintf fmt "  %-14s %10.1f %6.1f%%@." label m
+        Format.fprintf fmt "  %-16s %10.1f %6.1f%%@." label m
           (if total > 0. then 100. *. m /. total else 0.))
       [
+        ("req serialize", fun b -> b.req_ser_ns);
         ("client tx", fun b -> b.client_tx_ns);
         ("pacing wheel", fun b -> b.pacing_ns);
         ("NIC", fun b -> b.nic_ns);
         ("wire", fun b -> b.wire_ns);
         ("switch queue", fun b -> b.switch_ns);
+        ("req deserialize", fun b -> b.req_deser_ns);
+        ("resp serialize", fun b -> b.resp_ser_ns);
         ("server", fun b -> b.server_ns);
+        ("resp deserialize", fun b -> b.resp_deser_ns);
         ("client rx", fun b -> b.client_rx_ns);
       ];
-    Format.fprintf fmt "  %-14s %10.1f %6.1f%%@." "total" total 100.
+    Format.fprintf fmt "  %-16s %10.1f %6.1f%%@." "total" total 100.
   end

@@ -1,25 +1,33 @@
 (** RPC latency anatomy: decompose sampled end-to-end request latencies into
-    queueing / pacing / NIC / wire / switch-queue / server components by
-    post-processing a trace (Table 3 of the paper).
+    serialize / queueing / pacing / NIC / wire / switch-queue / server /
+    deserialize components by post-processing a trace (Table 3 of the
+    paper, extended with the typed-codec stages).
 
     Components of each breakdown sum exactly to [total_ns]: each is a
     difference of adjacent trace milestones, except the wire/switch-queue
-    pair which split the two in-fabric intervals without remainder. Only
-    single-packet requests with single-packet responses and a complete
-    milestone set are analyzed; others are skipped. *)
+    pair (which split the two in-fabric intervals without remainder) and
+    the four codec terms (traced "codec" spans carved out of — and
+    subtracted from — the enclosing client/server software interval; zero
+    for untyped workloads). Only single-packet requests with single-packet
+    responses and a complete milestone set are analyzed; others are
+    skipped. *)
 
 type breakdown = {
   host : int;  (** client host *)
   sn : int;  (** client session number *)
   req : int;  (** request number *)
   total_ns : int;
-  client_tx_ns : int;  (** client software from request start to NIC post *)
+  req_ser_ns : int;  (** typed request encode on the client (0 if untyped) *)
+  client_tx_ns : int;  (** remaining client software until NIC post *)
   pacing_ns : int;  (** pacing-wheel residency (0 when bypassed) *)
   nic_ns : int;  (** NIC tx/rx latency, both directions *)
   wire_ns : int;  (** predicted serialization + cable + switch latency *)
   switch_ns : int;  (** fabric queueing residual over the prediction *)
-  server_ns : int;  (** server software including the handler *)
-  client_rx_ns : int;  (** client software from NIC rx to completion *)
+  req_deser_ns : int;  (** typed request decode on the server (0 if untyped) *)
+  resp_ser_ns : int;  (** typed response encode on the server (0 if untyped) *)
+  server_ns : int;  (** remaining server software including the handler *)
+  resp_deser_ns : int;  (** typed response decode on the client (0 if untyped) *)
+  client_rx_ns : int;  (** remaining client software from NIC rx to completion *)
 }
 
 val kind_req : int

@@ -1,0 +1,60 @@
+(* Wire layout (unchanged from the hand-rolled encoder): 1-byte tag, then
+   little-endian u32/u8 fields. Entries are (u32 term, u32 length, bytes)
+   with no count prefix, read to the end of the message. *)
+
+let entry_codec : string Log.entry Codec.t =
+  Codec.map
+    ~into:(fun (term, cmd) -> { Log.term; cmd })
+    ~from:(fun (e : string Log.entry) -> (e.term, e.cmd))
+    (Codec.pair Codec.u32 Codec.string)
+
+let msg_codec : string Core.msg Codec.t =
+  let open Codec in
+  let rv =
+    case ~tag:0
+      (pair (pair u32 u32) (pair u32 u32))
+      ~inj:(fun ((term, candidate_id), (last_log_index, last_log_term)) ->
+        Core.Request_vote { term; candidate_id; last_log_index; last_log_term })
+      ~proj:(function
+        | Core.Request_vote { term; candidate_id; last_log_index; last_log_term } ->
+            Some ((term, candidate_id), (last_log_index, last_log_term))
+        | _ -> None)
+  in
+  let rvr =
+    case ~tag:1 (triple u32 bool u32)
+      ~inj:(fun (term, vote_granted, from) ->
+        Core.Request_vote_resp { term; vote_granted; from })
+      ~proj:(function
+        | Core.Request_vote_resp { term; vote_granted; from } ->
+            Some (term, vote_granted, from)
+        | _ -> None)
+  in
+  let ae =
+    case ~tag:2
+      (pair (pair (pair u32 u32) (pair u32 u32)) (pair u32 (tail_list entry_codec)))
+      ~inj:(fun
+          (((term, leader_id), (prev_log_index, prev_log_term)), (leader_commit, entries)) ->
+        Core.Append_entries
+          { term; leader_id; prev_log_index; prev_log_term; leader_commit; entries })
+      ~proj:(function
+        | Core.Append_entries
+            { term; leader_id; prev_log_index; prev_log_term; leader_commit; entries } ->
+            Some
+              (((term, leader_id), (prev_log_index, prev_log_term)), (leader_commit, entries))
+        | _ -> None)
+  in
+  let aer =
+    case ~tag:3
+      (pair (triple u32 bool u32) u32)
+      ~inj:(fun ((term, success, from), match_index) ->
+        Core.Append_entries_resp { term; success; from; match_index })
+      ~proj:(function
+        | Core.Append_entries_resp { term; success; from; match_index } ->
+            Some ((term, success, from), match_index)
+        | _ -> None)
+  in
+  variant ~name:"Raft.Wire.msg" [ rv; rvr; ae; aer ]
+
+let encoded_size msg = Codec.size msg_codec msg
+let encode msg = Codec.to_bytes msg_codec msg
+let decode b = Codec.of_bytes msg_codec b

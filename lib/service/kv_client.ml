@@ -107,9 +107,6 @@ let exec t ~(request : Kv_proto.request) ~deadline_ns
             | None -> group.(n mod Array.length group))
       in
       let sess = session_to t target in
-      let req = Erpc.Msgbuf.alloc ~max_size:Kv_proto.req_size in
-      Kv_proto.write_request req request;
-      let resp = Erpc.Msgbuf.alloc ~max_size:Kv_proto.resp_max_size in
       (* Each attempt carries its own timeout: a request parked behind a
          handshake whose Connect_req died with the target (SM messages to
          dead hosts vanish) gets no transport-level failure signal at all,
@@ -124,42 +121,44 @@ let exec t ~(request : Kv_proto.request) ~deadline_ns
             Shard_map.clear_hints_for t.map ~host:target;
             backoff (n + 1)
           end);
-      Erpc.Rpc.enqueue_request t.rpc sess ~req_type:Kv_proto.kv_req_type ~req ~resp
+      (* [~charge:false]: the service's handler-cost constants already
+         model (de)serialization; double-charging would shift every chaos
+         trace. The typed layer still owns encode/decode + buffer sizing. *)
+      Erpc.Typed.enqueue_request t.rpc sess ~req_type:Kv_proto.kv_req_type
+        ~req_codec:Kv_proto.request_codec ~resp_codec:Kv_proto.response_codec
+        ~backend:Codec.Compact ~charge:false request
         ~cont:(fun r ->
           if (not !done_) && not !settled then begin
             settled := true;
             match r with
-            | Ok () -> (
-                match Kv_proto.read_response resp with
-                | (Kv_proto.Ok_ | Kv_proto.Not_found), _ as outcome ->
-                    done_ := true;
-                    t.ok <- t.ok + 1;
-                    Shard_map.set_leader_hint t.map ~shard ~host:target;
-                    Stats.Hist.record t.lat
-                      (Sim.Time.sub (Sim.Engine.now t.engine) started);
-                    finish (Ok outcome)
-                | Kv_proto.Not_leader (Some h), _ ->
-                    (* Follow the redirect immediately: the hint names the
-                       live leader in the common case, and a wrong hint
-                       just feeds back here — but only a bounded number of
-                       times before conceding the hints are stale and
-                       backing off. *)
-                    t.redirects <- t.redirects + 1;
-                    Shard_map.set_leader_hint t.map ~shard ~host:h;
-                    incr chase;
-                    if !chase <= 3 then attempt (n + 1) ~forced:(Some h)
-                    else begin
-                      Shard_map.clear_leader_hint t.map ~shard;
-                      backoff (n + 1)
-                    end
-                | Kv_proto.Not_leader None, _ ->
-                    Shard_map.clear_leader_hint t.map ~shard;
-                    backoff (n + 1)
-                | Kv_proto.Retry hint, _ ->
-                    (match hint with
-                    | Some h -> Shard_map.set_leader_hint t.map ~shard ~host:h
-                    | None -> ());
-                    backoff (n + 1))
+            | Ok (((Kv_proto.Ok_ | Kv_proto.Not_found), _) as outcome) ->
+                done_ := true;
+                t.ok <- t.ok + 1;
+                Shard_map.set_leader_hint t.map ~shard ~host:target;
+                Stats.Hist.record t.lat (Sim.Time.sub (Sim.Engine.now t.engine) started);
+                finish (Ok outcome)
+            | Ok (Kv_proto.Not_leader (Some h), _) ->
+                (* Follow the redirect immediately: the hint names the
+                   live leader in the common case, and a wrong hint
+                   just feeds back here — but only a bounded number of
+                   times before conceding the hints are stale and
+                   backing off. *)
+                t.redirects <- t.redirects + 1;
+                Shard_map.set_leader_hint t.map ~shard ~host:h;
+                incr chase;
+                if !chase <= 3 then attempt (n + 1) ~forced:(Some h)
+                else begin
+                  Shard_map.clear_leader_hint t.map ~shard;
+                  backoff (n + 1)
+                end
+            | Ok (Kv_proto.Not_leader None, _) ->
+                Shard_map.clear_leader_hint t.map ~shard;
+                backoff (n + 1)
+            | Ok (Kv_proto.Retry hint, _) ->
+                (match hint with
+                | Some h -> Shard_map.set_leader_hint t.map ~shard ~host:h
+                | None -> ());
+                backoff (n + 1)
             | Error _ ->
                 (* Transport-level failure: the target may be down — stop
                    trusting sessions and hints that point at it. *)

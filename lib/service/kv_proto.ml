@@ -21,32 +21,37 @@ type status =
   | Retry of int option
   | Not_found
 
+(* Every schema below is pinned to the compact backend: these are the
+   service's frozen wire formats (same-seed chaos traces must stay
+   byte-identical across refactors), independent of whatever backend the
+   endpoint's [Config.codec_backend] selects for typed workloads. *)
+let backend = Codec.Compact
+
 (* Request: op(4) shard(4) client_id(4) seq(4) key value. GETs carry a
    zero-filled value region so one fixed layout serves both ops. *)
 let req_size = 16 + key_size + value_size
 
-let write_request m (r : request) =
-  Erpc.Msgbuf.set_u32 m ~off:0 (match r.op with Put -> 0 | Get -> 1);
-  Erpc.Msgbuf.set_u32 m ~off:4 r.shard;
-  Erpc.Msgbuf.set_u32 m ~off:8 r.client_id;
-  Erpc.Msgbuf.set_u32 m ~off:12 r.seq;
-  Erpc.Msgbuf.write_string m ~off:16 r.key;
-  Erpc.Msgbuf.write_string m ~off:(16 + key_size)
-    (if String.length r.value = value_size then r.value
-     else String.make value_size '\000')
+let request_codec : request Codec.t =
+  let open Codec in
+  map
+    ~into:(fun (((opc, shard), (client_id, seq)), (key, value)) ->
+      { op = (if opc = 0 then Put else Get); shard; client_id; seq; key; value })
+    ~from:(fun r ->
+      ( ( ((match r.op with Put -> 0 | Get -> 1), r.shard),
+          (r.client_id, r.seq) ),
+        ( r.key,
+          if String.length r.value = value_size then r.value
+          else String.make value_size '\000' ) ))
+    (pair
+       (pair (pair u32 u32) (pair u32 u32))
+       (pair (fixed_string key_size) (fixed_string value_size)))
 
-let read_request m =
-  {
-    op = (match Erpc.Msgbuf.get_u32 m ~off:0 with 0 -> Put | _ -> Get);
-    shard = Erpc.Msgbuf.get_u32 m ~off:4;
-    client_id = Erpc.Msgbuf.get_u32 m ~off:8;
-    seq = Erpc.Msgbuf.get_u32 m ~off:12;
-    key = Erpc.Msgbuf.read_string m ~off:16 ~len:key_size;
-    value = Erpc.Msgbuf.read_string m ~off:(16 + key_size) ~len:value_size;
-  }
+let write_request m (r : request) = Erpc.Typed.write ~backend request_codec m r
+let read_request m = Erpc.Typed.read ~backend request_codec m
 
 (* Response: status(4) hint(4) [value]. The hint encodes host+1 so 0 can
-   mean "no hint". *)
+   mean "no hint"; the value region is present iff the message has bytes
+   past the 8-byte header. *)
 let resp_max_size = 8 + value_size
 
 let resp_size ~value = match value with None -> 8 | Some _ -> 8 + value_size
@@ -61,53 +66,36 @@ let hint_code = function
   | Not_leader (Some h) | Retry (Some h) -> h + 1
   | _ -> 0
 
-let write_response m ~status ~value =
-  Erpc.Msgbuf.set_u32 m ~off:0 (status_code status);
-  Erpc.Msgbuf.set_u32 m ~off:4 (hint_code status);
-  match value with None -> () | Some v -> Erpc.Msgbuf.write_string m ~off:8 v
+let response_codec : (status * string option) Codec.t =
+  let open Codec in
+  map
+    ~into:(fun ((code, hintc), value) ->
+      let hint = if hintc = 0 then None else Some (hintc - 1) in
+      let status =
+        match code with 0 -> Ok_ | 1 -> Not_leader hint | 2 -> Retry hint | _ -> Not_found
+      in
+      (status, value))
+    ~from:(fun (status, value) -> ((status_code status, hint_code status), value))
+    (pair (pair u32 u32) (tail_option (fixed_string value_size)))
 
-let read_response m =
-  let hint =
-    match Erpc.Msgbuf.get_u32 m ~off:4 with 0 -> None | h -> Some (h - 1)
-  in
-  let status =
-    match Erpc.Msgbuf.get_u32 m ~off:0 with
-    | 0 -> Ok_
-    | 1 -> Not_leader hint
-    | 2 -> Retry hint
-    | _ -> Not_found
-  in
-  let value =
-    if Erpc.Msgbuf.size m >= 8 + value_size then
-      Some (Erpc.Msgbuf.read_string m ~off:8 ~len:value_size)
-    else None
-  in
-  (status, value)
+let write_response m ~status ~value =
+  Erpc.Typed.write ~backend response_codec m (status, value)
+
+let read_response m = Erpc.Typed.read ~backend response_codec m
 
 (* Replicated command: client_id(4) seq(4) key value, as a string so the
-   Raft core and codec stay command-agnostic. *)
+   Raft core and wire format stay command-agnostic. *)
 let cmd_size = 8 + key_size + value_size
 
-let put_u32_str b off v =
-  Bytes.set b off (Char.chr (v land 0xff));
-  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
-  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
-  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
-
-let get_u32_str s off =
-  Char.code s.[off]
-  lor (Char.code s.[off + 1] lsl 8)
-  lor (Char.code s.[off + 2] lsl 16)
-  lor (Char.code s.[off + 3] lsl 24)
+let cmd_codec : (int * int * string * string) Codec.t =
+  let open Codec in
+  map
+    ~into:(fun ((client_id, seq), (key, value)) -> (client_id, seq, key, value))
+    ~from:(fun (client_id, seq, key, value) -> ((client_id, seq), (key, value)))
+    (pair (pair u32 u32) (pair (fixed_string key_size) (fixed_string value_size)))
 
 let encode_cmd ~client_id ~seq ~key ~value =
-  assert (String.length key = key_size && String.length value = value_size);
-  let b = Bytes.create cmd_size in
-  put_u32_str b 0 client_id;
-  put_u32_str b 4 seq;
-  Bytes.blit_string key 0 b 8 key_size;
-  Bytes.blit_string value 0 b (8 + key_size) value_size;
-  Bytes.unsafe_to_string b
+  Bytes.unsafe_to_string (Codec.to_bytes ~backend cmd_codec (client_id, seq, key, value))
 
 let noop_client_id = 0xffff_ffff
 
@@ -116,23 +104,15 @@ let noop_cmd ~seq =
     ~key:(String.make key_size '\000')
     ~value:(String.make value_size '\000')
 
-let decode_cmd s =
-  ( get_u32_str s 0,
-    get_u32_str s 4,
-    String.sub s 8 key_size,
-    String.sub s (8 + key_size) value_size )
+let decode_cmd s = Codec.of_bytes ~backend cmd_codec (Bytes.of_string s)
 
-(* Raft frame: shard(4) ^ codec bytes. *)
-let raft_frame_size msg = 4 + Raft.Codec.encoded_size msg
+(* Raft frame: shard(4) ^ message bytes. *)
+let raft_frame_codec : (int * string Raft.Core.msg) Codec.t =
+  Codec.pair Codec.u32 Raft.Wire.msg_codec
+
+let raft_frame_size msg = Codec.size raft_frame_codec (0, msg)
 
 let write_raft_frame m ~shard msg =
-  let encoded = Raft.Codec.encode msg in
-  Erpc.Msgbuf.set_u32 m ~off:0 shard;
-  Erpc.Msgbuf.write_string m ~off:4 (Bytes.to_string encoded)
+  Erpc.Typed.write ~backend raft_frame_codec m (shard, msg)
 
-let read_raft_frame m =
-  let shard = Erpc.Msgbuf.get_u32 m ~off:0 in
-  let data =
-    Bytes.of_string (Erpc.Msgbuf.read_string m ~off:4 ~len:(Erpc.Msgbuf.size m - 4))
-  in
-  (shard, Raft.Codec.decode data)
+let read_raft_frame m = Erpc.Typed.read ~backend raft_frame_codec m

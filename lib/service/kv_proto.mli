@@ -1,9 +1,11 @@
-(** Wire protocol of the sharded replicated-KV service.
+(** Wire protocol of the sharded replicated-KV service, defined as
+    {!Codec} schemas (compact backend pinned — these layouts are frozen;
+    same-seed chaos traces must stay byte-identical across refactors).
 
     Two request types share every replica host:
 
     - [raft_req_type]: replica-to-replica Raft transport. The frame is the
-      4-byte shard id followed by {!Raft.Codec} bytes; the response carries
+      4-byte shard id followed by {!Raft.Wire} bytes; the response carries
       the Raft reply the core produced while handling it (AE/RV responses
       ride back as eRPC responses, halving message count exactly as the
       paper's Raft-over-eRPC integration does in §7.1).
@@ -13,7 +15,7 @@
       replicated PUT commands so replicas can deduplicate retries — the
       exactly-once contract the smart client's retry loop relies on.
 
-    All integers are little-endian u32 via {!Erpc.Msgbuf}. *)
+    All integers are little-endian u32. *)
 
 val raft_req_type : int
 val kv_req_type : int
@@ -45,6 +47,14 @@ type status =
 val req_size : int
 val resp_max_size : int
 
+(** Schema of {!request}: op(4) shard(4) client_id(4) seq(4) key value,
+    with GET values zero-padded to [value_size]. Flat-capable. *)
+val request_codec : request Codec.t
+
+(** Schema of [(status, value)]: status(4) hint(4), value present iff
+    bytes remain past the header (so the codec is compact-only). *)
+val response_codec : (status * string option) Codec.t
+
 val write_request : Erpc.Msgbuf.t -> request -> unit
 val read_request : Erpc.Msgbuf.t -> request
 
@@ -63,6 +73,10 @@ val read_response : Erpc.Msgbuf.t -> status * string option
     client_id(4) ^ seq(4) ^ key ^ value. *)
 
 val cmd_size : int
+
+(** Schema of [(client_id, seq, key, value)] commands. *)
+val cmd_codec : (int * int * string * string) Codec.t
+
 val encode_cmd : client_id:int -> seq:int -> key:string -> value:string -> string
 
 (** Reserved client id of leader no-op barrier entries. A freshly elected
@@ -75,9 +89,14 @@ val noop_client_id : int
 val noop_cmd : seq:int -> string
 
 val decode_cmd : string -> int * int * string * string
-(** [(client_id, seq, key, value)] *)
+(** [(client_id, seq, key, value)]. Raises {!Codec.Decode_error} on a
+    malformed command. *)
 
 (** {2 Raft frames} *)
+
+(** Schema of [(shard, msg)] frames: shard(4) ^ {!Raft.Wire.msg_codec}
+    bytes. *)
+val raft_frame_codec : (int * string Raft.Core.msg) Codec.t
 
 (** Exact frame size for a message: 4 bytes of shard id plus the codec
     bytes. *)

@@ -138,6 +138,34 @@ let test_anatomy_sums_exactly () =
       check_bool "total positive" true (b.total_ns > 0))
     r.breakdowns
 
+let test_anatomy_typed_nonzero_codec_terms () =
+  (* A typed echo must surface all four codec components, they must be
+     carved out of (not added on top of) the enclosing software intervals,
+     and the breakdown must still sum exactly to end-to-end. *)
+  let r = Experiments.Exp_anatomy.run ~samples:16 ~typed:true () in
+  check_bool "sampled RPCs analyzed" true (List.length r.breakdowns >= 8);
+  List.iter
+    (fun (b : Obs.Anatomy.breakdown) ->
+      check_int
+        (Printf.sprintf "req %d: typed components sum to end-to-end" b.req)
+        b.total_ns
+        (Obs.Anatomy.sum_components b);
+      check_bool "req serialize charged" true (b.req_ser_ns > 0);
+      check_bool "req deserialize charged" true (b.req_deser_ns > 0);
+      check_bool "resp serialize charged" true (b.resp_ser_ns > 0);
+      check_bool "resp deserialize charged" true (b.resp_deser_ns > 0);
+      check_bool "client tx residual nonneg" true (b.client_tx_ns >= 0);
+      check_bool "server residual nonneg" true (b.server_ns >= 0);
+      check_bool "client rx residual nonneg" true (b.client_rx_ns >= 0))
+    r.breakdowns;
+  (* Untyped runs keep all codec terms at zero. *)
+  let u = Experiments.Exp_anatomy.run ~samples:8 () in
+  List.iter
+    (fun (b : Obs.Anatomy.breakdown) ->
+      check_int "untyped: no ser" 0 b.req_ser_ns;
+      check_int "untyped: no deser" 0 (b.req_deser_ns + b.resp_ser_ns + b.resp_deser_ns))
+    u.breakdowns
+
 let test_same_seed_traces_identical () =
   let run () =
     let r = Experiments.Exp_anatomy.run ~samples:8 () in
@@ -181,6 +209,8 @@ let suite =
     Alcotest.test_case "json builder+validator" `Quick test_json_builder_and_validator;
     Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
     Alcotest.test_case "anatomy sums exactly" `Quick test_anatomy_sums_exactly;
+    Alcotest.test_case "anatomy: typed codec terms" `Quick
+      test_anatomy_typed_nonzero_codec_terms;
     Alcotest.test_case "same-seed trace identical" `Quick test_same_seed_traces_identical;
     Alcotest.test_case "same-seed incast identical" `Quick
       test_same_seed_incast_traces_identical;

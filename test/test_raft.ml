@@ -271,16 +271,17 @@ let msg_gen : string Raft.Core.msg QCheck2.Gen.t =
 let codec_roundtrip =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name:"codec roundtrip" ~count:500 msg_gen (fun msg ->
-         Raft.Codec.decode (Raft.Codec.encode msg) = msg))
+         Raft.Wire.decode (Raft.Wire.encode msg) = msg))
+
+let decodes_to_error name b =
+  match Raft.Wire.decode b with
+  | _ -> Alcotest.failf "%s: expected Codec.Decode_error" name
+  | exception Codec.Decode_error _ -> ()
 
 let test_codec_rejects_garbage () =
-  Alcotest.check_raises "empty" (Invalid_argument "Raft.Codec.decode: empty buffer") (fun () ->
-      ignore (Raft.Codec.decode Bytes.empty));
-  Alcotest.check_raises "unknown tag" (Invalid_argument "Raft.Codec.decode: unknown tag")
-    (fun () -> ignore (Raft.Codec.decode (Bytes.make 8 '\255')));
-  Alcotest.check_raises "truncated"
-    (Invalid_argument "Raft.Codec.decode: truncated Request_vote") (fun () ->
-      ignore (Raft.Codec.decode (Bytes.make 3 '\000')))
+  decodes_to_error "empty" Bytes.empty;
+  decodes_to_error "unknown tag" (Bytes.make 8 '\255');
+  decodes_to_error "truncated" (Bytes.make 3 '\000')
 
 let suite =
   [

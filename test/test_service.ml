@@ -189,6 +189,31 @@ let test_chaos_run_clean_and_deterministic () =
   check_bool "run JSON is well-formed" true
     (Obs.Json.validate (Obs.Json.to_string r1.timeline))
 
+(* Golden fault-trace digests captured before the codec refactor moved
+   Kv_proto and Raft.Wire onto schema combinators. Equality here proves
+   the compact wire bytes and every CPU charge on the replicated-KV
+   datapath are unchanged — the refactor is invisible to the chaos
+   schedule. *)
+let test_chaos_golden_digests () =
+  List.iter
+    (fun (seed, scenario, digest, acked) ->
+      let r = Experiments.Exp_kv_chaos.run_one ~scenario ~seed () in
+      check_str
+        (Printf.sprintf "seed %Ld trace digest" seed)
+        digest
+        (Digest.to_hex (Digest.string r.trace));
+      check_int (Printf.sprintf "seed %Ld acked" seed) acked r.acked)
+    [
+      ( 40_000L,
+        Experiments.Exp_kv_chaos.Leader_crash,
+        "17166b39d45b4d15fffa6838ee6f52f2",
+        1200 );
+      ( 40_001L,
+        Experiments.Exp_kv_chaos.Tor_partition,
+        "cd9fee1564d960f46788f73c862e7d1f",
+        1187 );
+    ]
+
 let suite =
   [
     Alcotest.test_case "shard map: placement" `Quick test_shard_map_placement;
@@ -202,4 +227,5 @@ let suite =
     Alcotest.test_case "timeline: windows and gaps" `Quick test_timeline_windows_and_gaps;
     Alcotest.test_case "kv-chaos: clean and deterministic" `Quick
       test_chaos_run_clean_and_deterministic;
+    Alcotest.test_case "kv-chaos: golden trace digests" `Quick test_chaos_golden_digests;
   ]
