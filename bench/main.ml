@@ -464,6 +464,17 @@ let micro () =
         results)
     tests
 
+(* Full-scale multi-tenant SLO sweep: all three builtin scenarios at the
+   default population and horizon, with the determinism rerun enabled. *)
+let cluster_load_json () =
+  let results = Experiments.Exp_cluster_load.run_all ~rerun_check:true () in
+  List.iter (Format.printf "%a@." Experiments.Exp_cluster_load.pp_result) results;
+  let oc = open_out "BENCH_cluster_load.json" in
+  output_string oc (Obs.Json.to_string (Experiments.Exp_cluster_load.to_json results));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_cluster_load.json\n%!"
+
 (* Machine-readable results for CI tracking: one JSON file per headline
    benchmark, written to the current directory. Hand-rolled printing — the
    values are numbers and fixed cluster names, no escaping needed. *)
@@ -498,7 +509,8 @@ let bench_json () =
           r.cluster r.rdma_read_us r.erpc_us)
       (Experiments.Exp_latency.run ~samples:1_000 ())
   in
-  write "BENCH_latency.json" (rows_obj "latency" "us" latency)
+  write "BENCH_latency.json" (rows_obj "latency" "us" latency);
+  cluster_load_json ()
 
 let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -516,6 +528,7 @@ let () =
   | "masstree" -> masstree ()
   | "ablations" -> ablations ()
   | "micro" -> micro ()
+  | "cluster-load" -> cluster_load_json ()
   | "json" -> bench_json ()
   | "all" ->
       fig1 ();

@@ -302,6 +302,105 @@ let kv_chaos_cmd =
           exactly-once invariants under leader crashes, partitions and rolling restarts")
     Term.(const run $ seeds $ verbose $ json_arg $ out)
 
+(* cluster-load *)
+let cluster_load_cmd =
+  let run scenario scale horizon_ms rerun seed json out =
+    let names =
+      match scenario with
+      | "all" -> List.map fst Workload.Traffic_spec.builtin
+      | s when List.mem_assoc s Workload.Traffic_spec.builtin -> [ s ]
+      | s ->
+          failwith
+            (Printf.sprintf "unknown scenario %S (all|%s)" s
+               (String.concat "|" (List.map fst Workload.Traffic_spec.builtin)))
+    in
+    let results =
+      if scenario = "all" then
+        Experiments.Exp_cluster_load.run_all ~seed ~scale ~horizon_ms
+          ~rerun_check:rerun ()
+      else
+        List.map
+          (fun name ->
+            let r =
+              Experiments.Exp_cluster_load.run_named ~seed ~scale ~horizon_ms name
+            in
+            if not rerun then r
+            else
+              let r2 =
+                Experiments.Exp_cluster_load.run_named ~seed ~scale ~horizon_ms name
+              in
+              if r2.Experiments.Exp_cluster_load.digest
+                 = r.Experiments.Exp_cluster_load.digest
+              then r
+              else
+                {
+                  r with
+                  violations =
+                    r.violations
+                    @ [
+                        Printf.sprintf "nondeterministic: rerun digest %s <> %s"
+                          r2.Experiments.Exp_cluster_load.digest
+                          r.Experiments.Exp_cluster_load.digest;
+                      ];
+                })
+          names
+    in
+    List.iter (Format.printf "%a@." Experiments.Exp_cluster_load.pp_result) results;
+    (if json || out <> None then
+       let str =
+         Obs.Json.to_string (Experiments.Exp_cluster_load.to_json results)
+       in
+       match out with
+       | None ->
+           print_string str;
+           print_newline ()
+       | Some file ->
+           let oc = open_out file in
+           output_string oc str;
+           output_char oc '\n';
+           close_out oc;
+           Printf.printf "wrote %s\n" file);
+    let bad =
+      List.filter
+        (fun r -> r.Experiments.Exp_cluster_load.violations <> [])
+        results
+      |> List.length
+    in
+    if bad > 0 then exit 1
+  in
+  let scenario =
+    Arg.(
+      value & opt string "all"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Scenario: all|steady-poisson|hot-key-shift|bursty-mixed.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"F" ~doc:"Population scale factor on tenant source counts.")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 100.0
+      & info [ "horizon-ms" ] ~docv:"MS" ~doc:"Measured open-loop window per scenario.")
+  in
+  let rerun =
+    Arg.(
+      value & flag
+      & info [ "rerun" ]
+          ~doc:"Run each scenario twice and fail if same-seed trace digests differ.")
+  in
+  Cmd.v
+    (Cmd.info "cluster-load"
+       ~doc:
+         "Multi-tenant open-loop traffic (Poisson/bursty/hot-key-shift tenants over KV + \
+          echo) with per-tenant P50/P99/P99.9 SLOs and P99 tail attribution")
+    Term.(const run $ scenario $ scale $ horizon $ rerun $ seed_arg $ json_arg
+          $ Arg.(
+              value
+              & opt (some string) None
+              & info [ "out" ] ~docv:"FILE" ~doc:"Write BENCH_cluster_load.json here."))
+
 (* masstree *)
 let masstree_cmd =
   let run workers =
@@ -668,4 +767,5 @@ let () =
             codec_bench_cmd;
             session_scale_cmd;
             rdma_cmd;
+            cluster_load_cmd;
           ]))

@@ -1,0 +1,80 @@
+(** Cluster-scale multi-tenant open-loop traffic with tail-SLO reporting.
+
+    Drives {!Workload.Traffic_spec} scenarios against a CX4 two-tier
+    cluster running both the echo harness and the PR-5 sharded
+    replicated-KV service: N tenant populations of open-loop sources
+    (Poisson / bursty on-off / diurnal-ramp arrivals, uniform / Zipf /
+    hot-key-shift key streams, mixed small-RPC + large-transfer traffic)
+    issue operations on a fixed schedule regardless of completions, so
+    overload surfaces as tail latency rather than reduced offered load.
+
+    Outputs per tenant: issued/ok/failed/shed counts, P50/P99/P99.9 SLO
+    latencies, and an availability {!Obs.Timeline}; per scenario: a
+    {!Obs.Anatomy.attribution} naming the component that dominates P99
+    vs P50 ("where does the tail come from"), computed from the run's
+    event trace over client-host RPCs. Runs are deterministic: the same
+    seed reproduces the identical event trace, checked via
+    {!Obs.Trace.digest}. *)
+
+type tenant_report = {
+  tname : string;
+  service : string;  (** "kv" or "echo" *)
+  sources : int;
+  offered_rps : float;  (** analytic open-loop offered load *)
+  issued : int;
+  ok : int;
+  failed : int;  (** errors + missed deadlines *)
+  shed : int;  (** arrivals dropped at the client-side concurrency cap *)
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  retries : int;  (** KV client retries (0 for echo) *)
+  redirects : int;  (** KV leader redirects (0 for echo) *)
+  timeline : Obs.Json.t;  (** availability windows with per-window P50/P99 *)
+}
+
+type result = {
+  scenario : string;
+  seed : int64;
+  horizon_ns : int;
+  tenants : tenant_report list;
+  attribution : Obs.Anatomy.attribution option;
+      (** client-host RPC tail attribution; [None] if the trace retained no
+          complete single-packet RPCs *)
+  analyzed_rpcs : int;  (** breakdowns behind [attribution] *)
+  digest : string;  (** {!Obs.Trace.digest} of the run's event trace *)
+  events : int;  (** engine events processed *)
+  violations : string list;  (** empty on a clean run *)
+  breakdowns : Obs.Anatomy.breakdown list;
+      (** the per-RPC breakdowns behind [attribution], for invariant checks
+          (each sums exactly to its end-to-end latency) *)
+}
+
+(** [run ~seed scenario] deploys the cluster (6 replica hosts, 2 echo
+    servers, 4 client hosts; 4 Raft shards x 3-way replication), boots
+    every shard's leader election, then drives the scenario open-loop for
+    its horizon plus a settle window. [trace_capacity] bounds the event
+    ring (default [2^18]; older events are evicted deterministically). *)
+val run :
+  ?seed:int64 -> ?trace_capacity:int -> Workload.Traffic_spec.scenario -> result
+
+(** Run a named builtin scenario (see {!Workload.Traffic_spec.builtin}).
+    Raises [Invalid_argument] on an unknown name. *)
+val run_named :
+  ?seed:int64 -> ?scale:float -> ?horizon_ms:float -> string -> result
+
+(** All builtin scenarios in order. With [rerun_check] (default false),
+    each scenario runs twice and a digest mismatch is recorded as a
+    violation on that scenario's result. *)
+val run_all :
+  ?seed:int64 -> ?scale:float -> ?horizon_ms:float -> ?rerun_check:bool -> unit ->
+  result list
+
+val pp_result : Format.formatter -> result -> unit
+
+(** One row of the [BENCH_cluster_load.json] document. *)
+val result_to_json : result -> Obs.Json.t
+
+(** The full document: [{"benchmark":"cluster_load","unit":"us","rows":[...]}]. *)
+val to_json : result list -> Obs.Json.t

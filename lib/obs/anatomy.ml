@@ -271,3 +271,93 @@ let pp_table fmt bds =
       ];
     Format.fprintf fmt "  %-16s %10.1f %6.1f%%@." "total" total 100.
   end
+
+(* {2 Tail attribution} *)
+
+type attribution = {
+  samples : int;
+  p50_total_ns : int;
+  p99_total_ns : int;
+  p999_total_ns : int;
+  p50_ns : (string * int) list;
+  p99_ns : (string * int) list;
+  p50_dominant : string;
+  p99_dominant : string;
+}
+
+let attribute bds =
+  match bds with
+  | [] -> None
+  | _ ->
+      let n = List.length bds in
+      let totals = Array.of_list (List.map (fun b -> b.total_ns) bds) in
+      Array.sort compare totals;
+      (* Nearest-rank percentiles over the sorted totals. *)
+      let pct p =
+        let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+        totals.(max 0 (min (n - 1) (rank - 1)))
+      in
+      let p50 = pct 50. and p99 = pct 99. and p999 = pct 99.9 in
+      let band keep =
+        let members = List.filter (fun b -> keep b.total_ns) bds in
+        let k = List.length members in
+        (* Non-empty by construction: the thresholds are realized totals. *)
+        List.map
+          (fun (label, _) ->
+            let sum =
+              List.fold_left
+                (fun acc b -> acc + List.assoc label (components b))
+                0 members
+            in
+            (label, sum / k))
+          (components (List.hd bds))
+      in
+      let body = band (fun t -> t <= p50) in
+      let tail = band (fun t -> t >= p99) in
+      let dominant comps =
+        fst
+          (List.fold_left
+             (fun (bl, bv) (l, v) -> if v > bv then (l, v) else (bl, bv))
+             ("", min_int) comps)
+      in
+      Some
+        {
+          samples = n;
+          p50_total_ns = p50;
+          p99_total_ns = p99;
+          p999_total_ns = p999;
+          p50_ns = body;
+          p99_ns = tail;
+          p50_dominant = dominant body;
+          p99_dominant = dominant tail;
+        }
+
+let attribution_to_json a =
+  let share total v =
+    if total > 0 then float_of_int v /. float_of_int total else 0.
+  in
+  let p50_sum = List.fold_left (fun acc (_, v) -> acc + v) 0 a.p50_ns in
+  let p99_sum = List.fold_left (fun acc (_, v) -> acc + v) 0 a.p99_ns in
+  Json.Obj
+    [
+      ("samples", Json.Int a.samples);
+      ("p50_total_ns", Json.Int a.p50_total_ns);
+      ("p99_total_ns", Json.Int a.p99_total_ns);
+      ("p999_total_ns", Json.Int a.p999_total_ns);
+      ("p50_dominant", Json.Str a.p50_dominant);
+      ("p99_dominant", Json.Str a.p99_dominant);
+      ( "components",
+        Json.Arr
+          (List.map2
+             (fun (label, v50) (label99, v99) ->
+               assert (label = label99);
+               Json.Obj
+                 [
+                   ("component", Json.Str label);
+                   ("p50_ns", Json.Int v50);
+                   ("p99_ns", Json.Int v99);
+                   ("p50_share", Json.Float (share p50_sum v50));
+                   ("p99_share", Json.Float (share p99_sum v99));
+                 ])
+             a.p50_ns a.p99_ns) );
+    ]

@@ -49,3 +49,37 @@ val sum_components : breakdown -> int
 
 val pp_table : Format.formatter -> breakdown list -> unit
 (** Table-3-style mean breakdown with per-component shares. *)
+
+(** {2 Tail attribution}
+
+    "Where does the tail come from": compare the mean component breakdown
+    of the body of the latency distribution against the slowest samples.
+    Google's production observation (P99 requests spending >25% of their
+    time in the RPC stack) is exactly this quantity; making it a standard
+    per-scenario output lets every load experiment name the component that
+    dominates its P99. *)
+
+type attribution = {
+  samples : int;  (** breakdowns analyzed *)
+  p50_total_ns : int;  (** median end-to-end latency *)
+  p99_total_ns : int;  (** P99 end-to-end latency *)
+  p999_total_ns : int;  (** P99.9 end-to-end latency *)
+  p50_ns : (string * int) list;
+      (** mean per-component ns over the body band (samples at or below the
+          median), in anatomical order *)
+  p99_ns : (string * int) list;
+      (** mean per-component ns over the tail band (samples at or above the
+          P99 threshold) *)
+  p50_dominant : string;  (** largest body-band component *)
+  p99_dominant : string;  (** largest tail-band component *)
+}
+
+val attribute : breakdown list -> attribution option
+(** [None] on an empty list. Band means are deterministic: totals are
+    sorted, thresholds taken by rank, ties on dominance resolved in
+    anatomical order. *)
+
+val attribution_to_json : attribution -> Json.t
+(** Components as [{"component":...,"p50_ns":...,"p99_ns":...,
+    "p50_share":...,"p99_share":...}] rows plus the totals and dominant
+    labels. *)

@@ -126,6 +126,52 @@ let iter t f =
     f t.buf.(idx)
   done
 
+(* {2 Digest}
+
+   FNV-1a 64 folded over a compact rendering of every retained event. Far
+   cheaper than [Digest.string (to_chrome_string t)] on big rings: no
+   mega-string, one small reused buffer. *)
+
+let digest t =
+  let h = ref (-3750763034362895579L) (* 0xcbf29ce484222325 *) in
+  let mix_char c =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 1099511628211L
+  in
+  let mix_string s = String.iter mix_char s in
+  let mix_int n =
+    mix_string (string_of_int n);
+    mix_char '|'
+  in
+  let buf = Buffer.create 64 in
+  mix_int t.dropped;
+  iter t (fun e ->
+      mix_int e.ts;
+      (match e.phase with
+      | Instant -> mix_char 'I'
+      | Complete d ->
+          mix_char 'X';
+          mix_int d
+      | Counter -> mix_char 'C');
+      mix_string e.cat;
+      mix_char '|';
+      mix_string e.name;
+      mix_char '|';
+      mix_int e.pid;
+      mix_int e.tid;
+      List.iter
+        (fun (k, v) ->
+          mix_string k;
+          mix_char '=';
+          Buffer.clear buf;
+          (match v with
+          | I n -> Buffer.add_string buf (string_of_int n)
+          | F f -> Buffer.add_string buf (Json.float_repr f)
+          | S s -> Buffer.add_string buf s);
+          mix_string (Buffer.contents buf);
+          mix_char '|')
+        e.args);
+  Printf.sprintf "%016Lx" !h
+
 (* {2 Chrome-trace JSON export}
 
    Timestamps in the Chrome trace format are microseconds; we emit them as

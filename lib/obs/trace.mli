@@ -89,6 +89,13 @@ val events : t -> ev list
 
 val iter : t -> (ev -> unit) -> unit
 
+val digest : t -> string
+(** Hex FNV-1a 64 digest over every buffered event's fields (plus the
+    eviction count), rendered in ring order. Two traces digest equally iff
+    their retained events are identical, making same-seed byte-identity
+    checks cheap even for million-event traces where rendering the full
+    Chrome JSON would dominate the run. *)
+
 val to_chrome_string : t -> string
 (** Render as Chrome-trace JSON ({["traceEvents"]} array plus track
     metadata), loadable in chrome://tracing or ui.perfetto.dev. Timestamps

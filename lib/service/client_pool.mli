@@ -1,0 +1,59 @@
+(** Round-robin pool of {!Kv_client}s for open-loop load driving.
+
+    One smart client per (host rpc x slot): operations are dispatched
+    round-robin so concurrent open-loop arrivals spread across client ids
+    (each with its own dedup sequence space and retry state) and across
+    client hosts. Client ids are [base_client_id .. base_client_id +
+    size - 1]; pools sharing a service must use disjoint id ranges for
+    exactly-once dedup to stay sound. Dispatch order is deterministic, so
+    same-seed runs issue the same operation on the same client. *)
+
+type t
+
+(** [create ~fabric ~map ~rpcs ~base_client_id ~clients_per_rpc ()] builds
+    [Array.length rpcs * clients_per_rpc] clients, cycling hosts first so
+    consecutive operations leave different hosts. Optional knobs are passed
+    through to {!Kv_client.create}. *)
+val create :
+  fabric:Erpc.Fabric.t ->
+  map:Shard_map.t ->
+  rpcs:Erpc.Rpc.t array ->
+  base_client_id:int ->
+  clients_per_rpc:int ->
+  ?backoff_base_ns:int ->
+  ?backoff_max_ns:int ->
+  ?attempt_timeout_ns:int ->
+  unit ->
+  t
+
+val size : t -> int
+
+(** Next pool slot's client, advancing the round-robin cursor. Exposed so
+    callers can pin an operation sequence to a client when needed. *)
+val next_client : t -> Kv_client.t
+
+(** [put]/[get] dispatch on the next client; see {!Kv_client.put}. *)
+val put :
+  t ->
+  key:string ->
+  value:string ->
+  deadline_ns:int ->
+  cont:((unit, Kv_client.error) result -> unit) ->
+  unit
+
+val get :
+  t ->
+  key:string ->
+  deadline_ns:int ->
+  cont:((string option, Kv_client.error) result -> unit) ->
+  unit
+
+(** {2 Aggregated stats} (summed / merged over the pool) *)
+
+val ok : t -> int
+val deadline_exceeded : t -> int
+val retries : t -> int
+val redirects : t -> int
+
+(** Freshly merged end-to-end latency histogram of successful ops. *)
+val latencies : t -> Stats.Hist.t

@@ -1,6 +1,7 @@
 type t =
   | Uniform of int
   | Zipf of { n : int; alpha : float; zetan : float; eta : float; theta : float }
+  | Hot_shift of { base : t; period_ns : int; stride : int; n : int }
 
 let uniform ~n =
   assert (n > 0);
@@ -21,7 +22,17 @@ let zipf ~n ~theta =
   let eta = (1. -. Float.pow (2. /. float_of_int n) (1. -. theta)) /. (1. -. (zeta2 /. zetan)) in
   Zipf { n; alpha; zetan; eta; theta }
 
-let next t rng =
+let space = function
+  | Uniform n -> n
+  | Zipf { n; _ } -> n
+  | Hot_shift { n; _ } -> n
+
+let hot_shift ~base ~period_ns ~stride =
+  if period_ns <= 0 then invalid_arg "Keygen.hot_shift: period_ns <= 0";
+  if stride <= 0 then invalid_arg "Keygen.hot_shift: stride <= 0";
+  Hot_shift { base; period_ns; stride; n = space base }
+
+let rec next_at t rng ~now_ns =
   match t with
   | Uniform n -> Sim.Rng.int rng n
   | Zipf { n; alpha; zetan; eta; theta } ->
@@ -32,8 +43,19 @@ let next t rng =
       else
         let v = float_of_int n *. Float.pow ((eta *. u) -. eta +. 1.) alpha in
         min (n - 1) (int_of_float v)
+  | Hot_shift { base; period_ns; stride; n } ->
+      (* Reduce the epoch count mod n before multiplying so the rotation
+         never overflows, no matter how long the simulation runs. *)
+      let shift = now_ns / period_ns mod n * stride mod n in
+      (next_at base rng ~now_ns + shift) mod n
 
-let encode ?(width = 16) k = Printf.sprintf "%0*d" width k
+let next t rng = next_at t rng ~now_ns:0
+
+let encode ?(width = 16) k =
+  if k < 0 then invalid_arg "Keygen.encode: negative id";
+  (* Ids wider than [width] keep all their digits (see the .mli): padding
+     is a floor, never a truncation, so encoding stays injective. *)
+  Printf.sprintf "%0*d" width k
 
 (* 64-bit FNV-1a, truncated to OCaml's positive int range. Used wherever a
    key must map to a stable partition (shard maps, future load balancers):

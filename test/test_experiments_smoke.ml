@@ -77,6 +77,52 @@ let test_rdma_fig1_band () =
   check_bool "collapse by ~half" true
     (many.rate_mops < 0.6 *. few.rate_mops && many.rate_mops > 0.3 *. few.rate_mops)
 
+let test_cluster_load_smoke () =
+  (* Scaled-down steady-Poisson scenario: every tenant makes progress,
+     SLO percentiles are ordered, and the tail attribution is present. *)
+  let r = Experiments.Exp_cluster_load.run_named ~seed:7L ~scale:0.25 ~horizon_ms:15.0
+      "steady-poisson"
+  in
+  Alcotest.(check (list string)) "no violations" [] r.violations;
+  List.iter
+    (fun (t : Experiments.Exp_cluster_load.tenant_report) ->
+      check_bool (t.tname ^ " made progress") true (t.ok > 0);
+      check_bool (t.tname ^ " open-loop accounting") true
+        (t.issued >= t.ok + t.failed);
+      check_bool
+        (Printf.sprintf "%s percentiles ordered (%.1f <= %.1f <= %.1f us)" t.tname
+           t.p50_us t.p99_us t.p999_us)
+        true
+        (t.p50_us <= t.p99_us && t.p99_us <= t.p999_us)
+      )
+    r.tenants;
+  check_bool "attribution present" true (r.attribution <> None);
+  check_bool "JSON validates" true
+    (Obs.Json.validate
+       (Obs.Json.to_string (Experiments.Exp_cluster_load.to_json [ r ])))
+
+let test_cluster_load_deterministic () =
+  (* Same seed => byte-identical event traces, across all three builtin
+     scenarios (the kv-chaos determinism contract, extended to the
+     open-loop traffic engine). Digests are FNV-1a over every retained
+     event, so any divergence in ordering, payload, or eviction shows. *)
+  List.iter
+    (fun (name, _) ->
+      let digest () =
+        (Experiments.Exp_cluster_load.run_named ~seed:11L ~scale:0.2 ~horizon_ms:10.0
+           name)
+          .digest
+      in
+      Alcotest.(check string) (name ^ " digest stable") (digest ()) (digest ()))
+    Workload.Traffic_spec.builtin;
+  (* And a different seed takes a different path. *)
+  let d seed =
+    (Experiments.Exp_cluster_load.run_named ~seed ~scale:0.2 ~horizon_ms:10.0
+       "steady-poisson")
+      .digest
+  in
+  check_bool "seed changes trace" true (d 11L <> d 12L)
+
 let suite =
   [
     Alcotest.test_case "table2 bands" `Quick test_latency_bands;
@@ -88,4 +134,6 @@ let suite =
     Alcotest.test_case "fig5 scaled-down" `Quick test_scalability_small;
     Alcotest.test_case "table6 bands" `Quick test_raft_band;
     Alcotest.test_case "fig1 band" `Quick test_rdma_fig1_band;
+    Alcotest.test_case "cluster-load smoke" `Quick test_cluster_load_smoke;
+    Alcotest.test_case "cluster-load determinism" `Quick test_cluster_load_deterministic;
   ]

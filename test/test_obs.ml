@@ -166,6 +166,88 @@ let test_anatomy_typed_nonzero_codec_terms () =
       check_int "untyped: no deser" 0 (b.req_deser_ns + b.resp_ser_ns + b.resp_deser_ns))
     u.breakdowns
 
+let test_anatomy_sums_under_open_loop_load () =
+  (* The exact-sum invariant must survive pacing and queueing: drive the
+     bursty mixed-size scenario open-loop (synchronized on-off bursts +
+     64 kB transfers guarantee switch queueing) and re-check every
+     client-host breakdown. *)
+  let scenario = Workload.Traffic_spec.bursty_mixed ~scale:0.25 ~horizon_ms:10.0 () in
+  let r = Experiments.Exp_cluster_load.run ~seed:5L scenario in
+  check_bool
+    (Printf.sprintf "enough RPCs analyzed (%d)" r.analyzed_rpcs)
+    true (r.analyzed_rpcs >= 50);
+  List.iter
+    (fun (b : Obs.Anatomy.breakdown) ->
+      check_int
+        (Printf.sprintf "req %d: components sum to end-to-end under load" b.req)
+        b.total_ns
+        (Obs.Anatomy.sum_components b);
+      check_bool "total positive" true (b.total_ns > 0))
+    r.breakdowns;
+  (* Open-loop bursts actually produce queueing, unlike the quiet
+     closed-loop anatomy run where switch_ns is exactly zero. *)
+  check_bool "switch queueing observed" true
+    (List.exists (fun (b : Obs.Anatomy.breakdown) -> b.switch_ns > 0) r.breakdowns)
+
+let test_anatomy_attribution () =
+  let scenario = Workload.Traffic_spec.bursty_mixed ~scale:0.25 ~horizon_ms:10.0 () in
+  let r = Experiments.Exp_cluster_load.run ~seed:5L scenario in
+  match r.attribution with
+  | None -> Alcotest.fail "no attribution from a loaded run"
+  | Some a ->
+      check_int "samples = analyzed RPCs" r.analyzed_rpcs a.samples;
+      check_bool "percentiles ordered" true
+        (a.p50_total_ns <= a.p99_total_ns && a.p99_total_ns <= a.p999_total_ns);
+      List.iter
+        (fun (label, v) -> check_bool (label ^ " p50 nonneg") true (v >= 0))
+        a.p50_ns;
+      List.iter
+        (fun (label, v) -> check_bool (label ^ " p99 nonneg") true (v >= 0))
+        a.p99_ns;
+      check_bool "p50 dominant is a component" true
+        (List.mem_assoc a.p50_dominant a.p50_ns);
+      check_bool "p99 dominant is a component" true
+        (List.mem_assoc a.p99_dominant a.p99_ns);
+      (* The dominant component holds the band's largest mean. *)
+      let is_max parts dom =
+        List.for_all (fun (_, v) -> v <= List.assoc dom parts) parts
+      in
+      check_bool "p50 dominant maximal" true (is_max a.p50_ns a.p50_dominant);
+      check_bool "p99 dominant maximal" true (is_max a.p99_ns a.p99_dominant);
+      check_bool "attribution JSON validates" true
+        (Obs.Json.validate (Obs.Json.to_string (Obs.Anatomy.attribution_to_json a)))
+
+let test_trace_digest () =
+  let mk () =
+    let tr = Obs.Trace.create ~capacity:8 () in
+    Obs.Trace.instant tr ~ts:1 ~cat:"a" ~name:"x" ~pid:0 ~tid:0
+      [ ("i", Obs.Trace.I 7); ("f", Obs.Trace.F 1.5); ("s", Obs.Trace.S "v") ];
+    Obs.Trace.complete tr ~ts:2 ~dur:3 ~cat:"b" ~name:"y" ~pid:1 ~tid:2 [];
+    tr
+  in
+  let d1 = Obs.Trace.digest (mk ()) and d2 = Obs.Trace.digest (mk ()) in
+  check_string "digest deterministic" d1 d2;
+  check_int "16 hex chars" 16 (String.length d1);
+  String.iter
+    (fun c ->
+      check_bool "hex" true ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    d1;
+  (* Any perturbation — payload, timestamp, or eviction count — changes it. *)
+  let tr = mk () in
+  Obs.Trace.instant tr ~ts:9 ~cat:"a" ~name:"x" ~pid:0 ~tid:0 [];
+  check_bool "extra event changes digest" true (Obs.Trace.digest tr <> d1);
+  let full = Obs.Trace.create ~capacity:2 () in
+  for i = 1 to 5 do
+    Obs.Trace.instant full ~ts:i ~cat:"a" ~name:"x" ~pid:0 ~tid:0 []
+  done;
+  let shifted = Obs.Trace.create ~capacity:2 () in
+  for i = 2 to 5 do
+    Obs.Trace.instant shifted ~ts:i ~cat:"a" ~name:"x" ~pid:0 ~tid:0 []
+  done;
+  (* Same retained events (ts 4,5) but different drop counts must differ. *)
+  check_bool "dropped count folded in" true
+    (Obs.Trace.digest full <> Obs.Trace.digest shifted)
+
 let test_same_seed_traces_identical () =
   let run () =
     let r = Experiments.Exp_anatomy.run ~samples:8 () in
@@ -211,6 +293,10 @@ let suite =
     Alcotest.test_case "anatomy sums exactly" `Quick test_anatomy_sums_exactly;
     Alcotest.test_case "anatomy: typed codec terms" `Quick
       test_anatomy_typed_nonzero_codec_terms;
+    Alcotest.test_case "anatomy sums under open-loop load" `Quick
+      test_anatomy_sums_under_open_loop_load;
+    Alcotest.test_case "anatomy tail attribution" `Quick test_anatomy_attribution;
+    Alcotest.test_case "trace digest" `Quick test_trace_digest;
     Alcotest.test_case "same-seed trace identical" `Quick test_same_seed_traces_identical;
     Alcotest.test_case "same-seed incast identical" `Quick
       test_same_seed_incast_traces_identical;
