@@ -67,12 +67,17 @@ let table3 () =
     ]
   in
   let rows = Experiments.Exp_small_rate.factor_analysis () in
-  (* The trailing "Typed codec" rows are not part of the paper's cumulative
-     table: each re-runs the baseline with typed serialization on the
-     datapath, so they get their own section (loss vs the baseline). *)
-  let cumulative, codec_rows =
+  (* The trailing "Typed codec" and "Transport" rows are not part of the
+     paper's cumulative table: each re-runs the baseline with a different
+     datapath (typed serialization, RDMA RC, mixed local/remote shm), so
+     they get their own section (loss vs the baseline). *)
+  let has_prefix p label =
+    String.length label >= String.length p && String.sub label 0 (String.length p) = p
+  in
+  let cumulative, extra_rows =
     List.partition
-      (fun (label, _) -> not (String.length label >= 11 && String.sub label 0 11 = "Typed codec"))
+      (fun (label, _) ->
+        not (has_prefix "Typed codec" label || has_prefix "Transport" label))
       rows
   in
   let prev = ref None in
@@ -100,7 +105,7 @@ let table3 () =
         | _ -> ""
       in
       Printf.printf "%-44s %-10.2f %-8s (vs baseline)\n%!" label r.per_thread_mrps loss)
-    codec_rows;
+    extra_rows;
   (* §6.2 text: disabling congestion control entirely gives 5.44 Mrps (9%
      total CC overhead). *)
   let cluster = Transport.Cluster.cx4 ~nodes:11 () in

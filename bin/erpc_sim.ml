@@ -372,7 +372,7 @@ let cluster_load_cmd =
     Arg.(
       value & opt string "all"
       & info [ "scenario" ] ~docv:"NAME"
-          ~doc:"Scenario: all|steady-poisson|hot-key-shift|bursty-mixed.")
+          ~doc:"Scenario: all|steady-poisson|hot-key-shift|bursty-mixed|local-mesh.")
   in
   let scale =
     Arg.(
@@ -400,6 +400,47 @@ let cluster_load_cmd =
               value
               & opt (some string) None
               & info [ "out" ] ~docv:"FILE" ~doc:"Write BENCH_cluster_load.json here."))
+
+(* shm-bench *)
+let shm_bench_cmd =
+  let run samples rerun seed json out =
+    let r = Experiments.Exp_shm_bench.run ~seed ~samples ~rerun_check:rerun () in
+    Format.printf "%a" Experiments.Exp_shm_bench.pp_result r;
+    (if json || out <> None then
+       let str = Obs.Json.to_string (Experiments.Exp_shm_bench.to_json r) in
+       match out with
+       | None ->
+           print_string str;
+           print_newline ()
+       | Some file ->
+           let oc = open_out file in
+           output_string oc str;
+           output_char oc '\n';
+           close_out oc;
+           Printf.printf "wrote %s\n" file);
+    if r.violations <> [] then exit 1
+  in
+  let samples =
+    Arg.(
+      value & opt int 24
+      & info [ "samples" ] ~docv:"N" ~doc:"Sequential RPCs per (payload, mode) cell.")
+  in
+  let rerun =
+    Arg.(
+      value & flag
+      & info [ "rerun" ]
+          ~doc:"Run each cell twice and fail if same-seed trace digests differ.")
+  in
+  Cmd.v
+    (Cmd.info "shm-bench"
+       ~doc:
+         "Intra-host serialize-vs-share benchmark: payload sweep over the shared-memory \
+          rings with crossover, anatomy-zero and determinism checks")
+    Term.(const run $ samples $ rerun $ seed_arg $ json_arg
+          $ Arg.(
+              value
+              & opt (some string) None
+              & info [ "out" ] ~docv:"FILE" ~doc:"Write BENCH_shm.json here."))
 
 (* masstree *)
 let masstree_cmd =
@@ -447,26 +488,51 @@ let chaos_cmd =
 
 (* anatomy *)
 let anatomy_cmd =
-  let run samples req_size typed backend offload seed json =
+  let run samples req_size typed backend offload transport seed json =
     let backend =
       match backend with
       | "compact" -> Codec.Compact
       | "flat" -> Codec.Flat
       | s -> failwith (Printf.sprintf "unknown codec backend %S (compact|flat)" s)
     in
-    let r = Experiments.Exp_anatomy.run ~seed ~samples ~req_size ~typed ~backend ~offload () in
+    let transports =
+      match transport with
+      | "all" -> [ ("raw_eth", `Raw_eth); ("rdma_rc", `Rdma_rc); ("shm", `Shm) ]
+      | "raw_eth" -> [ ("raw_eth", `Raw_eth) ]
+      | "rdma_rc" -> [ ("rdma_rc", `Rdma_rc) ]
+      | "shm" -> [ ("shm", `Shm) ]
+      | s ->
+          failwith
+            (Printf.sprintf "unknown transport %S (all|raw_eth|rdma_rc|shm)" s)
+    in
+    let results =
+      List.map
+        (fun (name, tp) ->
+          ( name,
+            Experiments.Exp_anatomy.run ~seed ~samples ~req_size ~typed ~backend
+              ~offload ~transport:tp () ))
+        transports
+    in
     if json then
       print_bench_json ~benchmark:"anatomy" ~unit:"ns"
-        (List.map
-           (fun (b : Obs.Anatomy.breakdown) ->
-             Obs.Json.Obj
-               (("req", Obs.Json.Int b.req)
-               :: ("total_ns", Obs.Json.Int b.total_ns)
-               :: List.map
-                    (fun (label, v) -> (label, Obs.Json.Int v))
-                    (Obs.Anatomy.components b)))
-           r.breakdowns)
-    else Format.printf "%a" Obs.Anatomy.pp_table r.breakdowns
+        (List.concat_map
+           (fun (name, (r : Experiments.Exp_anatomy.result)) ->
+             List.map
+               (fun (b : Obs.Anatomy.breakdown) ->
+                 Obs.Json.Obj
+                   (("transport", Obs.Json.Str name)
+                   :: ("req", Obs.Json.Int b.req)
+                   :: ("total_ns", Obs.Json.Int b.total_ns)
+                   :: List.map
+                        (fun (label, v) -> (label, Obs.Json.Int v))
+                        (Obs.Anatomy.components b)))
+               r.breakdowns)
+           results)
+    else
+      List.iter
+        (fun (name, (r : Experiments.Exp_anatomy.result)) ->
+          Format.printf "transport %s:@.%a" name Obs.Anatomy.pp_table r.breakdowns)
+        results
   in
   let samples =
     Arg.(value & opt int 32 & info [ "samples" ] ~docv:"N" ~doc:"Sequential RPCs to sample.")
@@ -487,10 +553,20 @@ let anatomy_cmd =
   let offload =
     Arg.(value & flag & info [ "offload" ] ~doc:"Model NIC-offloaded codec for --typed.")
   in
+  let transport =
+    Arg.(
+      value & opt string "raw_eth"
+      & info [ "transport" ] ~docv:"T"
+          ~doc:
+            "Datapath: raw_eth|rdma_rc|shm, or all to run the three-transport anatomy \
+             in one command.")
+  in
   Cmd.v
     (Cmd.info "anatomy"
        ~doc:"Latency anatomy: decompose quiet-network RPC latency into components")
-    Term.(const run $ samples $ req_size $ typed $ backend $ offload $ seed_arg $ json_arg)
+    Term.(
+      const run $ samples $ req_size $ typed $ backend $ offload $ transport $ seed_arg
+      $ json_arg)
 
 (* trace *)
 let trace_cmd =
@@ -768,4 +844,5 @@ let () =
             session_scale_cmd;
             rdma_cmd;
             cluster_load_cmd;
+            shm_bench_cmd;
           ]))

@@ -85,6 +85,10 @@ type t = {
   cc : cc;
   codec_backend : Codec.backend;
   codec_offload : bool;
+  shm_enabled : bool;
+  shm_mode : Shm.mode;
+  shm_slots : int;
+  shm_hop_ns : int;
 }
 
 let of_cluster ?credits (cluster : Transport.Cluster.t) =
@@ -125,4 +129,8 @@ let of_cluster ?credits (cluster : Transport.Cluster.t) =
     cc = default_cc ~min_rtt_ns;
     codec_backend = Codec.Compact;
     codec_offload = false;
+    shm_enabled = false;
+    shm_mode = Shm.Auto;
+    shm_slots = 512;
+    shm_hop_ns = 150;
   }

@@ -23,6 +23,11 @@ type t = {
   flat_deser_field : int;
   codec_offload_post : int;
   codec_offload_per_256b : int;
+  shm_ring_post : int;
+  shm_seal : int;
+  shm_unseal : int;
+  shm_share_desc : int;
+  shm_ownership_check : int;
 }
 
 let default =
@@ -51,6 +56,11 @@ let default =
     flat_deser_field = 1;
     codec_offload_post = 45;
     codec_offload_per_256b = 3;
+    shm_ring_post = 12;
+    shm_seal = 30;
+    shm_unseal = 30;
+    shm_share_desc = 18;
+    shm_ownership_check = 15;
   }
 
 let scaled t ns = int_of_float (ceil (t.scale *. float_of_int ns))
@@ -82,3 +92,18 @@ let codec_cost t ~deser ~(backend : Codec.backend) ~offload ~leaves ~bytes =
       | Codec.Flat, true -> t.flat_deser_field
     in
     scaled t (per_field * leaves) + memcpy_cost t bytes
+
+(* Shared-memory ring charges (see {!Shm}), pre-scaled so the transport
+   never re-applies the cluster CPU scale. The serialize path pays the
+   slot publish plus a plain memcpy of the payload; the share path pays a
+   flat descriptor publish with the MemRPC safety charges: seal on send,
+   unseal + ownership-transfer check on receive. With the default values
+   the two paths cross near 1 KB payloads — below it copying is cheaper
+   than guarding, above it sharing wins. *)
+let shm_costs t =
+  {
+    Shm.serialize_ns = (fun bytes -> scaled t t.shm_ring_post + memcpy_cost t bytes);
+    share_tx_ns = scaled t (t.shm_ring_post + t.shm_share_desc + t.shm_seal);
+    share_rx_ns = scaled t (t.shm_unseal + t.shm_ownership_check);
+    ring_post_ns = scaled t t.shm_ring_post;
+  }

@@ -43,6 +43,12 @@ type t = {
   codec_offload_per_256b : int;
       (** NIC-offloaded codec: DMA scatter/gather setup per 256 B chunk
           beyond the first *)
+  shm_ring_post : int;  (** claim/publish or re-arm one shm ring slot *)
+  shm_seal : int;  (** seal a shared buffer on send (content guard) *)
+  shm_unseal : int;  (** unseal a shared buffer on receive *)
+  shm_share_desc : int;  (** build one pointer-passing descriptor *)
+  shm_ownership_check : int;
+      (** receiver-side ownership-transfer validation per shared buffer *)
 }
 
 val default : t
@@ -62,3 +68,10 @@ val for_cluster : Transport.Cluster.t -> t
     NIC-offload descriptor/DMA cost regardless of backend. *)
 val codec_cost :
   t -> deser:bool -> backend:Codec.backend -> offload:bool -> leaves:int -> bytes:int -> int
+
+(** Pre-scaled shared-memory ring charges for {!Shm.create}: the
+    serialize path composes the slot publish with {!memcpy_cost}; the
+    share path pays flat descriptor + seal/unseal/ownership-check terms.
+    The serialize-vs-share crossover payload size is emergent from these
+    values (~1 KB at defaults). *)
+val shm_costs : t -> Shm.costs

@@ -10,7 +10,29 @@ type t = {
   mutable kill_watchers : (int -> unit) list;
   mutable restart_watchers : (int -> unit) list;
   mutable next_session_token : int;
+  machine : int array;  (* host -> machine representative (co-location) *)
+  shm_hub : Shm.hub;
 }
+
+(* The shared-memory transport lives below the eRPC packet-body type, so
+   the fabric supplies the two packet accessors its ring path needs. *)
+let shm_hooks =
+  {
+    Shm.view =
+      (fun pkt ->
+        match pkt.Netsim.Packet.body with
+        | Wire.Pkt r ->
+            Some { Shm.dst_rpc = r.dst_rpc; data = r.data; off = r.off; len = r.len }
+        | _ -> None);
+    set_payload =
+      (fun pkt b ->
+        match pkt.Netsim.Packet.body with
+        | Wire.Pkt r ->
+            r.data <- b;
+            r.off <- 0;
+            r.len <- Bytes.length b
+        | _ -> ());
+  }
 
 let create ?(seed = 42L) ?config ?cost ?trace cluster =
   let engine = Sim.Engine.create ~seed () in
@@ -20,19 +42,27 @@ let create ?(seed = 42L) ?config ?cost ?trace cluster =
   let net = Transport.Cluster.build engine cluster in
   let cfg = match config with Some c -> c | None -> Config.of_cluster cluster in
   let cost = match cost with Some c -> c | None -> Cost_model.for_cluster cluster in
-  {
-    engine;
-    cluster;
-    net;
-    cfg;
-    cost;
-    sm_sinks = Hashtbl.create 64;
-    dead_hosts = Hashtbl.create 8;
-    failure_watchers = [];
-    kill_watchers = [];
-    restart_watchers = [];
-    next_session_token = 1;
-  }
+  let t =
+    {
+      engine;
+      cluster;
+      net;
+      cfg;
+      cost;
+      sm_sinks = Hashtbl.create 64;
+      dead_hosts = Hashtbl.create 8;
+      failure_watchers = [];
+      kill_watchers = [];
+      restart_watchers = [];
+      next_session_token = 1;
+      machine = Transport.Cluster.machine_of cluster;
+      shm_hub = Shm.create_hub ~hooks:shm_hooks ();
+    }
+  in
+  (* Ring deliveries into a dead host vanish, mirroring the network's
+     dead-host gating in {!Nexus}. *)
+  Shm.set_alive t.shm_hub (fun host -> not (Hashtbl.mem t.dead_hosts host));
+  t
 
 (* Session tokens are unique fabric-wide and never reused, even across
    crash-restart cycles of a host (real eRPC's uniqueness token). A
@@ -49,6 +79,8 @@ let cluster t = t.cluster
 let net t = t.net
 let config t = t.cfg
 let cost t = t.cost
+let shm_hub t = t.shm_hub
+let colocated t a b = t.machine.(a) = t.machine.(b)
 
 let register_sm t ~host ~rpc_id sink =
   if Hashtbl.mem t.sm_sinks (host, rpc_id) then

@@ -33,6 +33,16 @@ val net : t -> Netsim.Network.t
 val config : t -> Config.t
 val cost : t -> Cost_model.t
 
+(** The fabric-wide shared-memory segment directory (one per deployment;
+    endpoints register their rings when [shm_enabled]). Its liveness gate
+    tracks {!host_dead}, so ring deliveries into a crashed process vanish
+    like network deliveries. *)
+val shm_hub : t -> Shm.hub
+
+(** [colocated t a b]: hosts [a] and [b] are processes on the same
+    physical machine (see {!Transport.Cluster.colocate}); reflexive. *)
+val colocated : t -> int -> int -> bool
+
 (** {2 Session-management plane} *)
 
 val register_sm : t -> host:int -> rpc_id:int -> (Sm.msg -> unit) -> unit

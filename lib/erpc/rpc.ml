@@ -16,6 +16,7 @@ type t = {
   cost : Cost_model.t;
   cpu_ : Sim.Cpu.t;
   transport_ : Transport.Iface.t;
+  shm_ : Shm.endpoint option;  (* ring state when [cfg.shm_enabled] *)
   proto : Proto.t;
   bgq : (unit -> unit) Queue.t;
   mutable wheel : wheel_entry Wheel.t option;
@@ -41,6 +42,7 @@ let nexus t = t.nexus_
 let cpu t = t.cpu_
 let config t = t.cfg
 let transport t = t.transport_
+let shm_endpoint t = t.shm_
 let stats t = t.stats_
 let cc_updates t = Proto.cc_updates t.proto
 let num_sessions t = Proto.n_sessions t.proto
@@ -502,17 +504,33 @@ let create nexus_ ~rpc_id =
   let cfg = Fabric.config fabric in
   let cluster = Fabric.cluster fabric in
   let cpu_ = Sim.Cpu.create engine ~name:(Printf.sprintf "h%d-rpc%d" host_ rpc_id) in
-  let transport_ =
+  (* The protocol core and this endpoint reference each other; the [env]
+     closures (and the shm mux's charge hook) only run once the simulation
+     does, after [self] is set. *)
+  let self = ref None in
+  let get () = match !self with Some t -> t | None -> assert false in
+  let wire_transport =
     match cfg.transport with
     | Config.Raw_eth ->
         let nic_cfg = { cluster.nic_config with multi_packet_rq = cfg.opts.multi_packet_rq } in
         Transport.Nic_udp.create engine (Fabric.net fabric) ~host:host_ ~mtu:cfg.mtu nic_cfg
     | Config.Rdma_rc -> Rdma.Rc_transport.create engine (Fabric.net fabric) ~host:host_ cluster
   in
-  (* The protocol core and this endpoint reference each other; the [env]
-     closures only run once the simulation does, after [self] is set. *)
-  let self = ref None in
-  let get () = match !self with Some t -> t | None -> assert false in
+  let shm_, transport_ =
+    if not cfg.shm_enabled then (None, wire_transport)
+    else begin
+      let ep, tp =
+        Shm.create engine ~hub:(Fabric.shm_hub fabric) ~host:host_ ~rpc_id
+          ~inner:wire_transport
+          ~colocated:(fun h -> Fabric.colocated fabric host_ h)
+          ~charge:(fun ns -> ignore (Sim.Cpu.charge (get ()).cpu_ ns))
+          ~mode:cfg.shm_mode ~slots:cfg.shm_slots ~hop_ns:cfg.shm_hop_ns
+          ~costs:(Cost_model.shm_costs (Fabric.cost fabric))
+          ()
+      in
+      (Some ep, tp)
+    end
+  in
   let env =
     {
       Proto.ch = (fun ns -> ch (get ()) ns);
@@ -550,7 +568,7 @@ let create nexus_ ~rpc_id =
   in
   let t =
     {
-      nexus_; rpc_id; host_; engine; cfg; cost; cpu_; transport_; proto; stats_;
+      nexus_; rpc_id; host_; engine; cfg; cost; cpu_; transport_; shm_; proto; stats_;
       bgq = Queue.create ();
       wheel = None;
       loop_scheduled = false;

@@ -30,8 +30,13 @@ val nexus : t -> Nexus.t
 val cpu : t -> Sim.Cpu.t
 val config : t -> Config.t
 
-(** The endpoint's datapath, selected by [Config.transport]. *)
+(** The endpoint's datapath, selected by [Config.transport] (wrapped in
+    the {!Shm} intra-host mux when [Config.shm_enabled]). *)
 val transport : t -> Transport.Iface.t
+
+(** The endpoint's shared-memory ring state when [Config.shm_enabled]
+    ([None] otherwise); exposes serialize/share/guard-fault counters. *)
+val shm_endpoint : t -> Shm.endpoint option
 
 (** {2 Sessions} *)
 

@@ -11,13 +11,24 @@ let predictor (cluster : Transport.Cluster.t) =
     (2 * (ser + cfg.cable_ns)) + cfg.switch_latency_ns
 
 let run ?seed ?trace ?(samples = 32) ?(req_size = 32) ?(typed = false)
-    ?(backend = Codec.Compact) ?(offload = false) () =
+    ?(backend = Codec.Compact) ?(offload = false) ?(transport = `Raw_eth) () =
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let cluster =
+    match transport with
+    | `Shm -> Transport.Cluster.colocate cluster [ [ 0; 1 ] ]
+    | `Raw_eth | `Rdma_rc -> cluster
+  in
   let trace =
     match trace with Some tr -> tr | None -> Obs.Trace.create ~capacity:(1 lsl 16) ()
   in
   let config =
     { (Erpc.Config.of_cluster cluster) with codec_backend = backend; codec_offload = offload }
+  in
+  let config =
+    match transport with
+    | `Raw_eth -> config
+    | `Rdma_rc -> { config with Erpc.Config.transport = Erpc.Config.Rdma_rc }
+    | `Shm -> { config with Erpc.Config.shm_enabled = true }
   in
   let register nx =
     if typed then Harness.register_typed_echo Harness.schema_fixed nx

@@ -20,7 +20,14 @@ val predictor : Transport.Cluster.t -> int -> int
 
 (** When [typed] (default false), the echo carries a fixed-width typed
     schema through {!Erpc.Typed} under [backend] / [offload], so the
-    breakdowns gain nonzero serialize/deserialize components. *)
+    breakdowns gain nonzero serialize/deserialize components.
+
+    [transport] selects the datapath under the same workload (the
+    three-transport anatomy): [`Raw_eth] (default) is the lossy UDP NIC,
+    [`Rdma_rc] the lossless RDMA RC queue pair, and [`Shm] colocates the
+    two endpoints on one machine so every RPC crosses the shared-memory
+    rings — the breakdowns then show NIC/wire/switch exactly zero with
+    the transit in [ring_ns]. *)
 val run :
   ?seed:int64 ->
   ?trace:Obs.Trace.t ->
@@ -29,5 +36,6 @@ val run :
   ?typed:bool ->
   ?backend:Codec.backend ->
   ?offload:bool ->
+  ?transport:[ `Raw_eth | `Rdma_rc | `Shm ] ->
   unit ->
   result

@@ -65,9 +65,23 @@ let run ?(seed = 42L) ?(trace_capacity = 1 lsl 18)
     (scenario : Workload.Traffic_spec.scenario) =
   let violations = ref [] in
   let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  (* "local-mesh" models a microservice mesh: clients 8 and 9 share a
+     machine with the echo servers, so their echo sessions split between
+     the shared-memory rings (to the co-resident server) and the wire (to
+     the other one), while clients 10-11 and all KV traffic stay fully
+     remote. *)
+  let local_mesh = scenario.Workload.Traffic_spec.sname = "local-mesh" in
   let cluster = Transport.Cluster.cx4 ~nodes () in
+  let cluster =
+    if local_mesh then Transport.Cluster.colocate cluster [ [ 6; 8 ]; [ 7; 9 ] ]
+    else cluster
+  in
+  let config =
+    let base = Erpc.Config.of_cluster cluster in
+    if local_mesh then { base with Erpc.Config.shm_enabled = true } else base
+  in
   let trace = Obs.Trace.create ~capacity:trace_capacity () in
-  let d = Harness.deploy ~seed ~trace cluster ~threads_per_host:1 in
+  let d = Harness.deploy ~seed ~config ~trace cluster ~threads_per_host:1 in
   let engine = Erpc.Fabric.engine d.fabric in
   (* Replicated-KV service on hosts 0-5, exactly the kv-chaos deployment. *)
   let map = Service.Shard_map.create ~shards ~replication ~replica_hosts in

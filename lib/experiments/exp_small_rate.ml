@@ -168,4 +168,21 @@ let factor_analysis ?seed ?measure_ms () =
         ("Typed codec: flat + NIC offload", Codec.Flat, true);
       ]
   in
-  List.rev_append rows codec_rows
+  (* Transport rows: also non-cumulative — the full-optimization baseline
+     re-run on each alternate datapath. The shm row colocates hosts in
+     pairs, so the all-to-all mesh mixes intra-host (shared-memory ring)
+     and cross-host (wire) sessions on every endpoint. *)
+  let transport_rows =
+    let rdma_config = { base with transport = Rdma_rc } in
+    let shm_cluster =
+      Transport.Cluster.colocate cluster [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ]; [ 6; 7 ]; [ 8; 9 ] ]
+    in
+    let shm_config = { (of_cluster shm_cluster) with shm_enabled = true } in
+    [
+      ( "Transport: RDMA RC (lossless)",
+        run ?seed ~config:rdma_config ?measure_ms ~cluster ~batch:3 () );
+      ( "Transport: shm mixed local/remote",
+        run ?seed ~config:shm_config ?measure_ms ~cluster:shm_cluster ~batch:3 () );
+    ]
+  in
+  List.rev_append rows (codec_rows @ transport_rows)

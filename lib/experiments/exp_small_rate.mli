@@ -56,8 +56,11 @@ val run_typed :
 
 (** Table 3 factor analysis on CX4 with B=3: optimizations disabled
     cumulatively, in the paper's order, starting with the baseline.
-    Extended with non-cumulative "Typed codec" rows: the baseline re-run
+    Extended with non-cumulative "Typed codec" rows (the baseline re-run
     with typed requests under each codec backend, with and without NIC
-    offload. Returns (label, result) rows. *)
+    offload) and "Transport" rows (the baseline on the RDMA RC datapath,
+    and on a pairwise-colocated cluster where the shared-memory transport
+    carries the intra-host share of the mesh). Returns (label, result)
+    rows. *)
 val factor_analysis :
   ?seed:int64 -> ?measure_ms:float -> unit -> (string * result) list

@@ -12,24 +12,35 @@
      A2/B2/R2            same stations for the response
      T6 req_done         client completes the request
 
-   Components (all in ns):
-     req_ser    = typed request encode on the client (codec span in [T0,N1])
-     client_tx  = N1 - T0 - pacing - req_ser   remaining client sw until NIC post
+   Each direction is one *leg*. A leg that crossed the wire uses the
+   N/A/B/R stations above; an intra-host leg over the shared-memory
+   transport has only two stations — "shm tx" (descriptor published) and
+   "shm rx" (packet visible to the receiver's poll) — and its entire
+   transit time is the ring/guard component, with NIC/wire/switch exactly
+   zero. Mixed requests (one leg wired, one over shm) join fine; each leg
+   picks whichever milestone set its packet produced.
+
+   Components (all in ns; stations per leg as above):
+     req_ser    = typed request encode on the client (codec span before leg 1)
+     client_tx  = leg1.start - T0 - pacing - req_ser  remaining client sw
      pacing     = wheel fire - insert pacing-wheel residency (0 if bypassed)
-     nic        = (A1-N1)+(R1-B1)+(A2-N2)+(R2-B2)   NIC tx/rx latency
+     nic        = (A-N)+(R-B) summed over wired legs   NIC tx/rx latency
      wire       = predicted serialization + propagation + switch latency
-     switch_q   = (B1-A1)+(B2-A2) - wire            fabric queueing residual
-     req_deser  = typed request decode on the server (codec span in [R1,N2])
-     resp_ser   = typed response encode on the server (codec span in [R1,N2])
-     server     = N2 - R1 - req_deser - resp_ser    remaining server software
-     resp_deser = typed response decode on the client (codec span in [R2,T6])
-     client_rx  = T6 - R2 - resp_deser              remaining client software
+     switch_q   = (B-A) - wire summed over wired legs  fabric queueing
+     ring       = shm rx - shm tx summed over shm legs (hop + guards + FIFO)
+     req_deser  = typed request decode on the server (codec span in leg gap)
+     resp_ser   = typed response encode on the server (codec span in leg gap)
+     server     = leg2.start - leg1.end - req_deser - resp_ser
+     resp_deser = typed response decode on the client (codec span after leg 2)
+     client_rx  = T6 - leg2.end - resp_deser          remaining client software
 
    The sum telescopes exactly to T6 - T0: every component is a difference
-   of adjacent milestones except wire/switch_q (which split the two
-   in-fabric intervals without remainder) and the codec terms (which are
+   of adjacent milestones except wire/switch_q (which split each wired
+   in-fabric interval without remainder) and the codec terms (which are
    carved out of the enclosing software interval and subtracted from it).
-   Untyped workloads have no codec spans; those terms are zero. *)
+   A shm leg contributes exactly leg.end - leg.start as ring, so the
+   invariant is transport-independent. Untyped workloads have no codec
+   spans; those terms are zero. *)
 
 type breakdown = {
   host : int;  (** client host *)
@@ -42,6 +53,7 @@ type breakdown = {
   nic_ns : int;
   wire_ns : int;
   switch_ns : int;
+  ring_ns : int;
   req_deser_ns : int;
   resp_ser_ns : int;
   server_ns : int;
@@ -64,12 +76,26 @@ type pkt_info = { p_ts : int; p_id : int; p_size : int; p_dst : int }
    to at most one request. *)
 type span = { s_ts : int; s_dur : int; mutable s_used : bool }
 
+(* Per-direction transit: either a wired leg (NIC/fabric stations) or an
+   intra-host shared-memory leg (ring stations); components sum to
+   [l_end - l_start] either way. *)
+type leg = {
+  l_start : int;
+  l_end : int;
+  l_nic : int;
+  l_wire : int;
+  l_switch : int;
+  l_ring : int;
+}
+
 let analyze ~wire_ns evs =
   (* Milestone tables keyed by trace packet id. *)
   let nic_tx = Hashtbl.create 256 in
   let nic_rx = Hashtbl.create 256 in
   let net_enq = Hashtbl.create 256 in
   let net_del = Hashtbl.create 256 in
+  let shm_tx = Hashtbl.create 64 in
+  let shm_rx = Hashtbl.create 64 in
   let wh_ins = Hashtbl.create 64 in
   let wh_fire = Hashtbl.create 64 in
   let first tbl id ts = if not (Hashtbl.mem tbl id) then Hashtbl.add tbl id ts in
@@ -88,6 +114,8 @@ let analyze ~wire_ns evs =
       match (e.cat, e.name) with
       | "nic", "tx" -> first nic_tx (aie "id" e.args) e.ts
       | "nic", "rx" -> first nic_rx (aie "id" e.args) e.ts
+      | "shm", "tx" -> first shm_tx (aie "id" e.args) e.ts
+      | "shm", "rx" -> first shm_rx (aie "id" e.args) e.ts
       | "net", "enq" -> first net_enq (aie "id" e.args) e.ts
       | "net", "deliver" -> first net_del (aie "id" e.args) e.ts
       | "wheel", "insert" -> first wh_ins (aie "id" e.args) e.ts
@@ -145,6 +173,41 @@ let analyze ~wire_ns evs =
             s.s_dur
         | None -> 0)
   in
+  (* Assemble one leg from whichever milestone set the packet produced:
+     the shm pair for an intra-host crossing, the NIC/fabric quartet for
+     a wired one. *)
+  let leg_of id size =
+    match (Hashtbl.find_opt shm_tx id, Hashtbl.find_opt shm_rx id) with
+    | Some stx, Some srx ->
+        Some
+          {
+            l_start = stx;
+            l_end = srx;
+            l_nic = 0;
+            l_wire = 0;
+            l_switch = 0;
+            l_ring = srx - stx;
+          }
+    | _ -> (
+        match
+          ( Hashtbl.find_opt nic_tx id,
+            Hashtbl.find_opt net_enq id,
+            Hashtbl.find_opt net_del id,
+            Hashtbl.find_opt nic_rx id )
+        with
+        | Some n, Some a, Some b, Some r ->
+            let wire = wire_ns size in
+            Some
+              {
+                l_start = n;
+                l_end = r;
+                l_nic = a - n + (r - b);
+                l_wire = wire;
+                l_switch = b - a - wire;
+                l_ring = 0;
+              }
+        | _ -> None)
+  in
   (* First join all milestones; claiming happens in a deterministic pass. *)
   let raw = ref [] in
   Hashtbl.iter
@@ -159,21 +222,14 @@ let analyze ~wire_ns evs =
         || Hashtbl.mem multi (`Resp (host, sn, req))
       then ()
       else begin
-        let* n1 = Hashtbl.find_opt nic_tx rq.p_id in
-        let* a1 = Hashtbl.find_opt net_enq rq.p_id in
-        let* b1 = Hashtbl.find_opt net_del rq.p_id in
-        let* r1 = Hashtbl.find_opt nic_rx rq.p_id in
-        let* n2 = Hashtbl.find_opt nic_tx rp.p_id in
-        let* a2 = Hashtbl.find_opt net_enq rp.p_id in
-        let* b2 = Hashtbl.find_opt net_del rp.p_id in
-        let* r2 = Hashtbl.find_opt nic_rx rp.p_id in
-        raw := (pid, sn, req, t0, t6, rq, rp, n1, a1, b1, r1, n2, a2, b2, r2) :: !raw
+        let* l1 = leg_of rq.p_id rq.p_size in
+        let* l2 = leg_of rp.p_id rp.p_size in
+        raw := (pid, sn, req, t0, t6, rq, rp, l1, l2) :: !raw
       end)
     starts;
   let raw =
     List.sort
-      (fun (p1, s1, r1, t1, _, _, _, _, _, _, _, _, _, _, _)
-           (p2, s2, r2, t2, _, _, _, _, _, _, _, _, _, _, _) ->
+      (fun (p1, s1, r1, t1, _, _, _, _, _) (p2, s2, r2, t2, _, _, _, _, _) ->
         match compare t2 t1 with
         | 0 -> compare (p2, s2, r2) (p1, s1, r1)
         | c -> c)
@@ -181,7 +237,7 @@ let analyze ~wire_ns evs =
   in
   let out =
     List.map
-      (fun (pid, sn, req, t0, t6, rq, rp, n1, a1, b1, r1, n2, a2, b2, r2) ->
+      (fun (pid, sn, req, t0, t6, rq, _rp, l1, l2) ->
         let host = pid - 1 in
         let pacing =
           match
@@ -191,28 +247,31 @@ let analyze ~wire_ns evs =
           | _ -> 0
         in
         let server_pid = rq.p_dst + 1 in
-        let req_ser = claim ~pid ~name:"ser" ~lo:t0 ~hi:n1 in
-        let resp_deser = claim ~pid ~name:"deser" ~lo:r2 ~hi:t6 in
-        let req_deser = claim ~pid:server_pid ~name:"deser" ~lo:r1 ~hi:n2 in
-        let resp_ser = claim ~pid:server_pid ~name:"ser" ~lo:r1 ~hi:n2 in
-        let wire = wire_ns rq.p_size + wire_ns rp.p_size in
-        let fabric = b1 - a1 + (b2 - a2) in
+        let req_ser = claim ~pid ~name:"ser" ~lo:t0 ~hi:l1.l_start in
+        let resp_deser = claim ~pid ~name:"deser" ~lo:l2.l_end ~hi:t6 in
+        let req_deser =
+          claim ~pid:server_pid ~name:"deser" ~lo:l1.l_end ~hi:l2.l_start
+        in
+        let resp_ser =
+          claim ~pid:server_pid ~name:"ser" ~lo:l1.l_end ~hi:l2.l_start
+        in
         {
           host;
           sn;
           req;
           total_ns = t6 - t0;
           req_ser_ns = req_ser;
-          client_tx_ns = n1 - t0 - pacing - req_ser;
+          client_tx_ns = l1.l_start - t0 - pacing - req_ser;
           pacing_ns = pacing;
-          nic_ns = a1 - n1 + (r1 - b1) + (a2 - n2) + (r2 - b2);
-          wire_ns = wire;
-          switch_ns = fabric - wire;
+          nic_ns = l1.l_nic + l2.l_nic;
+          wire_ns = l1.l_wire + l2.l_wire;
+          switch_ns = l1.l_switch + l2.l_switch;
+          ring_ns = l1.l_ring + l2.l_ring;
           req_deser_ns = req_deser;
           resp_ser_ns = resp_ser;
-          server_ns = n2 - r1 - req_deser - resp_ser;
+          server_ns = l2.l_start - l1.l_end - req_deser - resp_ser;
           resp_deser_ns = resp_deser;
-          client_rx_ns = t6 - r2 - resp_deser;
+          client_rx_ns = t6 - l2.l_end - resp_deser;
         })
       raw
   in
@@ -231,6 +290,7 @@ let components b =
     ("NIC", b.nic_ns);
     ("wire", b.wire_ns);
     ("switch queue", b.switch_ns);
+    ("ring/guard", b.ring_ns);
     ("req deserialize", b.req_deser_ns);
     ("resp serialize", b.resp_ser_ns);
     ("server", b.server_ns);
@@ -263,6 +323,7 @@ let pp_table fmt bds =
         ("NIC", fun b -> b.nic_ns);
         ("wire", fun b -> b.wire_ns);
         ("switch queue", fun b -> b.switch_ns);
+        ("ring/guard", fun b -> b.ring_ns);
         ("req deserialize", fun b -> b.req_deser_ns);
         ("resp serialize", fun b -> b.resp_ser_ns);
         ("server", fun b -> b.server_ns);

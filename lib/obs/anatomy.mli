@@ -1,16 +1,20 @@
 (** RPC latency anatomy: decompose sampled end-to-end request latencies into
-    serialize / queueing / pacing / NIC / wire / switch-queue / server /
-    deserialize components by post-processing a trace (Table 3 of the
-    paper, extended with the typed-codec stages).
+    serialize / queueing / pacing / NIC / wire / switch-queue / ring-guard /
+    server / deserialize components by post-processing a trace (Table 3 of
+    the paper, extended with the typed-codec stages and the intra-host
+    shared-memory transport).
 
     Components of each breakdown sum exactly to [total_ns]: each is a
     difference of adjacent trace milestones, except the wire/switch-queue
-    pair (which split the two in-fabric intervals without remainder) and
+    pair (which split each wired in-fabric interval without remainder) and
     the four codec terms (traced "codec" spans carved out of — and
     subtracted from — the enclosing client/server software interval; zero
-    for untyped workloads). Only single-packet requests with single-packet
-    responses and a complete milestone set are analyzed; others are
-    skipped. *)
+    for untyped workloads). A direction that crossed the shared-memory
+    transport instead of the wire contributes its whole transit as
+    [ring_ns] with NIC/wire/switch exactly zero for that leg; mixed
+    requests (one leg wired, one intra-host) decompose leg by leg. Only
+    single-packet requests with single-packet responses and a complete
+    milestone set are analyzed; others are skipped. *)
 
 type breakdown = {
   host : int;  (** client host *)
@@ -23,6 +27,9 @@ type breakdown = {
   nic_ns : int;  (** NIC tx/rx latency, both directions *)
   wire_ns : int;  (** predicted serialization + cable + switch latency *)
   switch_ns : int;  (** fabric queueing residual over the prediction *)
+  ring_ns : int;
+      (** shared-memory transit: interconnect hop + unseal/ownership
+          guards + ring FIFO wait (0 for fully wired requests) *)
   req_deser_ns : int;  (** typed request decode on the server (0 if untyped) *)
   resp_ser_ns : int;  (** typed response encode on the server (0 if untyped) *)
   server_ns : int;  (** remaining server software including the handler *)

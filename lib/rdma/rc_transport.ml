@@ -45,10 +45,13 @@ module Impl = struct
     mutable replenish_partial : int;
     mutable rx_packets_ : int;
     mutable tx_packets_ : int;
+    trace : Obs.Trace.t;
+    pid : int;
+    tid : int;  (* the host's "nic" device track *)
   }
 
   let kind = "rdma_rc"
-  let lossless = true
+  let lossless _ = true
   let max_data_per_pkt t = t.mtu
   let rq_size t = t.rq_size_
 
@@ -64,6 +67,10 @@ module Impl = struct
     let lat = t.tx_ns + if hit then 0 else t.conn_miss_ns in
     t.tx_pending_ <- t.tx_pending_ + 1;
     t.tx_packets_ <- t.tx_packets_ + 1;
+    if Obs.Trace.enabled t.trace then
+      Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"nic" ~name:"tx"
+        ~pid:t.pid ~tid:t.tid
+        [ ("id", Obs.Trace.I pkt.Netsim.Packet.trace_id) ];
     let now = Sim.Engine.now t.engine in
     (* Descriptors enter the wire in post order even when a hit follows a
        miss: the send queue is FIFO. *)
@@ -103,6 +110,10 @@ module Impl = struct
   let rx_complete t =
     let pkt = Sim.Ring.take t.rx_fly in
     t.rx_packets_ <- t.rx_packets_ + 1;
+    if Obs.Trace.enabled t.trace then
+      Obs.Trace.instant t.trace ~ts:(Sim.Engine.now t.engine) ~cat:"nic" ~name:"rx"
+        ~pid:t.pid ~tid:t.tid
+        [ ("id", Obs.Trace.I pkt.Netsim.Packet.trace_id) ];
     let was_empty = Sim.Ring.is_empty t.rx_ring in
     Sim.Ring.push t.rx_ring pkt;
     if was_empty then t.rx_notify ()
@@ -130,6 +141,10 @@ end
 let create ?(conn_miss_ns = 120) ?cache engine net ~host (cluster : Transport.Cluster.t) =
   let qp = Qp.default_config cluster in
   let nic = cluster.nic_config in
+  let trace = Sim.Engine.trace engine in
+  let pid = Obs.Trace.host_pid host in
+  Obs.Trace.register_process trace ~pid (Printf.sprintf "host%d" host);
+  let tid = Obs.Trace.register_track trace ~pid "nic" in
   let t =
     {
       Impl.engine;
@@ -157,6 +172,9 @@ let create ?(conn_miss_ns = 120) ?cache engine net ~host (cluster : Transport.Cl
       replenish_partial = 0;
       rx_packets_ = 0;
       tx_packets_ = 0;
+      trace;
+      pid;
+      tid;
     }
   in
   t.Impl.rx_done <- (fun () -> Impl.rx_complete t);

@@ -9,6 +9,7 @@ type t = {
   cpu_scale : float;
   bdp_bytes : int;
   rdma_delta_ns : int;
+  colocation_groups : int list list;
 }
 
 (* All profiles share the per-packet wire overhead the paper implies: 32 B
@@ -41,6 +42,7 @@ let cx3 ?(nodes = 11) () =
     cpu_scale = 1.28;
     bdp_bytes = 22 * 1024;
     rdma_delta_ns = 100;
+    colocation_groups = [];
   }
 
 let cx4 ?(nodes = 100) () =
@@ -79,6 +81,7 @@ let cx4 ?(nodes = 100) () =
     cpu_scale = 1.0;
     bdp_bytes = 19 * 1024;
     rdma_delta_ns = 200;
+    colocation_groups = [];
   }
 
 let cx5 ?(nodes = 8) () =
@@ -111,6 +114,7 @@ let cx5 ?(nodes = 8) () =
     cpu_scale = 0.92;
     bdp_bytes = 12 * 1024;
     rdma_delta_ns = 75;
+    colocation_groups = [];
   }
 
 let cx5_ib100 () =
@@ -137,8 +141,35 @@ let cx5_ib100 () =
     cpu_scale = 0.92;
     bdp_bytes = 25 * 1024;
     rdma_delta_ns = 75;
+    colocation_groups = [];
   }
 
 let build engine t = Netsim.Network.create engine t.net_config
 
 let default_credits t = max 2 (t.bdp_bytes / t.mtu)
+
+(* {2 Host co-location}
+
+   A colocation group is a set of host ids modeled as processes on one
+   physical machine (containers / co-scheduled microservices). The
+   network topology is unchanged — grouped hosts keep their switch ports
+   for remote traffic — but transports that care (Shm) can route
+   intra-machine traffic over the memory interconnect instead. *)
+
+let colocate t groups =
+  let check h =
+    if h < 0 || h >= t.num_hosts then
+      invalid_arg (Printf.sprintf "Cluster.colocate: host %d out of range" h)
+  in
+  List.iter (List.iter check) groups;
+  { t with colocation_groups = groups }
+
+let machine_of t =
+  let m = Array.init t.num_hosts (fun i -> i) in
+  List.iter
+    (fun group ->
+      match group with
+      | [] -> ()
+      | rep :: _ -> List.iter (fun h -> m.(h) <- rep) group)
+    t.colocation_groups;
+  m

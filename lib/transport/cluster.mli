@@ -23,6 +23,9 @@ type t = {
   rdma_delta_ns : int;
       (** per-NIC-crossing latency advantage of the hardware RDMA path over
           eRPC's UD-verbs path; used by {!Rdma.Qp.default_config} *)
+  colocation_groups : int list list;
+      (** sets of host ids modeled as processes on one physical machine;
+          empty in every stock profile (see {!colocate}) *)
 }
 
 (** 11 nodes, InfiniBand 56 Gbps, one switch (Emulab). *)
@@ -44,3 +47,14 @@ val build : Sim.Engine.t -> t -> Netsim.Network.t
 (** Default session credit count for a profile: BDP/MTU, the paper's flow
     control rule (§4.3.1). *)
 val default_credits : t -> int
+
+(** [colocate t groups] marks each group of host ids as co-located on one
+    physical machine (the network topology is unchanged; the shared-memory
+    transport uses this to route intra-machine traffic off the wire).
+    Raises [Invalid_argument] on out-of-range hosts. *)
+val colocate : t -> int list list -> t
+
+(** Host-to-machine map: [machine_of t] maps each host id to its group
+    representative (itself when ungrouped). Two hosts are co-located iff
+    their entries are equal. *)
+val machine_of : t -> int array

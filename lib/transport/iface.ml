@@ -5,7 +5,7 @@ module type S = sig
   type t
 
   val kind : string
-  val lossless : bool
+  val lossless : t -> bool
   val max_data_per_pkt : t -> int
   val rq_size : t -> int
   val tx_burst : t -> Netsim.Packet.t -> unit
@@ -25,7 +25,7 @@ end
 type t = T : (module S with type t = 'a) * 'a -> t
 
 let kind (T ((module M), _)) = M.kind
-let lossless (T ((module M), _)) = M.lossless
+let lossless (T ((module M), x)) = M.lossless x
 let max_data_per_pkt (T ((module M), x)) = M.max_data_per_pkt x
 let rq_size (T ((module M), x)) = M.rq_size x
 let tx_burst (T ((module M), x)) pkt = M.tx_burst x pkt

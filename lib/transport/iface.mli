@@ -13,17 +13,22 @@
       (pre-posted RQ descriptors, drops on exhaustion, RX jitter);
     - [Rdma.Rc_transport]: the lossless RC path over the QP/connection-cache
       machinery (link-level flow control — no drops — but TX stalls on
-      NIC connection-cache misses). *)
+      NIC connection-cache misses);
+    - [Shm]: the intra-host shared-memory path for co-located endpoints
+      (SPSC message rings over the memory interconnect, serialize-vs-share
+      handoff with seal/unseal guards; muxes over a wire transport for
+      remote destinations). *)
 
 module type S = sig
   type t
 
-  (** Short transport name for diagnostics ("raw_eth", "rdma_rc"). *)
+  (** Short transport name for diagnostics ("raw_eth", "rdma_rc", "shm"). *)
   val kind : string
 
   (** True when the fabric guarantees no congestion drops (link-level flow
-      control); the protocol still retransmits on corruption or failure. *)
-  val lossless : bool
+      control); the protocol still retransmits on corruption or failure.
+      Per instance: a mux answers for the wire device it wraps. *)
+  val lossless : t -> bool
 
   (** Maximum application payload bytes in one packet (the MTU). *)
   val max_data_per_pkt : t -> int

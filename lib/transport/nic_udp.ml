@@ -6,7 +6,7 @@ module Impl = struct
   type t = { nic : Nic.t; mtu : int }
 
   let kind = "raw_eth"
-  let lossless = false
+  let lossless _ = false
   let max_data_per_pkt t = t.mtu
   let rq_size t = (Nic.config t.nic).Nic.rq_size
   let tx_burst t pkt = Nic.post_send t.nic pkt

@@ -116,11 +116,40 @@ let bursty_mixed ?(scale = 1.0) ?(horizon_ms = 100.0) () =
       ];
   }
 
+let local_mesh ?(scale = 1.0) ?(horizon_ms = 100.0) () =
+  {
+    sname = "local-mesh";
+    horizon_ns = ms horizon_ms;
+    tenants =
+      [
+        {
+          (* Microservice-mesh RPCs: the experiment colocates part of the
+             client tier with the echo tier, so this tenant's sessions mix
+             intra-host (shared-memory ring) and cross-host (wire) paths. *)
+          tname = "echo-mesh";
+          sources = scaled scale 16;
+          arrival = Arrival.Poisson { rate_rps = 2_500. };
+          keygen = Keygen.uniform ~n:num_keys;
+          service = Echo { req_size = 32; resp_size = 32 };
+          max_outstanding = 256;
+        };
+        {
+          tname = "kv-remote";
+          sources = scaled scale 16;
+          arrival = Arrival.Poisson { rate_rps = 2_500. };
+          keygen = Keygen.uniform ~n:num_keys;
+          service = Kv { get_pct = 50 };
+          max_outstanding = 256;
+        };
+      ];
+  }
+
 let builtin =
   [
     ("steady-poisson", steady_poisson);
     ("hot-key-shift", hot_key_shift);
     ("bursty-mixed", bursty_mixed);
+    ("local-mesh", local_mesh);
   ]
 
 let of_name ?scale ?horizon_ms name =

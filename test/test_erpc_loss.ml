@@ -5,39 +5,12 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let echo = Test_erpc_basic.(echo_req_type)
-
-let with_transport transport (cfg : Erpc.Config.t) = { cfg with Erpc.Config.transport }
-
-let make_pair ?(transport = Erpc.Config.Raw_eth) ?(count_handler_runs = ref 0) () =
-  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
-  let fabric =
-    Erpc.Fabric.create ~config:(with_transport transport (Erpc.Config.of_cluster cluster))
-      cluster
-  in
-  let nx0 = Erpc.Nexus.create fabric ~host:0 () in
-  let nx1 = Erpc.Nexus.create fabric ~host:1 () in
-  Erpc.Nexus.register_handler nx1 ~req_type:echo ~mode:Erpc.Nexus.Dispatch (fun h ->
-      incr count_handler_runs;
-      let req = Erpc.Req_handle.get_request h in
-      let n = Erpc.Msgbuf.size req in
-      let resp = Erpc.Req_handle.init_response h ~size:n in
-      if n > 0 then Erpc.Msgbuf.blit ~src:req ~src_off:0 ~dst:resp ~dst_off:0 ~len:n;
-      Erpc.Req_handle.enqueue_response h resp);
-  let client = Erpc.Rpc.create nx0 ~rpc_id:0 in
-  let server = Erpc.Rpc.create nx1 ~rpc_id:0 in
-  (fabric, client, server)
-
-let run fabric ms =
-  let engine = Erpc.Fabric.engine fabric in
-  Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.ms ms))
-
-let connect fabric client =
-  let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
-  run fabric 1.0;
-  sess
+let make_pair = Transport_testkit.make_pair
+let run = Transport_testkit.run
+let connect = Transport_testkit.connect ~check:false
 
 let test_rpc_survives_heavy_loss tp () =
-  let fabric, client, _server = make_pair ~transport:tp () in
+  let fabric, client, _server = make_pair ~tp () in
   let sess = connect fabric client in
   Netsim.Network.set_loss_prob (Erpc.Fabric.net fabric) 0.2;
   let completed = ref 0 in
@@ -54,7 +27,7 @@ let test_rpc_survives_heavy_loss tp () =
 
 let test_at_most_once_execution tp () =
   let handler_runs = ref 0 in
-  let fabric, client, _server = make_pair ~transport:tp ~count_handler_runs:handler_runs () in
+  let fabric, client, _server = make_pair ~tp ~count_handler_runs:handler_runs () in
   let sess = connect fabric client in
   Netsim.Network.set_loss_prob (Erpc.Fabric.net fabric) 0.15;
   let completed = ref 0 in
@@ -79,7 +52,7 @@ let test_at_most_once_execution tp () =
     ((Erpc.Rpc.stats client).Erpc.Rpc_stats.retransmits > 0)
 
 let test_large_transfer_integrity_under_loss tp () =
-  let fabric, client, _server = make_pair ~transport:tp () in
+  let fabric, client, _server = make_pair ~tp () in
   let sess = connect fabric client in
   Netsim.Network.set_loss_prob (Erpc.Fabric.net fabric) 0.02;
   let n = 100_000 in
@@ -96,7 +69,7 @@ let test_large_transfer_integrity_under_loss tp () =
     (Erpc.Msgbuf.read_string resp ~off:0 ~len:n = pattern)
 
 let test_credits_restored_after_loss tp () =
-  let fabric, client, _server = make_pair ~transport:tp () in
+  let fabric, client, _server = make_pair ~tp () in
   let sess = connect fabric client in
   Netsim.Network.set_loss_prob (Erpc.Fabric.net fabric) 0.1;
   for _ = 1 to 5 do
@@ -109,7 +82,7 @@ let test_credits_restored_after_loss tp () =
   check_int "nothing outstanding" 0 (Erpc.Session.outstanding_packets sess)
 
 let test_loss_free_run_has_no_retransmits tp () =
-  let fabric, client, _server = make_pair ~transport:tp () in
+  let fabric, client, _server = make_pair ~tp () in
   let sess = connect fabric client in
   for _ = 1 to 100 do
     let req = Erpc.Msgbuf.alloc ~max_size:1_024 in
@@ -135,5 +108,5 @@ let suite_for tp =
       (test_loss_free_run_has_no_retransmits tp);
   ]
 
-let suite = suite_for Erpc.Config.Raw_eth
-let suite_rc = suite_for Erpc.Config.Rdma_rc
+let suite = suite_for Transport_testkit.Raw_eth
+let suite_rc = suite_for Transport_testkit.Rdma_rc

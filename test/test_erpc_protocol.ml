@@ -1,70 +1,34 @@
 (* Wire-protocol behaviour: packet counts, credits, session limits,
    backlog, multi-packet request/response interleaving.
 
-   The whole suite is parameterized over the transport implementation: the
-   protocol must behave identically over the lossy raw-Ethernet NIC and the
-   lossless RC datapath (network-level loss/corruption still applies to
-   both; "lossless" only removes NIC descriptor drops). *)
+   The whole suite is parameterized over the datapath (the shared helpers
+   live in {!Transport_testkit}): the protocol must behave identically
+   over the lossy raw-Ethernet NIC, the lossless RC datapath, and the
+   intra-host shared-memory rings (network-level loss/corruption still
+   applies to the wired ones; "lossless" only removes NIC descriptor
+   drops). *)
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let echo = Test_erpc_basic.(echo_req_type)
-
-let with_transport transport (cfg : Erpc.Config.t) = { cfg with Erpc.Config.transport }
-
-let make_pair ?(transport = Erpc.Config.Raw_eth) ?config ?(resp_size = None) () =
-  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
-  let config =
-    with_transport transport
-      (match config with Some c -> c | None -> Erpc.Config.of_cluster cluster)
-  in
-  let fabric = Erpc.Fabric.create ~config cluster in
-  let nx0 = Erpc.Nexus.create fabric ~host:0 () in
-  let nx1 = Erpc.Nexus.create fabric ~host:1 () in
-  Erpc.Nexus.register_handler nx1 ~req_type:echo ~mode:Erpc.Nexus.Dispatch (fun h ->
-      let req = Erpc.Req_handle.get_request h in
-      let n = match resp_size with Some n -> n | None -> Erpc.Msgbuf.size req in
-      let resp = Erpc.Req_handle.init_response h ~size:n in
-      let copy = min n (Erpc.Msgbuf.size req) in
-      if copy > 0 then Erpc.Msgbuf.blit ~src:req ~src_off:0 ~dst:resp ~dst_off:0 ~len:copy;
-      Erpc.Req_handle.enqueue_response h resp);
-  let client = Erpc.Rpc.create nx0 ~rpc_id:0 in
-  let server = Erpc.Rpc.create nx1 ~rpc_id:0 in
-  (fabric, client, server)
-
-let run fabric ms =
-  let engine = Erpc.Fabric.engine fabric in
-  Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.ms ms))
-
-let connect fabric client =
-  let sess = Erpc.Rpc.create_session client ~remote_host:1 ~remote_rpc_id:0 () in
-  run fabric 1.0;
-  Alcotest.(check bool) "connected" true (sess.Erpc.Session.state = Erpc.Session.Connected);
-  sess
-
-let do_rpc fabric client sess ~req_size ~resp_cap =
-  let req = Erpc.Msgbuf.alloc ~max_size:req_size in
-  let resp = Erpc.Msgbuf.alloc ~max_size:resp_cap in
-  let ok = ref false in
-  Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun r ->
-      ok := Result.is_ok r);
-  run fabric 20.0;
-  check_bool "rpc completed" true !ok;
-  resp
+let make_pair = Transport_testkit.make_pair
+let run = Transport_testkit.run
+let connect = Transport_testkit.connect
+let do_rpc = Transport_testkit.do_rpc
 
 (* Packet counts per the wire protocol (§5.1): an N-packet request with an
    M-packet response costs N + (M-1) RFRs from the client and (N-1) CRs +
    M response packets from the server. *)
 let test_packet_counts_single tp () =
-  let fabric, client, server = make_pair ~transport:tp () in
+  let fabric, client, server = make_pair ~tp () in
   let sess = connect fabric client in
   ignore (do_rpc fabric client sess ~req_size:32 ~resp_cap:32);
   check_int "client sent 1 pkt" 1 ((Erpc.Rpc.stats client).Erpc.Rpc_stats.tx_pkts);
   check_int "server sent 1 pkt" 1 ((Erpc.Rpc.stats server).Erpc.Rpc_stats.tx_pkts)
 
 let test_packet_counts_multi_request tp () =
-  let fabric, client, server = make_pair ~transport:tp ~resp_size:(Some 32) () in
+  let fabric, client, server = make_pair ~tp ~resp_size:(Some 32) () in
   let sess = connect fabric client in
   (* MTU 1024: 4 KB request = 4 packets; response = 1 packet. *)
   ignore (do_rpc fabric client sess ~req_size:4_096 ~resp_cap:32);
@@ -72,7 +36,7 @@ let test_packet_counts_multi_request tp () =
   check_int "server: 3 CRs + 1 response" 4 ((Erpc.Rpc.stats server).Erpc.Rpc_stats.tx_pkts)
 
 let test_multi_packet_response_rfrs tp () =
-  let fabric, client, server = make_pair ~transport:tp ~resp_size:(Some 4_096) () in
+  let fabric, client, server = make_pair ~tp ~resp_size:(Some 4_096) () in
   let sess = connect fabric client in
   ignore (do_rpc fabric client sess ~req_size:32 ~resp_cap:4_096);
   (* Client: 1 request + 3 RFRs; server: 4 response packets. *)
@@ -84,12 +48,12 @@ let test_credits_respected tp () =
      more round trips. *)
   let cluster = Transport.Cluster.cx5 ~nodes:2 () in
   let config = Erpc.Config.of_cluster ~credits:2 cluster in
-  let fabric, client, _server = make_pair ~transport:tp ~config ~resp_size:(Some 32) () in
+  let fabric, client, _server = make_pair ~tp ~config ~resp_size:(Some 32) () in
   let sess = connect fabric client in
   ignore (do_rpc fabric client sess ~req_size:(6 * 1024) ~resp_cap:32)
 
 let test_credit_invariant_restored tp () =
-  let fabric, client, _server = make_pair ~transport:tp () in
+  let fabric, client, _server = make_pair ~tp () in
   let sess = connect fabric client in
   for _ = 1 to 10 do
     ignore (do_rpc fabric client sess ~req_size:2_048 ~resp_cap:2_048)
@@ -100,7 +64,7 @@ let test_credit_invariant_restored tp () =
 let test_concurrent_slots_out_of_order_completion tp () =
   (* A long (multi-packet) RPC and short RPCs on the same session: the
      short ones complete while the long one is still streaming. *)
-  let fabric, client, _server = make_pair ~transport:tp () in
+  let fabric, client, _server = make_pair ~tp () in
   let sess = connect fabric client in
   let order = ref [] in
   let long_req = Erpc.Msgbuf.alloc ~max_size:(512 * 1024) in
@@ -117,7 +81,7 @@ let test_concurrent_slots_out_of_order_completion tp () =
 let test_backlog_beyond_window tp () =
   (* More outstanding requests than the 8 slots: the rest are backlogged
      and all complete. *)
-  let fabric, client, _server = make_pair ~transport:tp () in
+  let fabric, client, _server = make_pair ~tp () in
   let sess = connect fabric client in
   let completed = ref 0 in
   let n = 50 in
@@ -131,8 +95,8 @@ let test_backlog_beyond_window tp () =
   check_int "all completed" n !completed
 
 let test_session_limit_enforced tp () =
-  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
-  let cfg = with_transport tp (Erpc.Config.of_cluster ~credits:8 cluster) in
+  let cluster = Transport_testkit.cluster_for tp in
+  let cfg = Transport_testkit.config_for tp (Erpc.Config.of_cluster ~credits:8 cluster) in
   (* Shrink the RQ so only 4 sessions fit: 4 * 8 = 32 descriptors. *)
   let cluster = { cluster with nic_config = { cluster.nic_config with rq_size = 32 } } in
   let fabric = Erpc.Fabric.create ~config:cfg cluster in
@@ -149,7 +113,7 @@ let test_session_limit_enforced tp () =
      with Invalid_argument _ -> true)
 
 let test_max_msg_size_enforced tp () =
-  let fabric, client, _server = make_pair ~transport:tp () in
+  let fabric, client, _server = make_pair ~tp () in
   let sess = connect fabric client in
   let req = Erpc.Msgbuf.alloc ~max_size:(9 * 1024 * 1024) in
   let resp = Erpc.Msgbuf.alloc ~max_size:32 in
@@ -159,7 +123,7 @@ let test_max_msg_size_enforced tp () =
       Erpc.Rpc.enqueue_request client sess ~req_type:echo ~req ~resp ~cont:(fun _ -> ()))
 
 let test_response_too_large_for_resp_buf tp () =
-  let fabric, client, _server = make_pair ~transport:tp ~resp_size:(Some 1_024) () in
+  let fabric, client, _server = make_pair ~tp ~resp_size:(Some 1_024) () in
   let sess = connect fabric client in
   let req = Erpc.Msgbuf.alloc ~max_size:32 in
   let resp = Erpc.Msgbuf.alloc ~max_size:16 (* too small for 1 KB response *) in
@@ -175,7 +139,7 @@ let test_data_integrity_random_sizes tp =
     (QCheck2.Test.make ~name:"echo integrity across sizes" ~count:20
        QCheck2.Gen.(int_range 1 20_000)
        (fun size ->
-         let fabric, client, _server = make_pair ~transport:tp () in
+         let fabric, client, _server = make_pair ~tp () in
          let sess = connect fabric client in
          let req = Erpc.Msgbuf.alloc ~max_size:size in
          let pattern = String.init size (fun i -> Char.chr ((i * 31 + size) land 0xff)) in
@@ -188,7 +152,7 @@ let test_data_integrity_random_sizes tp =
          !ok && Erpc.Msgbuf.read_string resp ~off:0 ~len:size = pattern))
 
 let test_unknown_req_type_never_completes tp () =
-  let fabric, client, _server = make_pair ~transport:tp () in
+  let fabric, client, _server = make_pair ~tp () in
   let sess = connect fabric client in
   let req = Erpc.Msgbuf.alloc ~max_size:32 in
   let resp = Erpc.Msgbuf.alloc ~max_size:32 in
@@ -200,9 +164,11 @@ let test_unknown_req_type_never_completes tp () =
 let test_two_rpcs_per_host_demux tp () =
   (* Two Rpc endpoints per host: flow steering by rpc id must route each
      session's packets to the right endpoint. *)
-  let cluster = Transport.Cluster.cx5 ~nodes:2 () in
+  let cluster = Transport_testkit.cluster_for tp in
   let fabric =
-    Erpc.Fabric.create ~config:(with_transport tp (Erpc.Config.of_cluster cluster)) cluster
+    Erpc.Fabric.create
+      ~config:(Transport_testkit.config_for tp (Erpc.Config.of_cluster cluster))
+      cluster
   in
   let nx0 = Erpc.Nexus.create fabric ~host:0 () in
   let nx1 = Erpc.Nexus.create fabric ~host:1 () in
@@ -229,7 +195,8 @@ let test_two_rpcs_per_host_demux tp () =
 
 (* The whole suite runs against each Transport implementation: the wire
    protocol in Proto must behave identically over the lossy NIC-model
-   transport and the lossless RC transport. *)
+   transport, the lossless RC transport, and the intra-host shared-memory
+   rings. *)
 let suite_for tp =
   [
     Alcotest.test_case "packet count: single" `Quick (test_packet_counts_single tp);
@@ -252,5 +219,6 @@ let suite_for tp =
     Alcotest.test_case "two Rpcs per host demux" `Quick (test_two_rpcs_per_host_demux tp);
   ]
 
-let suite = suite_for Erpc.Config.Raw_eth
-let suite_rc = suite_for Erpc.Config.Rdma_rc
+let suite = suite_for Transport_testkit.Raw_eth
+let suite_rc = suite_for Transport_testkit.Rdma_rc
+let suite_shm = suite_for Transport_testkit.Shm
