@@ -41,6 +41,14 @@ let json_arg =
 let seed_arg =
   Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "OCaml domains to fan independent runs across (results are identical to \
+           --jobs 1; see Par_sweep).")
+
 (* The bench BENCH_*.json schema: one object per benchmark with labeled
    rows. *)
 let print_bench_json ~benchmark ~unit rows =
@@ -258,8 +266,8 @@ let raft_cmd =
 
 (* kv-chaos *)
 let kv_chaos_cmd =
-  let run seeds verbose json out =
-    let s = Experiments.Exp_kv_chaos.run_suite ~seeds () in
+  let run seeds verbose json out jobs =
+    let s = Experiments.Exp_kv_chaos.run_suite ~seeds ~jobs () in
     List.iter
       (fun r ->
         Format.printf "%a@." Experiments.Exp_kv_chaos.pp_run r;
@@ -300,11 +308,11 @@ let kv_chaos_cmd =
        ~doc:
          "Replicated-KV failover chaos: availability timeline, tail latency and \
           exactly-once invariants under leader crashes, partitions and rolling restarts")
-    Term.(const run $ seeds $ verbose $ json_arg $ out)
+    Term.(const run $ seeds $ verbose $ json_arg $ out $ jobs_arg)
 
 (* cluster-load *)
 let cluster_load_cmd =
-  let run scenario scale horizon_ms rerun seed json out =
+  let run scenario scale horizon_ms rerun seed json out jobs =
     let names =
       match scenario with
       | "all" -> List.map fst Workload.Traffic_spec.builtin
@@ -317,7 +325,7 @@ let cluster_load_cmd =
     let results =
       if scenario = "all" then
         Experiments.Exp_cluster_load.run_all ~seed ~scale ~horizon_ms
-          ~rerun_check:rerun ()
+          ~rerun_check:rerun ~jobs ()
       else
         List.map
           (fun name ->
@@ -399,7 +407,8 @@ let cluster_load_cmd =
           $ Arg.(
               value
               & opt (some string) None
-              & info [ "out" ] ~docv:"FILE" ~doc:"Write BENCH_cluster_load.json here."))
+              & info [ "out" ] ~docv:"FILE" ~doc:"Write BENCH_cluster_load.json here.")
+          $ jobs_arg)
 
 (* shm-bench *)
 let shm_bench_cmd =
@@ -458,8 +467,8 @@ let masstree_cmd =
 
 (* chaos *)
 let chaos_cmd =
-  let run seeds events requests verbose =
-    let s = Experiments.Chaos.run_suite ~seeds ~events ~requests () in
+  let run seeds events requests verbose jobs =
+    let s = Experiments.Chaos.run_suite ~seeds ~events ~requests ~jobs () in
     List.iter
       (fun r ->
         Format.printf "%a@." Experiments.Chaos.pp_run r;
@@ -484,7 +493,7 @@ let chaos_cmd =
   let verbose = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.") in
   Cmd.v
     (Cmd.info "chaos" ~doc:"Fault-injection chaos suite: invariants under seeded fault schedules")
-    Term.(const run $ seeds $ events $ requests $ verbose)
+    Term.(const run $ seeds $ events $ requests $ verbose $ jobs_arg)
 
 (* anatomy *)
 let anatomy_cmd =
@@ -667,7 +676,7 @@ let trace_cmd =
 
 (* bench-sim *)
 let bench_sim_cmd =
-  let run workloads impls out seed =
+  let run workloads impls out seed rerun =
     let impls =
       List.map
         (fun s ->
@@ -683,6 +692,27 @@ let bench_sim_cmd =
             (fun impl -> Experiments.Bench_sim.run_one ~workload ~impl ~seed)
             impls)
         workloads
+    in
+    (* --rerun determinism gate (same idiom as shm-bench/cluster-load):
+       run every row a second time and require identical end-state
+       digests; timings may differ, the simulation must not. *)
+    let violations =
+      if not rerun then []
+      else
+        List.filter_map
+          (fun (r : Experiments.Bench_sim.row) ->
+            let impl =
+              Option.get (Experiments.Bench_sim.impl_of_name r.impl)
+            in
+            let r2 =
+              Experiments.Bench_sim.run_one ~workload:r.workload ~impl ~seed
+            in
+            if r2.digest = r.digest then None
+            else
+              Some
+                (Printf.sprintf "%s/%s: rerun digest %s <> %s" r.workload r.impl
+                   r2.digest r.digest))
+          rows
     in
     List.iter
       (fun (r : Experiments.Bench_sim.row) ->
@@ -703,14 +733,19 @@ let bench_sim_cmd =
               (wh.events_per_sec /. bh.events_per_sec)
         | _ -> ())
       workloads;
-    match out with
+    (match out with
     | None -> ()
     | Some file ->
         let oc = open_out file in
         output_string oc (Obs.Json.to_string (Experiments.Bench_sim.to_json rows));
         output_char oc '\n';
         close_out oc;
-        Printf.printf "wrote %s\n" file
+        Printf.printf "wrote %s\n" file);
+    if violations <> [] then begin
+      List.iter (Printf.eprintf "DETERMINISM VIOLATION: %s\n") violations;
+      exit 1
+    end
+    else if rerun then Printf.printf "rerun digests identical for all %d rows\n" (List.length rows)
   in
   let workloads =
     Arg.(
@@ -730,10 +765,175 @@ let bench_sim_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Write the BENCH_sim_events.json document here.")
   in
+  let rerun =
+    Arg.(
+      value & flag
+      & info [ "rerun" ]
+          ~doc:
+            "Run every row twice and fail (exit 1) if any same-seed rerun's end-state \
+             digest differs.")
+  in
   Cmd.v
     (Cmd.info "bench-sim"
        ~doc:"Simulator throughput: events/s and allocation per event, wheel vs binheap")
-    Term.(const run $ workloads $ impls $ out $ seed_arg)
+    Term.(const run $ workloads $ impls $ out $ seed_arg $ rerun)
+
+(* par-bench *)
+let par_bench_cmd =
+  let run seed racks hosts sources rate_rps local_frac horizon_ms domains json out =
+    let domains_list =
+      List.map
+        (fun s ->
+          match int_of_string_opt (String.trim s) with
+          | Some d when d >= 1 -> d
+          | _ -> failwith (Printf.sprintf "bad domain count %S" s))
+        (String.split_on_char ',' domains)
+    in
+    let b =
+      Experiments.Exp_par_sim.run_bench ~seed ~racks ~hosts_per_rack:hosts ~sources
+        ~rate_rps ~local_frac ~horizon_ms ~domains_list ()
+    in
+    Printf.printf "par-bench: %d racks x %d hosts, %.1f ms horizon, host_cores=%d\n"
+      racks hosts horizon_ms b.host_cores;
+    List.iter
+      (fun (r : Experiments.Exp_par_sim.result) ->
+        Printf.printf
+          "domains=%d  %9d events  %7d crossed  %7.3f s  %10.0f ev/s  %5.2fx  %s  parts=[%s]\n"
+          r.domains r.events r.msgs_crossed r.wall_s r.events_per_sec
+          (Experiments.Exp_par_sim.speedup_vs_1dom b r)
+          r.digest
+          (String.concat ";" (List.map string_of_int r.part_events)))
+      b.rows;
+    (match b.rows with
+    | r :: _ ->
+        Printf.printf "workload: %d requests, %d responses, p50=%.1fus p99=%.1fus\n"
+          r.requests r.responses r.p50_us r.p99_us
+    | [] -> ());
+    (if json || out <> None then
+       let str = Obs.Json.to_string (Experiments.Exp_par_sim.to_json b) in
+       match out with
+       | None ->
+           print_string str;
+           print_newline ()
+       | Some file ->
+           let oc = open_out file in
+           output_string oc str;
+           output_char oc '\n';
+           close_out oc;
+           Printf.printf "wrote %s\n" file);
+    if b.violations <> [] then begin
+      List.iter (Printf.eprintf "DETERMINISM VIOLATION: %s\n") b.violations;
+      exit 1
+    end
+    else Printf.printf "digest identical across domain counts\n"
+  in
+  let racks =
+    Arg.(value & opt int 4 & info [ "racks" ] ~docv:"N" ~doc:"Racks (= partitions).")
+  in
+  let hosts =
+    Arg.(value & opt int 4 & info [ "hosts" ] ~docv:"N" ~doc:"Hosts per rack.")
+  in
+  let sources =
+    Arg.(
+      value & opt int 2
+      & info [ "sources" ] ~docv:"N" ~doc:"Open-loop request sources per host.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 80_000.
+      & info [ "rate" ] ~docv:"RPS" ~doc:"Poisson arrival rate per source.")
+  in
+  let local_frac =
+    Arg.(
+      value & opt float 0.5
+      & info [ "local-frac" ] ~docv:"F" ~doc:"Fraction of requests staying in-rack.")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 5.0
+      & info [ "horizon-ms" ] ~docv:"MS" ~doc:"Simulated horizon per run.")
+  in
+  let domains =
+    Arg.(
+      value & opt string "1,2,4"
+      & info [ "domains" ] ~docv:"D,.."
+          ~doc:"Domain counts to sweep; digests must match across all of them.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the BENCH_par_sim.json document here.")
+  in
+  Cmd.v
+    (Cmd.info "par-bench"
+       ~doc:
+         "Domain-parallel simulator throughput: the same seeded rack-partitioned \
+          workload under each domain count, with a digest-equality gate")
+    Term.(
+      const run $ seed_arg $ racks $ hosts $ sources $ rate $ local_frac $ horizon
+      $ domains $ json_arg $ out)
+
+(* sweep *)
+let sweep_cmd =
+  let run suite seeds jobs =
+    let t0 = Unix.gettimeofday () in
+    let failures = ref [] in
+    let note name bad det =
+      Printf.printf "%-12s %d/%d clean, deterministic=%b\n" name (seeds - bad) seeds det;
+      if bad > 0 || not det then failures := name :: !failures
+    in
+    let run_chaos () =
+      let s = Experiments.Chaos.run_suite ~seeds ~jobs () in
+      note "chaos"
+        (List.length (List.filter (fun r -> r.Experiments.Chaos.violations <> []) s.runs))
+        s.deterministic
+    in
+    let run_kv () =
+      let s = Experiments.Exp_kv_chaos.run_suite ~seeds ~jobs () in
+      note "kv-chaos"
+        (List.length
+           (List.filter (fun r -> r.Experiments.Exp_kv_chaos.violations <> []) s.runs))
+        s.deterministic
+    in
+    let run_cluster () =
+      let rs = Experiments.Exp_cluster_load.run_all ~rerun_check:true ~jobs () in
+      let bad =
+        List.length
+          (List.filter (fun r -> r.Experiments.Exp_cluster_load.violations <> []) rs)
+      in
+      Printf.printf "%-12s %d/%d scenarios clean (rerun-checked)\n" "cluster-load"
+        (List.length rs - bad) (List.length rs);
+      if bad > 0 then failures := "cluster-load" :: !failures
+    in
+    (match suite with
+    | "chaos" -> run_chaos ()
+    | "kv-chaos" -> run_kv ()
+    | "cluster-load" -> run_cluster ()
+    | "all" ->
+        run_chaos ();
+        run_kv ();
+        run_cluster ()
+    | s -> failwith (Printf.sprintf "unknown suite %S (chaos|kv-chaos|cluster-load|all)" s));
+    Printf.printf "sweep done in %.1f s (jobs=%d)\n" (Unix.gettimeofday () -. t0) jobs;
+    if !failures <> [] then exit 1
+  in
+  let suite =
+    Arg.(
+      value & opt string "all"
+      & info [ "suite" ] ~docv:"NAME" ~doc:"Suite to sweep (chaos|kv-chaos|cluster-load|all).")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 20
+      & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per suite (chaos and kv-chaos).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Fan independent seeded replications of the chaos/kv-chaos/cluster-load \
+          suites across OCaml domains; output is identical to a sequential run")
+    Term.(const run $ suite $ seeds $ jobs_arg)
 
 (* codec-bench *)
 let codec_bench_cmd =
@@ -840,6 +1040,8 @@ let () =
             chaos_cmd;
             kv_chaos_cmd;
             bench_sim_cmd;
+            par_bench_cmd;
+            sweep_cmd;
             codec_bench_cmd;
             session_scale_cmd;
             rdma_cmd;

@@ -17,6 +17,7 @@ type row = {
   events : int;
   events_per_sec : float;
   minor_words_per_event : float;
+  digest : string;  (* deterministic run fingerprint, for the --rerun gate *)
 }
 
 let impl_name = function Sim.Event_queue.Wheel -> "wheel" | Sim.Event_queue.Binheap -> "binheap"
@@ -39,6 +40,21 @@ let connect_all d ~(pairs : (Erpc.Rpc.t * int) array) =
     (fun (rpc, remote_host) -> Harness.connect d rpc ~remote_host ~remote_rpc_id:0)
     pairs
 
+(* Deterministic end-state fingerprint for the [--rerun] gate: simulated
+   clock, event count and aggregate RPC stats. Everything here derives
+   from simulation state, so a same-seed rerun must reproduce it
+   byte-for-byte. *)
+let deploy_fingerprint (d : Harness.deployment) ~events =
+  let engine = Erpc.Fabric.engine d.fabric in
+  let all = Array.to_list d.rpcs |> List.concat_map Array.to_list in
+  let sum f = List.fold_left (fun acc r -> acc + f (Erpc.Rpc.stats r)) 0 all in
+  Printf.sprintf "now=%d events=%d handled=%d retx=%d resets=%d corrupt=%d"
+    (Sim.Engine.now engine) events
+    (sum (fun s -> s.Erpc.Rpc_stats.handled))
+    (sum (fun s -> s.Erpc.Rpc_stats.retransmits))
+    (sum (fun s -> s.Erpc.Rpc_stats.session_resets))
+    (sum (fun s -> s.Erpc.Rpc_stats.rx_corrupt))
+
 let incast ~seed () =
   let degree = 10 in
   let cluster = Transport.Cluster.cx4 ~nodes:(degree + 1) () in
@@ -57,7 +73,8 @@ let incast ~seed () =
   in
   Array.iter Harness.start_driver drivers;
   Harness.run_ms d 5.0;
-  Sim.Engine.events_processed (Erpc.Fabric.engine d.fabric)
+  let events = Sim.Engine.events_processed (Erpc.Fabric.engine d.fabric) in
+  (events, deploy_fingerprint d ~events)
 
 let rate ~seed () =
   let cluster = Transport.Cluster.cx4 ~nodes:2 () in
@@ -73,7 +90,8 @@ let rate ~seed () =
   in
   Harness.start_driver driver;
   Harness.run_ms d 5.0;
-  Sim.Engine.events_processed (Erpc.Fabric.engine d.fabric)
+  let events = Sim.Engine.events_processed (Erpc.Fabric.engine d.fabric) in
+  (events, deploy_fingerprint d ~events)
 
 let bandwidth ~seed () =
   let cluster = Transport.Cluster.cx4 ~nodes:2 () in
@@ -90,15 +108,21 @@ let bandwidth ~seed () =
   in
   Harness.start_driver driver;
   Harness.run_ms d 5.0;
-  Sim.Engine.events_processed (Erpc.Fabric.engine d.fabric)
+  let events = Sim.Engine.events_processed (Erpc.Fabric.engine d.fabric) in
+  (events, deploy_fingerprint d ~events)
 
 let chaos ~seed () =
   let total = ref 0 in
+  let buf = Buffer.create 256 in
   for i = 0 to 2 do
     let r = Chaos.run_one ~seed:(Int64.add seed (Int64.of_int (7_919 * i))) () in
-    total := !total + r.Chaos.events
+    total := !total + r.Chaos.events;
+    (* The chaos trace is the run's canonical identity; hash it rather
+       than carrying megabytes of text into the fingerprint. *)
+    Buffer.add_string buf (Digest.to_hex (Digest.string r.Chaos.trace));
+    Buffer.add_char buf '|'
   done;
-  !total
+  (!total, Buffer.contents buf)
 
 let workloads =
   [ ("incast", incast); ("rate", rate); ("bandwidth", bandwidth); ("chaos", chaos) ]
@@ -119,7 +143,7 @@ let run_one ~workload ~impl ~seed =
   Gc.full_major ();
   let w0 = Gc.minor_words () in
   let t0 = Sys.time () in
-  let events = f ~seed () in
+  let events, fingerprint = f ~seed () in
   let wall_s = Sys.time () -. t0 in
   let words = Gc.minor_words () -. w0 in
   {
@@ -129,6 +153,9 @@ let run_one ~workload ~impl ~seed =
     events;
     events_per_sec = (if wall_s > 0. then float_of_int events /. wall_s else 0.);
     minor_words_per_event = (if events > 0 then words /. float_of_int events else 0.);
+    digest =
+      Digest.to_hex
+        (Digest.string (Printf.sprintf "%s/%s:%s" workload (impl_name impl) fingerprint));
   }
 
 let run_all ?(seed = 42L) ?(impls = [ Sim.Event_queue.Binheap; Sim.Event_queue.Wheel ]) () =
@@ -145,12 +172,19 @@ let row_json r =
       ("events", Obs.Json.Int r.events);
       ("events_per_sec", Obs.Json.Float r.events_per_sec);
       ("minor_words_per_event", Obs.Json.Float r.minor_words_per_event);
+      ("digest", Obs.Json.Str r.digest);
     ]
 
+(* [domains]/[host_cores]/[speedup_vs_1dom] mirror BENCH_par_sim.json so
+   downstream tooling can join the two documents: this bench is the
+   single-domain engine, so domains is 1 and the speedup trivially 1.0. *)
 let to_json rows =
   Obs.Json.Obj
     [
       ("benchmark", Obs.Json.Str "sim_events");
       ("unit", Obs.Json.Str "events/s");
+      ("domains", Obs.Json.Int 1);
+      ("host_cores", Obs.Json.Int (Domain.recommended_domain_count ()));
+      ("speedup_vs_1dom", Obs.Json.Float 1.0);
       ("rows", Obs.Json.Arr (List.map row_json rows));
     ]

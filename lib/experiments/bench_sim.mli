@@ -17,6 +17,11 @@ type row = {
   events_per_sec : float;
   minor_words_per_event : float;
       (** minor-heap words allocated per event ([Gc.minor_words] delta) *)
+  digest : string;
+      (** deterministic fingerprint of the run's end state (simulated
+          clock, event count, aggregate RPC stats; chaos hashes its
+          trace). A same-seed rerun must reproduce it exactly — the
+          [bench-sim --rerun] gate asserts this. *)
 }
 
 val impl_name : Sim.Event_queue.impl -> string

@@ -135,17 +135,21 @@ type suite_result = {
   deterministic : bool;  (** every seed's rerun produced a byte-identical trace *)
 }
 
-let run_suite ?(seeds = 20) ?hosts ?events ?requests ?horizon_ns () =
-  let runs = ref [] in
-  let deterministic = ref true in
-  for i = 0 to seeds - 1 do
-    let seed = Int64.of_int (1_000 + (7_919 * i)) in
-    let r1 = run_one ?hosts ?events ?requests ?horizon_ns ~seed () in
-    let r2 = run_one ?hosts ?events ?requests ?horizon_ns ~seed () in
-    if r1.trace <> r2.trace then deterministic := false;
-    runs := r1 :: !runs
-  done;
-  { runs = List.rev !runs; deterministic = !deterministic }
+(* Each seed is a self-contained pair of runs (own cluster, engine and
+   trace), so the suite fans out across domains under [~jobs]; results
+   come back in seed order, making the report independent of [jobs]. *)
+let run_suite ?(seeds = 20) ?hosts ?events ?requests ?horizon_ns ?jobs () =
+  let pairs =
+    Par_sweep.list ?jobs seeds (fun i ->
+        let seed = Int64.of_int (1_000 + (7_919 * i)) in
+        let r1 = run_one ?hosts ?events ?requests ?horizon_ns ~seed () in
+        let r2 = run_one ?hosts ?events ?requests ?horizon_ns ~seed () in
+        (r1, r1.trace = r2.trace))
+  in
+  {
+    runs = List.map fst pairs;
+    deterministic = List.for_all snd pairs;
+  }
 
 let pp_run fmt r =
   Format.fprintf fmt

@@ -47,13 +47,17 @@ type suite_result = {
 }
 
 (** [run_suite ~seeds ()] runs [seeds] schedules, each twice (for the
-    determinism check). *)
+    determinism check). [~jobs] fans the seeds across that many OCaml
+    domains via {!Par_sweep}; each seed is self-contained, and results
+    are returned in seed order, so the report is identical for any
+    [jobs]. *)
 val run_suite :
   ?seeds:int ->
   ?hosts:int ->
   ?events:int ->
   ?requests:int ->
   ?horizon_ns:int ->
+  ?jobs:int ->
   unit ->
   suite_result
 

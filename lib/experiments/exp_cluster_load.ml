@@ -340,9 +340,13 @@ let run_named ?seed ?scale ?horizon_ms name =
   | Some s -> run ?seed s
   | None -> invalid_arg (Printf.sprintf "Exp_cluster_load: unknown scenario %S" name)
 
-let run_all ?seed ?scale ?horizon_ms ?(rerun_check = false) () =
-  List.map
-    (fun (name, _) ->
+(* Scenarios are independent (each builds its own engine and cluster),
+   so [~jobs] fans them across domains; Par_sweep keeps scenario order,
+   so the report is identical for any [jobs]. *)
+let run_all ?seed ?scale ?horizon_ms ?(rerun_check = false) ?jobs () =
+  let names = Array.of_list (List.map fst Workload.Traffic_spec.builtin) in
+  Par_sweep.list ?jobs (Array.length names) (fun i ->
+      let name = names.(i) in
       let r = run_named ?seed ?scale ?horizon_ms name in
       if not rerun_check then r
       else
@@ -358,7 +362,6 @@ let run_all ?seed ?scale ?horizon_ms ?(rerun_check = false) () =
                     r.digest;
                 ];
           })
-    Workload.Traffic_spec.builtin
 
 let pp_result fmt r =
   Format.fprintf fmt "scenario %s (seed=%Ld, %d events, %d RPCs analyzed)@." r.scenario

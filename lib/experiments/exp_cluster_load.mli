@@ -66,10 +66,12 @@ val run_named :
 
 (** All builtin scenarios in order. With [rerun_check] (default false),
     each scenario runs twice and a digest mismatch is recorded as a
-    violation on that scenario's result. *)
+    violation on that scenario's result. [~jobs] fans the scenarios
+    across that many OCaml domains; results stay in scenario order, so
+    the report is identical for any [jobs]. *)
 val run_all :
-  ?seed:int64 -> ?scale:float -> ?horizon_ms:float -> ?rerun_check:bool -> unit ->
-  result list
+  ?seed:int64 -> ?scale:float -> ?horizon_ms:float -> ?rerun_check:bool ->
+  ?jobs:int -> unit -> result list
 
 val pp_result : Format.formatter -> result -> unit
 

@@ -396,18 +396,22 @@ type suite_result = { runs : run_result list; deterministic : bool }
 
 let scenarios = [| Leader_crash; Tor_partition; Rolling_restart; Hot_shard |]
 
-let run_suite ?(seeds = 20) () =
-  let runs = ref [] in
-  let deterministic = ref true in
-  for i = 0 to seeds - 1 do
-    let seed = Int64.of_int (40_000 + (104_729 * i)) in
-    let scenario = scenarios.(i mod Array.length scenarios) in
-    let r1 = run_one ~scenario ~seed () in
-    let r2 = run_one ~scenario ~seed () in
-    if r1.trace <> r2.trace then deterministic := false;
-    runs := r1 :: !runs
-  done;
-  { runs = List.rev !runs; deterministic = !deterministic }
+(* Seeds are independent (each run builds its own cluster and engine),
+   so [~jobs] fans them across domains; Par_sweep returns results in
+   seed order, keeping the report identical to a sequential run. *)
+let run_suite ?(seeds = 20) ?jobs () =
+  let pairs =
+    Par_sweep.list ?jobs seeds (fun i ->
+        let seed = Int64.of_int (40_000 + (104_729 * i)) in
+        let scenario = scenarios.(i mod Array.length scenarios) in
+        let r1 = run_one ~scenario ~seed () in
+        let r2 = run_one ~scenario ~seed () in
+        (r1, r1.trace = r2.trace))
+  in
+  {
+    runs = List.map fst pairs;
+    deterministic = List.for_all snd pairs;
+  }
 
 let pp_run fmt r =
   Format.fprintf fmt

@@ -62,8 +62,10 @@ type suite_result = {
 }
 
 (** [run_suite ~seeds ()] runs [seeds] schedules (default 20) cycling
-    through the four scenarios, each twice for the determinism check. *)
-val run_suite : ?seeds:int -> unit -> suite_result
+    through the four scenarios, each twice for the determinism check.
+    [~jobs] fans the seeds across that many OCaml domains; results stay
+    in seed order, so the report is identical for any [jobs]. *)
+val run_suite : ?seeds:int -> ?jobs:int -> unit -> suite_result
 
 val pp_run : Format.formatter -> run_result -> unit
 

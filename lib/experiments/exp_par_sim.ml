@@ -1,0 +1,233 @@
+(* par-bench: throughput of the partitioned simulator itself.
+
+   A cluster-load-style multi-host workload runs on the rack-partitioned
+   fabric ({!Transport.Partitioned}): every host drives open-loop Poisson
+   request sources at peers (a configurable fraction stays intra-rack,
+   the rest crosses the partition seam), servers answer after a
+   size-dependent service time, and clients record end-to-end latency.
+   The same seeded run executes under different [--domains] counts; rows
+   report aggregate events/s, wall-clock speedup versus one domain, and
+   the merged trace digest, which must be byte-identical at every domain
+   count — partitions are logical, domains only execute them.
+
+   Like bench-sim, this measures the *simulator* (events per wall second),
+   not the modeled system; unlike bench-sim it must use wall-clock time,
+   because CPU seconds sum over domains and would hide any speedup. *)
+
+type Netsim.Packet.body +=
+  | Par_req of { req_id : int; client : int; issued_ns : int; size : int }
+  | Par_resp of { req_id : int; issued_ns : int }
+
+type result = {
+  domains : int;
+  racks : int;
+  hosts : int;
+  horizon_ms : float;
+  events : int;
+  msgs_crossed : int;
+  wall_s : float;
+  events_per_sec : float;
+  digest : string;
+  part_events : int list;
+  requests : int;
+  responses : int;
+  p50_us : float;
+  p99_us : float;
+}
+
+type host_state = {
+  hist : Stats.Hist.t;
+  mutable issued : int;
+  mutable completed : int;
+}
+
+let resp_bytes = 64
+let service_ns size = 2_000 + (size / 4)
+
+let run_one ?(seed = 42L) ?(racks = 4) ?(hosts_per_rack = 4) ?(sources = 2)
+    ?(rate_rps = 80_000.0) ?(local_frac = 0.5) ?(req_bytes = 512)
+    ?(horizon_ms = 5.0) ~domains () =
+  let fab =
+    Transport.Partitioned.create ~seed ~inter_rack_ns:500
+      ~trace_capacity:(1 lsl 16) ~racks ~hosts_per_rack ()
+  in
+  let n = Transport.Partitioned.num_hosts fab in
+  let states = Array.init n (fun _ -> { hist = Stats.Hist.create (); issued = 0; completed = 0 }) in
+  let horizon = int_of_float (horizon_ms *. 1e6) in
+  (* Build rack by rack, host by host: RNG stream derivation order is part
+     of the seed contract. *)
+  for p = 0 to racks - 1 do
+    let engine = Transport.Partitioned.engine fab p in
+    let tr = Sim.Engine.trace engine in
+    for j = 0 to hosts_per_rack - 1 do
+      let host = (p * hosts_per_rack) + j in
+      let st = states.(host) in
+      let pick_rng = Sim.Rng.split (Sim.Engine.rng engine) in
+      Obs.Trace.register_process tr ~pid:(Obs.Trace.host_pid host)
+        (Printf.sprintf "host%d" host);
+      (* Server + client RX. *)
+      Transport.Partitioned.attach fab ~host
+        ~rx:(fun pkt ->
+          (match pkt.Netsim.Packet.body with
+          | Par_req { req_id; client; issued_ns; size } ->
+              let respond () =
+                let resp =
+                  Netsim.Packet.make ~src:host ~dst:client ~size_bytes:resp_bytes
+                    ~flow_hash:(req_id lxor 0x5bd1e995)
+                    (Par_resp { req_id; issued_ns })
+                in
+                Transport.Partitioned.send fab resp
+              in
+              Sim.Engine.schedule_after engine (service_ns size) respond
+          | Par_resp { req_id; issued_ns } ->
+              let lat = Sim.Engine.now engine - issued_ns in
+              Stats.Hist.record st.hist lat;
+              st.completed <- st.completed + 1;
+              if Obs.Trace.enabled tr then
+                Obs.Trace.instant tr ~ts:(Sim.Engine.now engine) ~cat:"par"
+                  ~name:"done" ~pid:(Obs.Trace.host_pid host) ~tid:0
+                  [ ("id", Obs.Trace.I req_id); ("lat", Obs.Trace.I lat) ]
+          | _ -> ());
+          Netsim.Packet.free pkt);
+      (* Open-loop sources. *)
+      for s = 0 to sources - 1 do
+        let arr =
+          Workload.Arrival.make
+            (Workload.Arrival.Poisson { rate_rps })
+            ~rng:(Sim.Rng.split (Sim.Engine.rng engine))
+        in
+        let rec fire at =
+          if at <= horizon then
+            Sim.Engine.schedule engine at (fun () ->
+                let local = Sim.Rng.float pick_rng < local_frac in
+                let dst =
+                  if local && hosts_per_rack > 1 then begin
+                    (* A random rack-mate other than ourselves. *)
+                    let k = Sim.Rng.int pick_rng (hosts_per_rack - 1) in
+                    let cand = (p * hosts_per_rack) + k in
+                    if cand >= host then cand + 1 else cand
+                  end
+                  else if racks > 1 then begin
+                    (* A random host in a random other rack. *)
+                    let r = Sim.Rng.int pick_rng (racks - 1) in
+                    let r = if r >= p then r + 1 else r in
+                    (r * hosts_per_rack) + Sim.Rng.int pick_rng hosts_per_rack
+                  end
+                  else (host + 1) mod n
+                in
+                let size = 64 + Sim.Rng.int pick_rng (max 1 (req_bytes - 64)) in
+                let req_id = (host * 1_000_000) + (s * 200_000) + st.issued in
+                st.issued <- st.issued + 1;
+                if Obs.Trace.enabled tr then
+                  Obs.Trace.instant tr ~ts:at ~cat:"par" ~name:"req"
+                    ~pid:(Obs.Trace.host_pid host) ~tid:0
+                    [ ("id", Obs.Trace.I req_id); ("dst", Obs.Trace.I dst) ];
+                let pkt =
+                  Netsim.Packet.make ~src:host ~dst ~size_bytes:size
+                    ~flow_hash:(req_id * 2_654_435_761)
+                    (Par_req { req_id; client = host; issued_ns = at; size })
+                in
+                Transport.Partitioned.send fab pkt;
+                fire (Workload.Arrival.next_after arr ~now_ns:at))
+        in
+        fire (Workload.Arrival.next_after arr ~now_ns:0)
+      done
+    done
+  done;
+  let t0 = Unix.gettimeofday () in
+  Transport.Partitioned.run ~domains ~horizon fab;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let events = Transport.Partitioned.events_processed fab in
+  let all = Stats.Hist.create () in
+  Array.iter (fun st -> Stats.Hist.merge ~dst:all ~src:st.hist) states;
+  {
+    domains;
+    racks;
+    hosts = n;
+    horizon_ms;
+    events;
+    msgs_crossed = Transport.Partitioned.messages_delivered fab;
+    wall_s;
+    events_per_sec = (if wall_s > 0. then float_of_int events /. wall_s else 0.);
+    digest = Transport.Partitioned.merged_digest fab;
+    part_events = List.init racks (fun p -> Transport.Partitioned.part_events fab p);
+    requests = Array.fold_left (fun acc st -> acc + st.issued) 0 states;
+    responses = Array.fold_left (fun acc st -> acc + st.completed) 0 states;
+    p50_us = float_of_int (Stats.Hist.percentile all 50.0) /. 1e3;
+    p99_us = float_of_int (Stats.Hist.percentile all 99.0) /. 1e3;
+  }
+
+(* {2 The domain sweep} *)
+
+type bench = {
+  rows : result list;
+  violations : string list;  (** digest mismatches across domain counts *)
+  host_cores : int;
+}
+
+let run_bench ?seed ?racks ?hosts_per_rack ?sources ?rate_rps ?local_frac
+    ?req_bytes ?horizon_ms ?(domains_list = [ 1; 2; 4 ]) () =
+  let rows =
+    List.map
+      (fun domains ->
+        run_one ?seed ?racks ?hosts_per_rack ?sources ?rate_rps ?local_frac
+          ?req_bytes ?horizon_ms ~domains ())
+      domains_list
+  in
+  let violations =
+    match rows with
+    | [] -> []
+    | base :: rest ->
+        List.filter_map
+          (fun r ->
+            if String.equal r.digest base.digest then None
+            else
+              Some
+                (Printf.sprintf
+                   "digest mismatch: domains %d -> %s, domains %d -> %s"
+                   base.domains base.digest r.domains r.digest))
+          rest
+  in
+  { rows; violations; host_cores = Domain.recommended_domain_count () }
+
+let speedup_vs_1dom bench r =
+  match List.find_opt (fun b -> b.domains = 1) bench.rows with
+  | Some base when r.wall_s > 0. -> base.wall_s /. r.wall_s
+  | _ -> 1.0
+
+let row_json bench r =
+  Obs.Json.Obj
+    [
+      ("domains", Obs.Json.Int r.domains);
+      ("racks", Obs.Json.Int r.racks);
+      ("hosts", Obs.Json.Int r.hosts);
+      ("horizon_ms", Obs.Json.Float r.horizon_ms);
+      ("events", Obs.Json.Int r.events);
+      ("msgs_crossed", Obs.Json.Int r.msgs_crossed);
+      ("wall_s", Obs.Json.Float r.wall_s);
+      ("events_per_sec", Obs.Json.Float r.events_per_sec);
+      ("speedup_vs_1dom", Obs.Json.Float (speedup_vs_1dom bench r));
+      ("digest", Obs.Json.Str r.digest);
+      ( "digest_equal",
+        Obs.Json.Bool
+          (match bench.rows with
+          | base :: _ -> String.equal r.digest base.digest
+          | [] -> true) );
+      ("part_events", Obs.Json.Arr (List.map (fun e -> Obs.Json.Int e) r.part_events));
+      ("requests", Obs.Json.Int r.requests);
+      ("responses", Obs.Json.Int r.responses);
+      ("p50_us", Obs.Json.Float r.p50_us);
+      ("p99_us", Obs.Json.Float r.p99_us);
+    ]
+
+let to_json bench =
+  Obs.Json.Obj
+    [
+      ("benchmark", Obs.Json.Str "par_sim");
+      ("unit", Obs.Json.Str "events/s");
+      ("host_cores", Obs.Json.Int bench.host_cores);
+      ("domains", Obs.Json.Arr (List.map (fun r -> Obs.Json.Int r.domains) bench.rows));
+      ( "violations",
+        Obs.Json.Arr (List.map (fun v -> Obs.Json.Str v) bench.violations) );
+      ("rows", Obs.Json.Arr (List.map (row_json bench) bench.rows));
+    ]

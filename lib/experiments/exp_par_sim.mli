@@ -1,0 +1,69 @@
+(** par-bench ([erpc_sim par-bench]): throughput of the domain-partitioned
+    simulator on a cluster-load-style multi-host workload.
+
+    The same seeded run executes under each requested domain count; rows
+    report aggregate events per wall-clock second, speedup versus one
+    domain, per-partition event counts (load balance), and the merged
+    trace digest — asserted byte-identical across domain counts, since
+    partitions are logical and domains only execute them. *)
+
+type Netsim.Packet.body +=
+  | Par_req of { req_id : int; client : int; issued_ns : int; size : int }
+  | Par_resp of { req_id : int; issued_ns : int }
+
+type result = {
+  domains : int;
+  racks : int;
+  hosts : int;
+  horizon_ms : float;
+  events : int;  (** local events + cross-partition deliveries *)
+  msgs_crossed : int;
+  wall_s : float;  (** wall clock, not CPU seconds: domains overlap *)
+  events_per_sec : float;
+  digest : string;  (** merged {!Obs.Trace} digest over all rack shards *)
+  part_events : int list;
+  requests : int;
+  responses : int;
+  p50_us : float;
+  p99_us : float;
+}
+
+val run_one :
+  ?seed:int64 ->
+  ?racks:int ->
+  ?hosts_per_rack:int ->
+  ?sources:int ->
+  ?rate_rps:float ->
+  ?local_frac:float ->
+  ?req_bytes:int ->
+  ?horizon_ms:float ->
+  domains:int ->
+  unit ->
+  result
+
+type bench = {
+  rows : result list;
+  violations : string list;  (** digest mismatches across domain counts *)
+  host_cores : int;  (** [Domain.recommended_domain_count] on this machine *)
+}
+
+val run_bench :
+  ?seed:int64 ->
+  ?racks:int ->
+  ?hosts_per_rack:int ->
+  ?sources:int ->
+  ?rate_rps:float ->
+  ?local_frac:float ->
+  ?req_bytes:int ->
+  ?horizon_ms:float ->
+  ?domains_list:int list ->
+  unit ->
+  bench
+(** One seeded run per entry of [domains_list] (default [[1; 2; 4]]);
+    digests are checked against the first entry. *)
+
+val speedup_vs_1dom : bench -> result -> float
+
+val to_json : bench -> Obs.Json.t
+(** The BENCH_par_sim.json document (benchmark ["par_sim"]), with
+    [host_cores], [domains] and per-row [speedup_vs_1dom] metadata. *)

@@ -1,0 +1,61 @@
+(* Single-producer single-consumer bounded ring over [Atomic] slots.
+
+   The producer writes the slot before publishing the new tail; the
+   consumer reads the tail before reading the slot. All accesses are
+   sequentially consistent ([Atomic.get]/[Atomic.set]), so a consumer
+   that observes tail = k also observes every slot write below k — the
+   standard SPSC publication argument, with no fences spelled by hand.
+
+   Capacity is rounded up to a power of two so the index wrap is a mask.
+   [try_push] refuses when full rather than blocking: with several
+   logical partitions multiplexed onto one domain, a spinning producer
+   would starve the consumer it is waiting on (see {!Partition}, which
+   keeps a producer-side backlog instead). *)
+
+type 'a t = {
+  slots : 'a option Atomic.t array;
+  mask : int;
+  head : int Atomic.t; (* consumer cursor; slot indices < head are free *)
+  tail : int Atomic.t; (* producer cursor; slot indices < tail are published *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Channel.create: capacity must be >= 1";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    slots = Array.init !cap (fun _ -> Atomic.make None);
+    mask = !cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    Atomic.set t.slots.(tail land t.mask) (Some v);
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head = tail then None
+  else begin
+    let slot = t.slots.(head land t.mask) in
+    let v = Atomic.get slot in
+    (* Clear the slot so the ring never pins a popped payload for the GC. *)
+    Atomic.set slot None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = length t = 0

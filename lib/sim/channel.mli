@@ -1,0 +1,25 @@
+(** Lock-free single-producer single-consumer bounded ring.
+
+    The cross-domain message pipe under {!Partition}: exactly one domain
+    may push and exactly one may pop. Non-blocking on both ends —
+    [try_push] returns [false] when full instead of spinning, because a
+    producer and its consumer can share a domain. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Capacity is rounded up to the next power of two. *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Publish one value; [false] if the ring is full. Producer side only. *)
+
+val pop : 'a t -> 'a option
+(** Take the oldest value, or [None] if empty. Consumer side only. *)
+
+val length : 'a t -> int
+(** Published-but-unpopped count; exact at either endpoint, a snapshot
+    elsewhere. *)
+
+val is_empty : 'a t -> bool

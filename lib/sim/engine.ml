@@ -8,14 +8,24 @@ type t = {
 }
 
 let create ?(seed = 42L) ?queue_impl () =
-  {
-    queue = Event_queue.create ?impl:queue_impl ();
-    clock = Time.zero;
-    master_rng = Rng.create seed;
-    executed = 0;
-    trace = Obs.Trace.disabled;
-    metrics = Obs.Metrics.create ();
-  }
+  let t =
+    {
+      queue = Event_queue.create ?impl:queue_impl ();
+      clock = Time.zero;
+      master_rng = Rng.create seed;
+      executed = 0;
+      trace = Obs.Trace.disabled;
+      metrics = Obs.Metrics.create ();
+    }
+  in
+  (* Queue-shape gauges: pending event count plus the wheel's occupied-slot
+     load factor. Sampled per engine, so on a partitioned run each
+     partition's registry exposes its own load — imbalance is observable. *)
+  Obs.Metrics.gauge t.metrics ~name:"sim.queue_depth" (fun () ->
+      float_of_int (Event_queue.length t.queue));
+  Obs.Metrics.gauge t.metrics ~name:"sim.wheel_occupancy" (fun () ->
+      float_of_int (Event_queue.occupied_slots t.queue));
+  t
 
 let now t = t.clock
 let rng t = t.master_rng
@@ -30,6 +40,18 @@ let schedule t at f =
   Event_queue.push t.queue at f
 
 let schedule_after t delta f = schedule t (Time.add t.clock delta) f
+
+(* PDES hook: a partition runner delivering a cross-partition message moves
+   the clock to the message timestamp before invoking the handler, exactly
+   as [step] does for a popped local event. *)
+let advance_clock t at =
+  if at < t.clock then
+    invalid_arg
+      (Format.asprintf "Engine.advance_clock: time %a is before now %a" Time.pp at
+         Time.pp t.clock);
+  t.clock <- at
+
+let next_event_time t = Event_queue.peek_time t.queue
 
 let step t =
   match Event_queue.pop t.queue with

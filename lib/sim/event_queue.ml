@@ -25,6 +25,12 @@ let pop_if_before t horizon ~default =
   | W q -> Timing_wheel.pop_if_before q horizon ~default
   | H q -> Binheap.pop_if_before q horizon ~default
 
+(* Wheel load factor; the binheap has no calendar structure, so its
+   occupancy degenerates to its length. *)
+let occupied_slots = function
+  | W q -> Timing_wheel.occupied_slots q
+  | H q -> Binheap.length q
+
 let last_time = function W q -> Timing_wheel.last_time q | H q -> Binheap.last_time q
 let peek_time = function W q -> Timing_wheel.peek_time q | H q -> Binheap.peek_time q
 let clear = function W q -> Timing_wheel.clear q | H q -> Binheap.clear q

@@ -39,3 +39,7 @@ val last_time : 'a t -> Time.t
 
 val peek_time : 'a t -> Time.t option
 val clear : 'a t -> unit
+
+val occupied_slots : 'a t -> int
+(** Occupied calendar slots for the wheel (its load factor); falls back to
+    {!length} for the binheap. Snapshot-time sampling only. *)

@@ -1,0 +1,340 @@
+(* Conservative parallel discrete-event simulation (PDES) across OCaml 5
+   domains.
+
+   The cluster is split into [n] logical partitions, each owning a full
+   {!Engine} (its own timing wheel, RNG stream, trace shard, metrics
+   registry). Cross-partition traffic travels through SPSC {!Channel}
+   rings; each directed link carries a [lookahead] — the minimum latency
+   any message on that link can have — and the classic
+   Chandy–Misra–Bryant rule bounds how far a partition may run ahead:
+
+     safe(p) = min over in-links of the sender's announced bound,
+
+   where a bound is the sender's promise that every message it will ever
+   send on that link arrives no earlier than the bound. A partition only
+   executes work strictly below its [safe] horizon, so no message can
+   arrive in its past, and positive lookahead guarantees global progress
+   (the partition holding the globally-minimal timestamp can always run).
+
+   Determinism is the load-bearing property. Partitions are LOGICAL and
+   fixed by the topology; [~domains] only chooses how many OS threads
+   execute them (partition [i] runs on domain [i mod domains]). The
+   per-partition event order is defined entirely by data that is
+   identical under any domain count:
+
+   - local events pop from the partition's own queue in (time, seq) order;
+   - cross-partition messages are FIFO per channel (send timestamps on a
+     channel must be nondecreasing — asserted), staged on arrival, and
+     consumed by explicit comparison against the local queue: the
+     earliest staged message wins ties against local events, and ties
+     between channels go to the lower-indexed in-link;
+   - the [safe] gate only decides when a partition *pauses*; it never
+     reorders what the partition processes, because everything below
+     [safe] is already staged or local (any not-yet-visible message has
+     timestamp >= its link's bound >= safe).
+
+   Hence same-seed runs produce byte-identical per-partition traces — and
+   byte-identical merged digests — for any [~domains].
+
+   Domain-safety inventory: each partition's engine, stage queues and
+   producer backlogs are touched only by the domain that owns the
+   partition; the only shared mutable state is the SPSC rings and the
+   per-link bound/sent counters, all [Atomic]. A producer whose ring is
+   full parks messages in a private backlog (never spins — with several
+   partitions multiplexed on one domain, spinning would starve the
+   consumer) and caps its announced bound at the oldest unflushed
+   timestamp so the promise stays truthful. *)
+
+(* "No more messages, ever" — far beyond any horizon, with headroom so
+   [bound + lookahead] cannot overflow. *)
+let inf_ts = max_int / 4
+
+type 'a msg = { m_ts : int; m_seq : int; m_payload : 'a }
+
+type 'a conn = {
+  c_src : int;
+  c_dst : int;
+  c_lookahead : int;
+  ring : 'a msg Channel.t;
+  bound : int Atomic.t; (* producer's promise: no future arrival < bound *)
+  sent : int Atomic.t;
+  received : int Atomic.t;
+  (* producer-owned *)
+  backlog : 'a msg Queue.t; (* overflow when the ring is full; FIFO *)
+  mutable last_ts : int; (* per-channel send monotonicity check *)
+  mutable next_seq : int;
+  mutable announced : int; (* last bound written; bounds only increase *)
+  (* consumer-owned *)
+  stage : 'a msg Queue.t; (* drained from the ring, awaiting processing *)
+  mutable known_bound : int; (* consumer's cache of [bound] *)
+}
+
+type 'a part = {
+  id : int;
+  engine : Engine.t;
+  mutable ins : 'a conn array; (* connect order; tie-break rank *)
+  mutable outs : 'a conn array;
+  mutable handler : (ts:Time.t -> src:int -> 'a -> unit) option;
+  mutable msgs_in : int; (* cross-partition messages delivered *)
+  mutable done_ : bool; (* horizon reached; owner-domain only *)
+}
+
+type 'a t = {
+  parts : 'a part array;
+  mutable horizon : Time.t; (* set by [run] *)
+  done_count : int Atomic.t;
+  mutable ran : bool;
+}
+
+let create ?(seed = 42L) ~parts:n () =
+  if n < 1 then invalid_arg "Partition.create: need at least one partition";
+  let master = Rng.create seed in
+  let parts =
+    Array.init n (fun id ->
+        {
+          id;
+          engine = Engine.create ~seed:(Rng.next master) ();
+          ins = [||];
+          outs = [||];
+          handler = None;
+          msgs_in = 0;
+          done_ = false;
+        })
+  in
+  { parts; horizon = inf_ts; done_count = Atomic.make 0; ran = false }
+
+let num_parts t = Array.length t.parts
+let engine t i = t.parts.(i).engine
+
+let connect ?(capacity = 1024) t ~src ~dst ~lookahead =
+  if src = dst then invalid_arg "Partition.connect: src = dst";
+  if lookahead < 1 then
+    invalid_arg "Partition.connect: lookahead must be >= 1 ns (progress guarantee)";
+  let c =
+    {
+      c_src = src;
+      c_dst = dst;
+      c_lookahead = lookahead;
+      ring = Channel.create ~capacity;
+      bound = Atomic.make lookahead;
+      sent = Atomic.make 0;
+      received = Atomic.make 0;
+      backlog = Queue.create ();
+      last_ts = 0;
+      next_seq = 0;
+      announced = lookahead;
+      stage = Queue.create ();
+      known_bound = lookahead;
+    }
+  in
+  let p = t.parts.(src) and q = t.parts.(dst) in
+  if Array.exists (fun c -> c.c_dst = dst) p.outs then
+    invalid_arg "Partition.connect: duplicate link";
+  p.outs <- Array.append p.outs [| c |];
+  q.ins <- Array.append q.ins [| c |]
+
+let on_receive t i f = t.parts.(i).handler <- Some f
+
+let lookahead t ~src ~dst =
+  match Array.find_opt (fun c -> c.c_dst = dst) t.parts.(src).outs with
+  | Some c -> c.c_lookahead
+  | None -> invalid_arg "Partition.lookahead: no such link"
+
+let send t ~src ~dst ~ts payload =
+  let p = t.parts.(src) in
+  match Array.find_opt (fun c -> c.c_dst = dst) p.outs with
+  | None -> invalid_arg "Partition.send: no link; connect src dst first"
+  | Some c ->
+      let now = Engine.now p.engine in
+      if ts < now + c.c_lookahead then
+        invalid_arg
+          (Printf.sprintf
+             "Partition.send: ts %d violates lookahead %d (now %d on %d->%d)" ts
+             c.c_lookahead now src dst);
+      if ts < c.last_ts then
+        invalid_arg
+          (Printf.sprintf "Partition.send: non-monotone ts %d (< %d) on %d->%d" ts
+             c.last_ts src dst);
+      c.last_ts <- ts;
+      let m = { m_ts = ts; m_seq = c.next_seq; m_payload = payload } in
+      c.next_seq <- c.next_seq + 1;
+      Atomic.incr c.sent;
+      (* FIFO: once anything is backlogged, everything goes behind it. *)
+      if not (Queue.is_empty c.backlog && Channel.try_push c.ring m) then
+        Queue.push m c.backlog
+
+(* --- the per-partition scheduling pass (owner domain only) --- *)
+
+(* Read the link's announced bound *before* draining the ring: any message
+   pushed before that bound was written is then guaranteed visible in the
+   drain (both are seq-cst writes in program order on the producer). *)
+let drain_conn c =
+  let b = Atomic.get c.bound in
+  if b > c.known_bound then c.known_bound <- b;
+  let rec loop () =
+    match Channel.pop c.ring with
+    | Some m ->
+        Atomic.incr c.received;
+        Queue.push m c.stage;
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let safe_of p =
+  Array.fold_left (fun acc c -> min acc c.known_bound) inf_ts p.ins
+
+(* Earliest staged message over all in-links; ties go to the first link in
+   [ins] order (strict [<]), which is fixed at connect time. *)
+let staged_min p =
+  let best = ref None and best_ts = ref max_int in
+  Array.iter
+    (fun c ->
+      match Queue.peek_opt c.stage with
+      | Some m when m.m_ts < !best_ts ->
+          best := Some c;
+          best_ts := m.m_ts
+      | _ -> ())
+    p.ins;
+  (!best, !best_ts)
+
+let local_min p =
+  match Engine.next_event_time p.engine with Some ts -> ts | None -> max_int
+
+let process_loop t p ~safe =
+  let progressed = ref false in
+  let continue = ref true in
+  while !continue do
+    let best, best_ts = staged_min p in
+    let local_ts = local_min p in
+    let cand = if best_ts < local_ts then best_ts else local_ts in
+    if cand >= safe || cand > t.horizon then continue := false
+    else begin
+      (* Messages win ties against local events — part of the merge rule,
+         so the interleave never depends on which pass staged what. *)
+      (if best_ts <= local_ts then
+         match best with
+         | Some c ->
+             let m = Queue.pop c.stage in
+             Engine.advance_clock p.engine m.m_ts;
+             p.msgs_in <- p.msgs_in + 1;
+             (match p.handler with
+             | Some f -> f ~ts:m.m_ts ~src:c.c_src m.m_payload
+             | None ->
+                 invalid_arg
+                   (Printf.sprintf "Partition: no receiver on partition %d" p.id))
+         | None -> assert false
+       else ignore (Engine.step p.engine));
+      progressed := true
+    end
+  done;
+  !progressed
+
+(* Announce, for every out-link, a (monotone) lower bound on the arrival
+   time of any message this partition could still send: it cannot process
+   anything before min(next staged, next local, safe), and every send at
+   processing time [tp] arrives at >= tp + lookahead. Once that floor
+   clears the horizon the partition will never run again, so it promises
+   "never" — capped by the oldest unflushed backlog message, which is
+   already committed but not yet visible to the consumer. *)
+let announce t p =
+  let progressed = ref false in
+  let _, best_ts = staged_min p in
+  let local_ts = local_min p in
+  let safe = safe_of p in
+  let nb = min (min best_ts local_ts) safe in
+  let nb = if nb > t.horizon then inf_ts else nb in
+  Array.iter
+    (fun c ->
+      let rec flush () =
+        match Queue.peek_opt c.backlog with
+        | Some m when Channel.try_push c.ring m ->
+            ignore (Queue.pop c.backlog);
+            flush ()
+        | _ -> ()
+      in
+      flush ();
+      let pending_min =
+        match Queue.peek_opt c.backlog with Some m -> m.m_ts | None -> inf_ts
+      in
+      let v = min (min (nb + c.c_lookahead) pending_min) inf_ts in
+      if v > c.announced then begin
+        c.announced <- v;
+        Atomic.set c.bound v;
+        progressed := true
+      end)
+    p.outs;
+  !progressed
+
+let maybe_done t p =
+  if not p.done_ then begin
+    let _, best_ts = staged_min p in
+    let local_ts = local_min p in
+    let safe = safe_of p in
+    let backlogs_clear = Array.for_all (fun c -> Queue.is_empty c.backlog) p.outs in
+    if best_ts > t.horizon && local_ts > t.horizon && safe > t.horizon && backlogs_clear
+    then begin
+      p.done_ <- true;
+      Atomic.incr t.done_count
+    end
+  end
+
+let pass t p =
+  if p.done_ then false
+  else begin
+    Array.iter drain_conn p.ins;
+    let safe = safe_of p in
+    let progressed = process_loop t p ~safe in
+    let announced = announce t p in
+    maybe_done t p;
+    progressed || announced
+  end
+
+let run ?(domains = 1) ~horizon t =
+  if t.ran then invalid_arg "Partition.run: already ran";
+  if horizon < 0 || horizon >= inf_ts then invalid_arg "Partition.run: bad horizon";
+  if domains < 1 then invalid_arg "Partition.run: domains must be >= 1";
+  t.ran <- true;
+  t.horizon <- horizon;
+  let nparts = Array.length t.parts in
+  let worker d () =
+    let mine =
+      Array.of_list
+        (List.filter
+           (fun p -> p.id mod domains = d)
+           (Array.to_list t.parts))
+    in
+    (* Fruitless sweeps first spin (cheap when a peer on another core is
+       about to advance a bound), then sleep: with more domains than
+       cores, a pure spin burns its whole scheduler quantum while the
+       domain holding the next bound waits for the CPU. *)
+    let idle_sweeps = ref 0 in
+    while Atomic.get t.done_count < nparts do
+      let progress = ref false in
+      Array.iter (fun p -> if pass t p then progress := true) mine;
+      if !progress then idle_sweeps := 0
+      else begin
+        incr idle_sweeps;
+        if !idle_sweeps <= 64 then Domain.cpu_relax () else Unix.sleepf 20e-6
+      end
+    done
+  in
+  let spawned =
+    Array.init (min domains nparts - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  in
+  worker 0 ();
+  Array.iter Domain.join spawned;
+  (* Mirror [Engine.run_until]: leave every clock parked on the horizon. *)
+  Array.iter (fun p -> Engine.advance_clock p.engine horizon) t.parts
+
+let part_events t i =
+  let p = t.parts.(i) in
+  Engine.events_processed p.engine + p.msgs_in
+
+let messages_delivered t =
+  Array.fold_left (fun acc p -> acc + p.msgs_in) 0 t.parts
+
+let events_processed t =
+  Array.fold_left
+    (fun acc p -> acc + Engine.events_processed p.engine + p.msgs_in)
+    0 t.parts

@@ -1,0 +1,67 @@
+(** Conservative parallel discrete-event simulation (PDES) over OCaml 5
+    domains.
+
+    A group of [n] logical partitions, each owning its own {!Engine}
+    (timing wheel, RNG stream, trace shard), exchanges timestamped
+    messages over lock-free SPSC channels. Each directed link declares a
+    [lookahead]: the minimum latency of any message sent on it. Classic
+    null-message (Chandy–Misra–Bryant) bounds let every partition run
+    ahead only while its next step is strictly below the minimum bound
+    announced by its in-links, which makes the execution both deadlock-free
+    (lookahead is required positive) and deterministic.
+
+    Partitions are logical and fixed by the caller's topology; [~domains]
+    in {!run} only maps them onto OS domains (partition [i] runs on domain
+    [i mod domains]). The processed event interleave per partition is
+    defined by timestamps, per-link FIFO order and a fixed tie-break
+    (messages before local events, lower-indexed in-link first), never by
+    scheduling — so same-seed runs are byte-identical for any domain
+    count. See DESIGN.md §13. *)
+
+type 'a t
+
+val create : ?seed:int64 -> parts:int -> unit -> 'a t
+(** [n] partitions, each with an engine seeded from a deterministic split
+    of [seed]. *)
+
+val num_parts : 'a t -> int
+
+val engine : 'a t -> int -> Engine.t
+(** Partition [i]'s private engine. Schedule setup events, install traces
+    and draw RNG streams through this — only from the main domain before
+    {!run}, or from partition [i]'s own handlers during it. *)
+
+val connect : ?capacity:int -> 'a t -> src:int -> dst:int -> lookahead:Time.t -> unit
+(** Declare the directed link [src -> dst]. [lookahead] (>= 1 ns) is the
+    minimum delay of any message sent on the link; larger lookahead means
+    less synchronization. [capacity] sizes the ring (overflow falls back
+    to an unbounded producer-side backlog, so capacity only affects
+    throughput). *)
+
+val on_receive : 'a t -> int -> (ts:Time.t -> src:int -> 'a -> unit) -> unit
+(** Install partition [i]'s message handler. It runs on [i]'s owning
+    domain with [i]'s engine clock already advanced to [ts]. *)
+
+val send : 'a t -> src:int -> dst:int -> ts:Time.t -> 'a -> unit
+(** Send a message arriving at [ts]. Must satisfy
+    [ts >= now(src) + lookahead(src, dst)], and timestamps on a given link
+    must be nondecreasing; both are checked. Call only from partition
+    [src]'s domain (setup code or its handlers/events). *)
+
+val lookahead : 'a t -> src:int -> dst:int -> Time.t
+
+val run : ?domains:int -> horizon:Time.t -> 'a t -> unit
+(** Run every partition up to and including [horizon] on [domains] OS
+    domains (default 1), then park all clocks on the horizon, mirroring
+    {!Engine.run_until}. Single-shot: a group cannot be run twice. *)
+
+val events_processed : 'a t -> int
+(** Total events executed: local engine events plus delivered
+    cross-partition messages, summed over partitions. *)
+
+val part_events : 'a t -> int -> int
+(** Events executed by partition [i] (local + delivered messages) — the
+    per-partition load-balance view. *)
+
+val messages_delivered : 'a t -> int
+(** Cross-partition messages delivered, summed over links. *)

@@ -72,6 +72,22 @@ let is_empty t = t.wheel_count = 0 && t.heap_size = 0
 let length t = t.wheel_count + t.heap_size
 let last_time t = t.last
 
+(* Count of set bits in a word holding a 32-bit occupancy mask. *)
+let popcount32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (x * 0x01010101) lsr 24 land 0xFF
+
+(* Occupied wheel slots (not cells): the calendar-queue load factor.
+   Snapshot-time only — walks the 512-word l0 bitmap. *)
+let occupied_slots t =
+  let n = ref 0 in
+  for w = 0 to l0_words - 1 do
+    n := !n + popcount32 t.l0.(w)
+  done;
+  !n
+
 let alloc_cell t time seq payload =
   let c = t.free in
   if c != t.nil then begin

@@ -30,3 +30,8 @@ val last_time : 'a t -> Time.t
 
 val peek_time : 'a t -> Time.t option
 val clear : 'a t -> unit
+
+val occupied_slots : 'a t -> int
+(** Number of non-empty wheel slots (excludes the overflow heap) — the
+    calendar-queue load factor backing the [sim.wheel_occupancy] gauge.
+    O(bitmap words); intended for snapshot-time sampling, not hot paths. *)

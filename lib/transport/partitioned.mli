@@ -1,0 +1,57 @@
+(** Rack-partitioned cluster fabric: one {!Sim.Partition} logical
+    partition per rack, each with its own engine, Netsim network, RNG
+    stream, trace shard and packet pool. Hosts keep global dense ids
+    (rack [r] owns [r*H .. r*H+H-1]); cross-rack packets leave through a
+    gateway uplink port on the source ToR, cross the domain boundary as
+    immutable {!Netsim.Packet.transfer} snapshots, and re-enter at the
+    destination ToR's ingress. The inter-rack propagation delay is the
+    PDES lookahead window. *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?config:Netsim.Network.config ->
+  ?uplink_gbps:float ->
+  ?inter_rack_ns:int ->
+  ?trace_capacity:int ->
+  racks:int ->
+  hosts_per_rack:int ->
+  unit ->
+  t
+(** [config] parameterizes each per-rack network (its topology field is
+    overridden); [inter_rack_ns] (default 500) is both the inter-rack
+    cable delay and the conservative-sync lookahead. [trace_capacity]
+    installs a per-partition trace shard of that capacity on every engine
+    before any component is built. *)
+
+val group : t -> Netsim.Packet.transfer Sim.Partition.t
+val num_hosts : t -> int
+val racks : t -> int
+val hosts_per_rack : t -> int
+val inter_rack_ns : t -> int
+val rack_of : t -> int -> int
+val engine : t -> int -> Sim.Engine.t
+(** Rack [p]'s engine — install trace shards here before building hosts. *)
+
+val net : t -> int -> Netsim.Network.t
+(** Rack [p]'s network (fault hooks, stats). *)
+
+val attach : t -> host:int -> rx:(Netsim.Packet.t -> unit) -> unit
+(** Register [host]'s RX on its owning rack's network. *)
+
+val send : t -> Netsim.Packet.t -> unit
+(** Inject at [pkt.src]'s NIC. Call only from the owning rack's domain
+    (its handlers and events). *)
+
+val run : ?domains:int -> horizon:Sim.Time.t -> t -> unit
+val events_processed : t -> int
+val part_events : t -> int -> int
+val messages_delivered : t -> int
+
+val trace : t -> int -> Obs.Trace.t
+(** Rack [p]'s trace shard. *)
+
+val merged_digest : t -> string
+(** {!Obs.Trace.merged_digest} over all shards in rack order — the
+    domain-count-invariant identity of the run. *)
